@@ -1,0 +1,202 @@
+// Benchmarks: one testing.B per table and figure of the paper, each
+// regenerating its artifact through the experiments harness, plus
+// micro-benchmarks for the training and matching hot paths.
+//
+// The per-artifact benches run at reduced scale with surrogate inference
+// delays zeroed so the whole suite stays in CPU-bound territory; the
+// full-fidelity regeneration (calibrated surrogate latencies, bigger cuts)
+// is `go run ./cmd/benchall`, which writes EXPERIMENTS.md.
+package bytebrain_test
+
+import (
+	"testing"
+	"time"
+
+	"bytebrain"
+	"bytebrain/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Seed:           1,
+		Scale:          0.001,
+		Threshold:      0.7,
+		Timeout:        30 * time.Second,
+		FastSurrogates: true,
+	}
+}
+
+// runArtifact executes one experiment per iteration and reports its row
+// count so the benchmark has a visible output dependency.
+func runArtifact(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B)        { runArtifact(b, "table1") }
+func BenchmarkTable2LogHubGA(b *testing.B)            { runArtifact(b, "table2") }
+func BenchmarkTable3LogHub2GA(b *testing.B)           { runArtifact(b, "table3") }
+func BenchmarkTable4ThresholdTemplates(b *testing.B)  { runArtifact(b, "table4") }
+func BenchmarkTable5Industrial(b *testing.B)          { runArtifact(b, "table5") }
+func BenchmarkFig2Scatter(b *testing.B)               { runArtifact(b, "fig2") }
+func BenchmarkFig4DuplicationCDF(b *testing.B)        { runArtifact(b, "fig4") }
+func BenchmarkFig6Throughput(b *testing.B)            { runArtifact(b, "fig6") }
+func BenchmarkFig7Scaling(b *testing.B)               { runArtifact(b, "fig7") }
+func BenchmarkFig8AccuracyAblation(b *testing.B)      { runArtifact(b, "fig8") }
+func BenchmarkFig9EfficiencyAblation(b *testing.B)    { runArtifact(b, "fig9") }
+func BenchmarkFig10DictionarySize(b *testing.B)       { runArtifact(b, "fig10") }
+func BenchmarkFig11ThresholdSensitivity(b *testing.B) { runArtifact(b, "fig11") }
+func BenchmarkFig12Parallelism(b *testing.B)          { runArtifact(b, "fig12") }
+
+// BenchmarkTrain measures offline training throughput on the HDFS cut.
+func BenchmarkTrain(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("HDFS", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Train(ds.Lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ds.Lines))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// BenchmarkMatch measures online matching throughput against a trained
+// model (the §4.8 hot path).
+func BenchmarkMatch(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("HDFS", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	res, err := parser.Train(ds.Lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	matcher, err := parser.NewMatcher(res.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matcher.Match(ds.Lines[i%len(ds.Lines)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// BenchmarkMatchLinear is the w/o-index matcher for comparison.
+func BenchmarkMatchLinear(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("HDFS", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1, LinearMatch: true})
+	res, err := parser.Train(ds.Lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	matcher, err := parser.NewMatcher(res.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matcher.Match(ds.Lines[i%len(ds.Lines)])
+	}
+}
+
+// BenchmarkQueryRollup measures the query-time precision walk.
+func BenchmarkQueryRollup(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("Mac", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	res, err := parser.Train(ds.Lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaves := res.Model.Leaves()
+	if len(leaves) == 0 {
+		b.Fatal("no leaves")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Model.TemplateAt(leaves[i%len(leaves)], 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceIngest measures the end-to-end service ingestion path
+// (match + append + index).
+func BenchmarkServiceIngest(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("Zookeeper", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := bytebrain.NewService(bytebrain.ServiceConfig{
+		Parser:      bytebrain.Options{Seed: 1},
+		TrainVolume: 1 << 30,
+	})
+	if err := svc.CreateTopic("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Ingest("bench", ds.Lines); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Train("bench"); err != nil {
+		b.Fatal(err)
+	}
+	batch := ds.Lines[:500]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Ingest("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// BenchmarkModelSerialize measures model snapshot cost (internal-topic
+// persistence).
+func BenchmarkModelSerialize(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("Linux", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	res, err := parser.Train(ds.Lines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := res.Model.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(data)), "model-bytes")
+		}
+	}
+}

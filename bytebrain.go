@@ -1,0 +1,97 @@
+// Package bytebrain is an open reproduction of ByteBrain-LogParser
+// ("Adaptive and Efficient Log Parsing as a Cloud Service", SIGMOD-
+// Companion 2025): an adaptive, high-throughput log parser built on
+// hierarchical clustering, plus the cloud log service it is designed to
+// power.
+//
+// The package exposes three layers:
+//
+//   - the parser: Train log batches into a clustering-tree Model whose
+//     nodes are templates at increasing precision (saturation), match new
+//     logs online against template text, and control precision at query
+//     time with a threshold — no reprocessing, no retraining;
+//   - the service: multi-topic ingestion with volume/time-triggered
+//     retraining, model merging, append-only storage, and an HTTP API
+//     (see NewService);
+//   - analytics: template-count anomaly detection, window comparison, and
+//     a failure-scenario library (see analytics re-exports in this
+//     package).
+//
+// Quickstart:
+//
+//	parser := bytebrain.New(bytebrain.Options{})
+//	res, err := parser.Train(lines)
+//	matcher, err := parser.NewMatcher(res.Model)
+//	m := matcher.Match("Receiving block blk_123 src: /10.0.0.1:50010")
+//	tmpl, err := res.Model.TemplateAt(m.NodeID, 0.7) // precision slider
+package bytebrain
+
+import (
+	"bytebrain/internal/core"
+	"bytebrain/internal/template"
+	"bytebrain/internal/tokenize"
+	"bytebrain/internal/vars"
+)
+
+// Core parser surface. These are aliases of the engine types so the public
+// API and the internal implementation cannot drift.
+type (
+	// Options configures parsing; the zero value uses production
+	// defaults. See the field docs for the ablation switches that
+	// reproduce the paper's §5.4 variants.
+	Options = core.Options
+	// Parser trains models from log batches.
+	Parser = core.Parser
+	// TrainResult carries the trained Model and per-line assignments.
+	TrainResult = core.TrainResult
+	// Model is the clustering forest: templates with saturation scores
+	// and parent links, serializable, mergeable across training cycles.
+	Model = core.Model
+	// Node is one template node.
+	Node = core.Node
+	// Matcher matches logs against a model's template text (§4.8) and
+	// inserts temporary templates for unseen structures.
+	Matcher = core.Matcher
+	// MatchResult reports where one log landed.
+	MatchResult = core.MatchResult
+)
+
+// Wildcard is the template placeholder for a variable position.
+const Wildcard = core.Wildcard
+
+// New returns a Parser with the given options.
+func New(opts Options) *Parser { return core.New(opts) }
+
+// NewModel returns an empty model (usually obtained from Parser.Train).
+func NewModel() *Model { return core.NewModel() }
+
+// MergeModels folds a newly trained model into a previous one, merging
+// templates above the similarity threshold (§3). Most callers should use
+// Parser.TrainMerge or the Service, which do this automatically.
+func MergeModels(prev, next *Model, threshold float64) (*Model, map[uint64]uint64, error) {
+	return core.MergeModels(prev, next, threshold)
+}
+
+// TemplateSimilarity scores two equal-length templates in [0,1].
+func TemplateSimilarity(a, b []string) float64 { return core.TemplateSimilarity(a, b) }
+
+// DisplayTemplate renders template tokens for presentation with
+// consecutive wildcards merged, the §7 query-result optimization that
+// groups variable-length list output under one template.
+func DisplayTemplate(tokens []string) string {
+	return template.MergeConsecutiveWildcards(tokens)
+}
+
+// DefaultVariableRules returns the built-in common-variable replacer
+// (timestamps, IPs, UUIDs, hashes). Add topic-specific rules with Add.
+func DefaultVariableRules() *vars.Replacer { return vars.Default() }
+
+// NoVariableRules returns a replacer that performs no substitution.
+func NoVariableRules() *vars.Replacer { return vars.None() }
+
+// NewRegexpTokenizer compiles a custom delimiter pattern for per-topic
+// tokenization. Go's RE2 engine rejects look-around, enforcing the
+// linear-time bound the paper requires of user patterns.
+func NewRegexpTokenizer(pattern string) (tokenize.Tokenizer, error) {
+	return tokenize.NewRegexp(pattern)
+}

@@ -1,0 +1,149 @@
+package bytebrain_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bytebrain"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := bytebrain.GenerateLogHub("HDFS", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	res, err := parser.Train(ds.Lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := parser.NewMatcher(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]int, len(ds.Lines))
+	for i, line := range ds.Lines {
+		m := matcher.Match(line)
+		n, err := res.Model.TemplateAt(m.NodeID, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred[i] = int(n.ID)
+	}
+	ga, err := bytebrain.GroupingAccuracy(pred, ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga < 0.9 {
+		t.Errorf("public-API GA on HDFS = %v, want >= 0.9", ga)
+	}
+}
+
+func TestPublicAPIPrecisionSlider(t *testing.T) {
+	lines := []string{
+		"release lock 42 tag A name systemui",
+		"release lock 77 tag B name android",
+		"release lock 91 tag A name android",
+		"acquire lock 11 tag C name phone",
+		"acquire lock 23 tag A name phone",
+		"acquire lock 35 tag B name systemui",
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	res, err := parser.Train(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := res.Model.TemplatesAtThreshold(0.05)
+	fine := res.Model.TemplatesAtThreshold(0.95)
+	if len(coarse) > len(fine) {
+		t.Errorf("coarse view (%d templates) larger than fine view (%d)", len(coarse), len(fine))
+	}
+}
+
+func TestPublicAPIServiceAndAnalytics(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	svc := bytebrain.NewService(bytebrain.ServiceConfig{
+		Parser:      bytebrain.Options{Seed: 1},
+		TrainVolume: 1 << 30,
+		Now:         func() time.Time { return now },
+	})
+	if err := svc.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for i := 0; i < 60; i++ {
+		lines = append(lines, "worker started on node node-"+strings.Repeat("x", i%3+1))
+	}
+	if err := svc.Ingest("app", lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Train("app"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := svc.Query("app", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows from service query")
+	}
+
+	// Analytics over two windows.
+	before := bytebrain.TemplateCounts{1: 100, 2: 10}
+	after := bytebrain.TemplateCounts{1: 100, 2: 90, 3: 5}
+	changes := bytebrain.CompareWindows(before, after, 4)
+	if len(changes) == 0 {
+		t.Error("no anomalies detected in a clearly changed window")
+	}
+	if div := bytebrain.DistributionDivergence(before, after); div <= 0 {
+		t.Errorf("divergence = %v, want > 0", div)
+	}
+	lib := bytebrain.NewTemplateLibrary()
+	lib.Save("worker-start", "worker started on node <*>")
+	lib.AddScenario(bytebrain.FailureScenario{Name: "restart-storm", Templates: []string{"worker started"}})
+	if got := lib.MatchScenarios([]string{"worker started on node <*>"}); len(got) != 1 {
+		t.Errorf("scenario match = %v", got)
+	}
+}
+
+func TestPublicAPIDisplayTemplate(t *testing.T) {
+	got := bytebrain.DisplayTemplate([]string{"users", bytebrain.Wildcard, bytebrain.Wildcard})
+	want := "users " + bytebrain.Wildcard
+	if got != want {
+		t.Errorf("DisplayTemplate = %q, want %q", got, want)
+	}
+}
+
+func TestPublicAPICustomTokenizer(t *testing.T) {
+	tok, err := bytebrain.NewRegexpTokenizer(`[\s|]+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tok.Tokenize("a|b c")
+	if len(got) != 3 {
+		t.Errorf("custom tokenizer produced %v", got)
+	}
+	if _, err := bytebrain.NewRegexpTokenizer("(bad"); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestPublicAPIModelRoundTrip(t *testing.T) {
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	res, err := parser.Train([]string{"a b c1", "a b c2", "x y z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Model.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := bytebrain.NewModel()
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != res.Model.Len() {
+		t.Errorf("round trip: %d vs %d nodes", restored.Len(), res.Model.Len())
+	}
+}

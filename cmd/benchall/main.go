@@ -1,0 +1,81 @@
+// Benchall regenerates every table and figure of the paper's evaluation
+// and writes them as markdown (default: stdout; -out EXPERIMENTS-style
+// file).
+//
+//	go run ./cmd/benchall                      # everything, default scale
+//	go run ./cmd/benchall -exp table2,fig6     # selected artifacts
+//	go run ./cmd/benchall -scale 0.01 -seed 7  # bigger cuts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"bytebrain/internal/experiments"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "", "comma-separated artifact IDs (default: all); see -list")
+		list    = flag.Bool("list", false, "list artifact IDs and exit")
+		scale   = flag.Float64("scale", 0.003, "LogHub-2.0 volume fraction")
+		seed    = flag.Int64("seed", 1, "generation and clustering seed")
+		thresh  = flag.Float64("threshold", 0.7, "GA evaluation saturation threshold")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-baseline per-dataset budget")
+		fast    = flag.Bool("fast", false, "zero surrogate inference delays (breaks Fig. 2/6 fidelity)")
+		out     = flag.String("out", "", "write markdown to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Println(r.ID)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Seed:           *seed,
+		Scale:          *scale,
+		Threshold:      *thresh,
+		Timeout:        *timeout,
+		FastSurrogates: *fast,
+	}
+
+	var ids []string
+	if *expList == "" {
+		for _, r := range experiments.Registry() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*expList, ",")
+	}
+
+	var sb strings.Builder
+	sb.WriteString("# Regenerated evaluation artifacts\n\n")
+	fmt.Fprintf(&sb, "Generated %s · seed %d · scale %.4f · threshold %.2f\n\n",
+		time.Now().Format(time.RFC3339), *seed, *scale, *thresh)
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(os.Stderr, "%-8s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+		sb.WriteString(t.Markdown())
+		sb.WriteString("\n")
+	}
+
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

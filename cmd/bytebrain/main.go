@@ -1,0 +1,152 @@
+// Bytebrain is the command-line interface to the parser: train a model
+// from a log file, match logs against a saved model, and list templates at
+// a chosen precision.
+//
+//	bytebrain train -in app.log -model app.model
+//	bytebrain match -in new.log -model app.model -threshold 0.7
+//	bytebrain templates -model app.model -threshold 0.9
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bytebrain"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bytebrain: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "match":
+		cmdMatch(os.Args[2:])
+	case "templates":
+		cmdTemplates(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bytebrain train     -in <log file> -model <out model> [-seed N] [-parallel N]
+  bytebrain match     -in <log file> -model <model> [-threshold T]
+  bytebrain templates -model <model> [-threshold T]`)
+	os.Exit(2)
+}
+
+func readLines(path string) []string {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var lines []string
+	for sc.Scan() {
+		if l := sc.Text(); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return lines
+}
+
+func loadModel(path string) *bytebrain.Model {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := bytebrain.NewModel()
+	if err := m.UnmarshalBinary(data); err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "", "input log file")
+	modelPath := fs.String("model", "", "output model file")
+	seed := fs.Int64("seed", 1, "clustering seed")
+	parallel := fs.Int("parallel", 4, "worker count")
+	merge := fs.String("merge", "", "existing model to merge into")
+	_ = fs.Parse(args)
+	if *in == "" || *modelPath == "" {
+		usage()
+	}
+	lines := readLines(*in)
+	parser := bytebrain.New(bytebrain.Options{Seed: *seed, Parallelism: *parallel})
+	var res *bytebrain.TrainResult
+	var err error
+	if *merge != "" {
+		res, err = parser.TrainMerge(loadModel(*merge), lines)
+	} else {
+		res, err = parser.Train(lines)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := res.Model.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*modelPath, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d nodes from %d logs → %s (%d bytes)\n",
+		res.Model.Len(), len(lines), *modelPath, len(data))
+}
+
+func cmdMatch(args []string) {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	in := fs.String("in", "", "input log file")
+	modelPath := fs.String("model", "", "model file")
+	threshold := fs.Float64("threshold", 0.7, "saturation threshold")
+	_ = fs.Parse(args)
+	if *in == "" || *modelPath == "" {
+		usage()
+	}
+	model := loadModel(*modelPath)
+	parser := bytebrain.New(bytebrain.Options{})
+	matcher, err := parser.NewMatcher(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, line := range readLines(*in) {
+		m := matcher.Match(line)
+		n, err := model.TemplateAt(m.NodeID, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\n", n.ID, bytebrain.DisplayTemplate(n.Template), line)
+	}
+}
+
+func cmdTemplates(args []string) {
+	fs := flag.NewFlagSet("templates", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model file")
+	threshold := fs.Float64("threshold", 0.7, "saturation threshold")
+	_ = fs.Parse(args)
+	if *modelPath == "" {
+		usage()
+	}
+	model := loadModel(*modelPath)
+	for _, n := range model.TemplatesAtThreshold(*threshold) {
+		fmt.Printf("%8d  sat=%.2f  weight=%-8d %s\n",
+			n.ID, n.Saturation, n.Weight, bytebrain.DisplayTemplate(n.Template))
+	}
+}

@@ -1,0 +1,60 @@
+// Loggen emits simulated LogHub-style datasets (raw lines to stdout, or
+// with -truth, tab-separated ground-truth template IDs and lines).
+//
+//	go run ./cmd/loggen -dataset HDFS -n loghub            # 2000-line cut
+//	go run ./cmd/loggen -dataset Spark -scale 0.01 -truth  # scaled LogHub-2.0
+//	go run ./cmd/loggen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bytebrain"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "HDFS", "dataset name (see -list)")
+		mode    = flag.String("n", "loghub", `"loghub" for the 2000-line cut, "loghub2" for a scaled cut`)
+		scale   = flag.Float64("scale", 0.003, "LogHub-2.0 volume fraction (with -n loghub2)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		truth   = flag.Bool("truth", false, "prefix each line with its ground-truth template ID")
+		list    = flag.Bool("list", false, "list dataset names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range bytebrain.DatasetNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var ds *bytebrain.Dataset
+	var err error
+	switch *mode {
+	case "loghub":
+		ds, err = bytebrain.GenerateLogHub(*dataset, *seed)
+	case "loghub2":
+		ds, err = bytebrain.GenerateLogHub2(*dataset, *scale, *seed)
+	default:
+		log.Fatalf("unknown -n %q (want loghub or loghub2)", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, line := range ds.Lines {
+		if *truth {
+			fmt.Fprintf(w, "%d\t%s\n", ds.Truth[i], line)
+		} else {
+			fmt.Fprintln(w, line)
+		}
+	}
+}

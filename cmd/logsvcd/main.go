@@ -1,0 +1,43 @@
+// Logsvcd runs the cloud log-parsing service as an HTTP daemon (§3 of the
+// paper): multi-topic ingestion with online matching, periodic retraining
+// with model merging, and query-time precision control.
+//
+//	go run ./cmd/logsvcd -addr :8080 -train-volume 10000
+//
+//	curl -X PUT  localhost:8080/topics/app
+//	curl -X POST localhost:8080/topics/app/logs --data-binary @app.log
+//	curl -X POST localhost:8080/topics/app/train
+//	curl 'localhost:8080/topics/app/query?threshold=0.7'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"bytebrain"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		trainVolume = flag.Int("train-volume", 10000, "retrain after this many new records")
+		trainEvery  = flag.Duration("train-interval", 5*time.Minute, "retrain after this much time")
+		sampleCap   = flag.Int("sample-cap", 50000, "training reservoir size (OOM guard)")
+		threshold   = flag.Float64("threshold", 0.7, "default query threshold")
+		parallel    = flag.Int("parallel", 4, "parser worker count")
+		seed        = flag.Int64("seed", 1, "clustering seed")
+	)
+	flag.Parse()
+
+	svc := bytebrain.NewService(bytebrain.ServiceConfig{
+		Parser:           bytebrain.Options{Seed: *seed, Parallelism: *parallel},
+		TrainVolume:      *trainVolume,
+		TrainInterval:    *trainEvery,
+		SampleCap:        *sampleCap,
+		DefaultThreshold: *threshold,
+	})
+	log.Printf("logsvcd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}

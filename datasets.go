@@ -1,0 +1,34 @@
+package bytebrain
+
+import (
+	"bytebrain/internal/datagen"
+	"bytebrain/internal/metrics"
+)
+
+// Dataset is a generated benchmark dataset with exact ground truth,
+// simulating the LogHub corpora the paper evaluates on (see DESIGN.md §3
+// for the substitution rationale).
+type Dataset = datagen.Dataset
+
+// DatasetNames lists the sixteen simulated LogHub datasets (Table 1).
+func DatasetNames() []string { return datagen.Names() }
+
+// LogHub2DatasetNames lists the fourteen datasets present in LogHub-2.0.
+func LogHub2DatasetNames() []string { return datagen.LogHub2Names() }
+
+// GenerateLogHub produces the 2,000-line labeled LogHub cut of a dataset.
+func GenerateLogHub(name string, seed int64) (*Dataset, error) {
+	return datagen.LogHub(name, seed)
+}
+
+// GenerateLogHub2 produces a LogHub-2.0 cut scaled to scale × the Table-1
+// volume (scale 1.0 = full size).
+func GenerateLogHub2(name string, scale float64, seed int64) (*Dataset, error) {
+	return datagen.LogHub2(name, scale, seed)
+}
+
+// GroupingAccuracy computes the strict GA metric of §5.1.3 over parallel
+// predicted/truth group label slices.
+func GroupingAccuracy(pred, truth []int) (float64, error) {
+	return metrics.GroupingAccuracy(pred, truth)
+}

@@ -1,0 +1,50 @@
+// Adaptive precision: reproduce the Table-4 experience — the same trained
+// model viewed through an interactive precision slider, from one
+// coarse-grained template to many fine-grained ones, without reparsing a
+// single log.
+//
+//	go run ./examples/adaptive_precision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bytebrain"
+)
+
+func main() {
+	// Android-style wakelock logs (the paper's running example).
+	ds, err := bytebrain.GenerateLogHub("Android", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parser := bytebrain.New(bytebrain.Options{Seed: 7})
+	res, err := parser.Train(ds.Lines)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, threshold := range []float64{0.05, 0.78, 0.9, 0.95} {
+		templates := res.Model.TemplatesAtThreshold(threshold)
+		fmt.Printf("saturation threshold %.2f → %d templates; wakelock views:\n", threshold, len(templates))
+		shown := 0
+		for _, n := range templates {
+			text := bytebrain.DisplayTemplate(n.Template)
+			if len(text) > 0 && shown < 4 && containsLock(text) {
+				fmt.Printf("   %s\n", text)
+				shown++
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func containsLock(s string) bool {
+	for i := 0; i+4 <= len(s); i++ {
+		if s[i:i+4] == "lock" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+// Anomaly detection: the advanced analytics the paper's introduction
+// builds on parsing results — compare template distributions across two
+// time windows, alert on new and surging templates, and match the current
+// state against a library of known failure scenarios. New structures are
+// picked up by the periodic retraining cycle (TrainMerge), exactly as in
+// the deployed system.
+//
+//	go run ./examples/anomaly_detection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bytebrain"
+)
+
+func main() {
+	parser := bytebrain.New(bytebrain.Options{Seed: 1})
+	r := rand.New(rand.NewSource(1))
+
+	// Window 1: healthy traffic. Train the initial model.
+	healthy := genWindow(r, 3000, false)
+	res, err := parser.Train(healthy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matcher, err := parser.NewMatcher(res.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := countWindow(matcher, res.Model, healthy)
+
+	// Window 2: an incident — OOM kills and worker restarts appear. The
+	// next training cycle merges the new structures into the model
+	// (temporary templates from online matching are re-learned).
+	incident := genWindow(r, 3000, true)
+	res2, err := parser.TrainMerge(res.Model, incident)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matcher2, err := parser.NewMatcher(res2.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := countWindow(matcher2, res2.Model, incident)
+
+	fmt.Printf("divergence between windows: %.3f (0 = identical)\n\n",
+		bytebrain.DistributionDivergence(before, after))
+
+	changes := bytebrain.CompareWindows(before, after, 4)
+	fmt.Printf("%d template anomalies:\n", len(changes))
+	for i, c := range changes {
+		if i >= 8 {
+			break
+		}
+		var text string
+		if n, err := res2.Model.TemplateAt(c.TemplateID, 0.7); err == nil {
+			text = bytebrain.DisplayTemplate(n.Template)
+		}
+		fmt.Printf("  [%-5s] %4d → %4d  %s\n", c.Kind, c.Before, c.After, text)
+	}
+
+	// Failure-scenario matching over the templates present in window 2.
+	lib := bytebrain.NewTemplateLibrary()
+	lib.AddScenario(bytebrain.FailureScenario{
+		Name:      "memory-pressure-cascade",
+		Templates: []string{"Out of memory", "restarting worker"},
+	})
+	var current []string
+	for id := range after {
+		if n, err := res2.Model.TemplateAt(id, 0.7); err == nil {
+			current = append(current, bytebrain.DisplayTemplate(n.Template))
+		}
+	}
+	if hits := lib.MatchScenarios(current); len(hits) > 0 {
+		fmt.Printf("\nmatched failure scenarios: %v\n", hits)
+	} else {
+		fmt.Println("\nno known failure scenario matched")
+	}
+}
+
+func genWindow(r *rand.Rand, n int, incident bool) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		switch {
+		case incident && r.Intn(10) < 3:
+			out = append(out, fmt.Sprintf("kernel: Out of memory: Killed process %d (worker)", 1000+r.Intn(9000)))
+		case incident && r.Intn(10) < 3:
+			out = append(out, fmt.Sprintf("supervisor: restarting worker %d after crash", r.Intn(64)))
+		case r.Intn(10) < 6:
+			out = append(out, fmt.Sprintf("request from 10.0.%d.%d served in %dms", r.Intn(4), r.Intn(250), r.Intn(400)))
+		case r.Intn(10) < 8:
+			out = append(out, fmt.Sprintf("cache hit for key sess:%d", r.Intn(100000)))
+		default:
+			out = append(out, fmt.Sprintf("gc cycle %d freed %d objects", r.Intn(100000), r.Intn(50000)))
+		}
+	}
+	return out
+}
+
+func countWindow(matcher *bytebrain.Matcher, model *bytebrain.Model, lines []string) bytebrain.TemplateCounts {
+	counts := bytebrain.TemplateCounts{}
+	for _, l := range lines {
+		m := matcher.Match(l)
+		if n, err := model.TemplateAt(m.NodeID, 0.7); err == nil {
+			counts[n.ID]++
+		}
+	}
+	return counts
+}

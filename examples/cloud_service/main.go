@@ -1,0 +1,72 @@
+// Cloud service: run the log service end to end — create a topic, stream
+// logs through ingestion (online matching + append-only storage), let
+// volume-triggered training fire, then query grouped templates at two
+// precision levels. Pass -http :8080 to also serve the HTTP API.
+//
+//	go run ./examples/cloud_service [-http :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"bytebrain"
+)
+
+func main() {
+	httpAddr := flag.String("http", "", "optionally serve the HTTP API on this address")
+	flag.Parse()
+
+	svc := bytebrain.NewService(bytebrain.ServiceConfig{
+		Parser:      bytebrain.Options{Seed: 1},
+		TrainVolume: 1500, // retrain every 1500 records
+	})
+	const topic = "webserver"
+	if err := svc.CreateTopic(topic); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream a synthetic webserver access-log workload through the
+	// service in batches, as a collector would.
+	ds, err := bytebrain.GenerateLogHub("Apache", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for start := 0; start < len(ds.Lines); start += 500 {
+		end := start + 500
+		if end > len(ds.Lines) {
+			end = len(ds.Lines)
+		}
+		if err := svc.Ingest(topic, ds.Lines[start:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, err := svc.TopicStats(topic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topic %q: %d records (%d bytes), %d training cycles, model %d bytes\n\n",
+		topic, stats.Records, stats.Bytes, stats.Trainings, stats.ModelBytes)
+
+	for _, threshold := range []float64{0.3, 0.9} {
+		rows, err := svc.Query(topic, threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query at threshold %.1f → %d template groups; top 5:\n", threshold, len(rows))
+		for i, r := range rows {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %6d × %s\n", r.Count, r.Template)
+		}
+		fmt.Println()
+	}
+
+	if *httpAddr != "" {
+		fmt.Printf("serving HTTP API on %s (GET /topics/%s/query?threshold=0.7)\n", *httpAddr, topic)
+		log.Fatal(http.ListenAndServe(*httpAddr, svc.Handler()))
+	}
+}

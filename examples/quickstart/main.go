@@ -1,0 +1,56 @@
+// Quickstart: train a model on a small log batch, match new logs online,
+// and read templates at two precision levels.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bytebrain"
+)
+
+func main() {
+	lines := []string{
+		`release:lock=2337, flg=0x0, tag="View Lock", name=systemui, ws=null`,
+		`release:lock=187, flg=0x0, tag="*launch*", name=android, ws=WS{10113}`,
+		`release:lock=62, flg=0x0, tag="WindowManager", name=android, ws=WS{1013}`,
+		`acquire:lock=23, flg=0x1, tag="View Lock", name=systemui, ws=null`,
+		`acquire:lock=1661, flg=0x1, tag="RILJ_ACK_WL", name=phone, ws=null`,
+		`acquire:lock=99, flg=0x1, tag="View Lock", name=android, ws=null`,
+		`Receiving block blk_90123 src: /10.0.0.1:50010 dest: /10.0.0.2:50010`,
+		`Receiving block blk_55678 src: /10.0.0.7:50010 dest: /10.0.0.9:50010`,
+	}
+
+	parser := bytebrain.New(bytebrain.Options{Seed: 42})
+	res, err := parser.Train(lines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d template nodes from %d logs\n\n", res.Model.Len(), len(lines))
+
+	matcher, err := parser.NewMatcher(res.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Match a new log and inspect it at two precision levels (the
+	// paper's Fig. 1 / Table 4 workflow).
+	newLog := `acquire:lock=4242, flg=0x1, tag="GOOGLE_C2DM", name=phone, ws=null`
+	m := matcher.Match(newLog)
+	fmt.Printf("log:   %s\n", newLog)
+	for _, threshold := range []float64{0.3, 0.95} {
+		n, err := res.Model.TemplateAt(m.NodeID, threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  threshold %.2f → %s  (saturation %.2f)\n",
+			threshold, bytebrain.DisplayTemplate(n.Template), n.Saturation)
+	}
+
+	// A log the model has never seen becomes a temporary template and is
+	// re-learned at the next training cycle.
+	novel := matcher.Match("thermal shutdown imminent on core 3")
+	fmt.Printf("\nunseen log created temporary template: %v (node %d)\n", novel.New, novel.NodeID)
+}

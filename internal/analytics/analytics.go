@@ -1,0 +1,199 @@
+// Package analytics implements the advanced out-of-the-box analyses the
+// paper's introduction describes on top of parsing results: log anomaly
+// detection (abnormal changes in template quantities and newly emerged
+// templates), template distribution comparison across time periods, and a
+// template library matched against known failure scenarios.
+package analytics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counts maps template IDs to occurrence counts within one time window.
+type Counts map[uint64]int
+
+// Change is one detected difference between two windows.
+type Change struct {
+	// TemplateID identifies the template.
+	TemplateID uint64
+	// Kind is "new", "gone", "surge", or "drop".
+	Kind string
+	// Before and After are the window counts.
+	Before, After int
+	// Factor is After/Before (∞ represented as 0 for "new").
+	Factor float64
+}
+
+// CompareWindows diffs two template-count windows: templates appearing
+// only in after are "new", only in before are "gone"; count ratios beyond
+// surgeFactor (default 4 when ≤ 1) are "surge"/"drop". Results are sorted
+// by severity (new first, then largest factor).
+func CompareWindows(before, after Counts, surgeFactor float64) []Change {
+	if surgeFactor <= 1 {
+		surgeFactor = 4
+	}
+	var out []Change
+	for id, a := range after {
+		b := before[id]
+		switch {
+		case b == 0:
+			out = append(out, Change{TemplateID: id, Kind: "new", After: a})
+		case float64(a) >= surgeFactor*float64(b):
+			out = append(out, Change{TemplateID: id, Kind: "surge", Before: b, After: a, Factor: float64(a) / float64(b)})
+		}
+	}
+	for id, b := range before {
+		a, ok := after[id]
+		switch {
+		case !ok:
+			out = append(out, Change{TemplateID: id, Kind: "gone", Before: b})
+		case float64(a) <= float64(b)/surgeFactor:
+			out = append(out, Change{TemplateID: id, Kind: "drop", Before: b, After: a, Factor: float64(a) / float64(b)})
+		}
+	}
+	rank := map[string]int{"new": 0, "surge": 1, "drop": 2, "gone": 3}
+	sort.Slice(out, func(i, j int) bool {
+		if rank[out[i].Kind] != rank[out[j].Kind] {
+			return rank[out[i].Kind] < rank[out[j].Kind]
+		}
+		di := math.Abs(math.Log1p(out[i].Factor))
+		dj := math.Abs(math.Log1p(out[j].Factor))
+		if di != dj {
+			return di > dj
+		}
+		return out[i].TemplateID < out[j].TemplateID
+	})
+	return out
+}
+
+// Distribution normalizes counts to frequencies.
+func Distribution(c Counts) map[uint64]float64 {
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	out := make(map[uint64]float64, len(c))
+	if total == 0 {
+		return out
+	}
+	for id, n := range c {
+		out[id] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// JensenShannon computes the Jensen–Shannon divergence between two count
+// distributions, the summary statistic for "template distribution
+// comparison across different time periods". Result ∈ [0, ln 2].
+func JensenShannon(a, b Counts) float64 {
+	pa, pb := Distribution(a), Distribution(b)
+	ids := map[uint64]struct{}{}
+	for id := range pa {
+		ids[id] = struct{}{}
+	}
+	for id := range pb {
+		ids[id] = struct{}{}
+	}
+	var js float64
+	for id := range ids {
+		p, q := pa[id], pb[id]
+		m := (p + q) / 2
+		if p > 0 {
+			js += p / 2 * math.Log(p/m)
+		}
+		if q > 0 {
+			js += q / 2 * math.Log(q/m)
+		}
+	}
+	return js
+}
+
+// Scenario is a known failure scenario: a named set of template texts
+// whose joint appearance indicates the failure.
+type Scenario struct {
+	// Name identifies the scenario (e.g. "disk-pressure").
+	Name string
+	// Templates are display-template substrings that must all appear.
+	Templates []string
+}
+
+// Library holds saved templates and failure scenarios. It is safe for
+// concurrent use.
+type Library struct {
+	mu        sync.RWMutex
+	saved     map[string]string // label → template text
+	scenarios []Scenario
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{saved: make(map[string]string)}
+}
+
+// Save stores a template under a label (the "save selected templates to a
+// template library" flow used to configure alerts).
+func (l *Library) Save(label, templateText string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.saved[label] = templateText
+}
+
+// Get returns a saved template.
+func (l *Library) Get(label string) (string, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	t, ok := l.saved[label]
+	return t, ok
+}
+
+// Labels lists saved labels, sorted.
+func (l *Library) Labels() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.saved))
+	for k := range l.saved {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddScenario registers a failure scenario.
+func (l *Library) AddScenario(s Scenario) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.scenarios = append(l.scenarios, s)
+}
+
+// MatchScenarios returns the names of scenarios whose template substrings
+// all occur among the given template texts — the "automatic matching
+// against a library of known failure scenarios" feature.
+func (l *Library) MatchScenarios(templates []string) []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []string
+	for _, sc := range l.scenarios {
+		all := true
+		for _, want := range sc.Templates {
+			found := false
+			for _, have := range templates {
+				if strings.Contains(have, want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all && len(sc.Templates) > 0 {
+			out = append(out, sc.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

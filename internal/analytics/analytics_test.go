@@ -1,0 +1,113 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareWindowsKinds(t *testing.T) {
+	before := Counts{1: 100, 2: 50, 3: 10, 4: 40}
+	after := Counts{1: 100, 2: 300, 4: 5, 5: 7}
+	changes := CompareWindows(before, after, 4)
+	kinds := map[uint64]string{}
+	for _, c := range changes {
+		kinds[c.TemplateID] = c.Kind
+	}
+	if kinds[5] != "new" {
+		t.Errorf("template 5 = %q, want new", kinds[5])
+	}
+	if kinds[2] != "surge" {
+		t.Errorf("template 2 = %q, want surge", kinds[2])
+	}
+	if kinds[4] != "drop" {
+		t.Errorf("template 4 = %q, want drop", kinds[4])
+	}
+	if kinds[3] != "gone" {
+		t.Errorf("template 3 = %q, want gone", kinds[3])
+	}
+	if _, ok := kinds[1]; ok {
+		t.Error("stable template reported")
+	}
+	// "new" templates sort first (the paper's alerting highlights newly
+	// emerged templates).
+	if changes[0].Kind != "new" {
+		t.Errorf("first change = %q, want new", changes[0].Kind)
+	}
+}
+
+func TestCompareWindowsDefaultFactor(t *testing.T) {
+	before := Counts{1: 10}
+	after := Counts{1: 25} // 2.5x, below default factor 4
+	if got := CompareWindows(before, after, 0); len(got) != 0 {
+		t.Errorf("changes = %v, want none below default surge factor", got)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := Distribution(Counts{1: 3, 2: 1})
+	if math.Abs(d[1]-0.75) > 1e-12 || math.Abs(d[2]-0.25) > 1e-12 {
+		t.Errorf("Distribution = %v", d)
+	}
+	if len(Distribution(Counts{})) != 0 {
+		t.Error("empty distribution not empty")
+	}
+}
+
+func TestJensenShannonProperties(t *testing.T) {
+	a := Counts{1: 10, 2: 10}
+	if got := JensenShannon(a, a); got > 1e-12 {
+		t.Errorf("JS(a,a) = %v, want 0", got)
+	}
+	b := Counts{3: 10, 4: 10}
+	js := JensenShannon(a, b)
+	if math.Abs(js-math.Ln2) > 1e-9 {
+		t.Errorf("JS(disjoint) = %v, want ln2", js)
+	}
+	// Symmetry.
+	c := Counts{1: 5, 3: 15}
+	if math.Abs(JensenShannon(a, c)-JensenShannon(c, a)) > 1e-12 {
+		t.Error("JS not symmetric")
+	}
+	// Partial overlap sits strictly between.
+	if !(JensenShannon(a, c) > 0 && JensenShannon(a, c) < math.Ln2) {
+		t.Errorf("JS(partial) = %v out of (0, ln2)", JensenShannon(a, c))
+	}
+}
+
+func TestLibrarySaveGet(t *testing.T) {
+	l := NewLibrary()
+	l.Save("oom", "Out of memory Killed process <*>")
+	got, ok := l.Get("oom")
+	if !ok || got == "" {
+		t.Fatal("saved template not retrievable")
+	}
+	if _, ok := l.Get("missing"); ok {
+		t.Error("missing label reported present")
+	}
+	l.Save("disk", "disk pressure warning <*>")
+	labels := l.Labels()
+	if len(labels) != 2 || labels[0] != "disk" || labels[1] != "oom" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestMatchScenarios(t *testing.T) {
+	l := NewLibrary()
+	l.AddScenario(Scenario{Name: "oom-cascade", Templates: []string{"Out of memory", "restarting"}})
+	l.AddScenario(Scenario{Name: "disk-full", Templates: []string{"No space left"}})
+	l.AddScenario(Scenario{Name: "empty", Templates: nil})
+
+	current := []string{
+		"kernel: Out of memory: Killed process <*>",
+		"supervisor: restarting worker <*>",
+		"request served in <*>",
+	}
+	got := l.MatchScenarios(current)
+	if len(got) != 1 || got[0] != "oom-cascade" {
+		t.Errorf("MatchScenarios = %v, want [oom-cascade]", got)
+	}
+	// Partial scenario must not match.
+	if got := l.MatchScenarios([]string{"restarting worker"}); len(got) != 0 {
+		t.Errorf("partial scenario matched: %v", got)
+	}
+}

@@ -1,0 +1,241 @@
+package baselines
+
+import (
+	"fmt"
+	"testing"
+
+	"bytebrain/internal/datagen"
+	"bytebrain/internal/metrics"
+)
+
+// corpus returns a small structured stream with ground truth: three
+// templates of distinct shapes.
+func corpus(n int) (lines []string, truth []int) {
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			lines = append(lines, fmt.Sprintf("Receiving block blk_%d from /10.0.0.%d", 1000+i*7, i%200))
+			truth = append(truth, 0)
+		case 1:
+			lines = append(lines, fmt.Sprintf("Deleting block blk_%d file /data/%d.dat", 2000+i*3, i))
+			truth = append(truth, 1)
+		default:
+			lines = append(lines, "Verification succeeded")
+			truth = append(truth, 2)
+		}
+	}
+	return lines, truth
+}
+
+func zeroDelays(p Parser) {
+	switch v := p.(type) {
+	case *UniParser:
+		v.PerLog = 0
+	case *LogPPT:
+		v.PerLog = 0
+	case *LILAC:
+		v.PerQuery, v.PerHit = 0, 0
+	}
+}
+
+func TestAllParsersBasicContract(t *testing.T) {
+	lines, truth := corpus(120)
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			zeroDelays(p)
+			if ta, ok := p.(TruthAware); ok {
+				ta.SetTruth(truth)
+			}
+			got := p.Parse(lines)
+			if len(got) != len(lines) {
+				t.Fatalf("%s returned %d labels for %d lines", p.Name(), len(got), len(lines))
+			}
+			// Identical lines must always share a group.
+			byLine := map[string]int{}
+			for i, l := range lines {
+				if prev, ok := byLine[l]; ok && prev != got[i] {
+					t.Fatalf("%s assigned identical lines to different groups", p.Name())
+				}
+				byLine[l] = got[i]
+			}
+		})
+	}
+}
+
+func TestAllParsersEmptyInput(t *testing.T) {
+	for _, p := range All() {
+		zeroDelays(p)
+		if got := p.Parse(nil); len(got) != 0 {
+			t.Errorf("%s returned %d labels for empty input", p.Name(), len(got))
+		}
+	}
+}
+
+func TestDrainGroupsSimpleCorpus(t *testing.T) {
+	lines, truth := corpus(300)
+	d := NewDrain()
+	got := d.Parse(lines)
+	ga, err := metrics.GroupingAccuracy(got, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga < 0.99 {
+		t.Errorf("Drain GA on trivial corpus = %v, want ~1", ga)
+	}
+}
+
+func TestSpellLCS(t *testing.T) {
+	if got := lcsLen([]string{"a", "b", "c"}, []string{"a", "x", "c"}); got != 2 {
+		t.Errorf("lcsLen = %d, want 2", got)
+	}
+	if got := lcsLen(nil, []string{"a"}); got != 0 {
+		t.Errorf("lcsLen(nil) = %d", got)
+	}
+	tmpl := lcsTemplate([]string{"a", "c"}, []string{"a", "b", "c"})
+	want := []string{"a", wildcard, "c"}
+	for i := range want {
+		if tmpl[i] != want[i] {
+			t.Errorf("lcsTemplate = %v, want %v", tmpl, want)
+		}
+	}
+}
+
+func TestSeqSimAndMerge(t *testing.T) {
+	tmpl := []string{"a", "b", "c"}
+	if got := seqSim(tmpl, []string{"a", "x", "c"}); got < 0.66 || got > 0.67 {
+		t.Errorf("seqSim = %v", got)
+	}
+	mergeTemplate(tmpl, []string{"a", "x", "c"})
+	if templateText(tmpl) != "a "+wildcard+" c" {
+		t.Errorf("mergeTemplate = %v", tmpl)
+	}
+}
+
+func TestLogSigRespectsGroupCount(t *testing.T) {
+	lines, truth := corpus(150)
+	ls := NewLogSig()
+	ls.SetGroups(3)
+	got := ls.Parse(lines)
+	distinct := map[int]bool{}
+	for _, g := range got {
+		distinct[g] = true
+	}
+	if len(distinct) > 3 {
+		t.Errorf("LogSig produced %d groups, want <= 3", len(distinct))
+	}
+	ga, _ := metrics.GroupingAccuracy(got, truth)
+	if ga == 0 {
+		t.Error("LogSig GA is zero even on a trivial corpus")
+	}
+}
+
+func TestLILACOracleAccuracy(t *testing.T) {
+	lines, truth := corpus(200)
+	l := NewLILAC()
+	l.PerQuery, l.PerHit = 0, 0
+	l.SetTruth(truth)
+	got := l.Parse(lines)
+	ga, _ := metrics.GroupingAccuracy(got, truth)
+	if ga < 0.99 {
+		t.Errorf("LILAC GA = %v, want ~1 with oracle", ga)
+	}
+}
+
+func TestLILACWithoutTruthStillGroups(t *testing.T) {
+	lines, _ := corpus(60)
+	l := NewLILAC()
+	l.PerQuery, l.PerHit = 0, 0
+	got := l.Parse(lines)
+	if got[2] != got[5] {
+		t.Error("identical constant lines not grouped without truth")
+	}
+}
+
+func TestUniParserMasksTypedVariables(t *testing.T) {
+	u := NewUniParser()
+	u.PerLog = 0
+	lines := []string{
+		"job 42 done", "job 97 done", "job 13 done",
+		"disk sda read", "disk sdb read",
+	}
+	got := u.Parse(lines)
+	if got[0] != got[1] || got[1] != got[2] {
+		t.Error("digit variables not masked")
+	}
+	if got[3] == got[0] {
+		t.Error("distinct structures merged")
+	}
+}
+
+func TestLogPPTFewShotUsesTruth(t *testing.T) {
+	lines, truth := corpus(150)
+	l := NewLogPPT()
+	l.PerLog = 0
+	l.SetTruth(truth)
+	got := l.Parse(lines)
+	ga, _ := metrics.GroupingAccuracy(got, truth)
+	if ga < 0.9 {
+		t.Errorf("LogPPT GA = %v on trivial corpus", ga)
+	}
+}
+
+// TestBaselineRelativeAccuracyOrdering checks the coarse Table-2 shape on
+// one simulated dataset: the oracle-backed LILAC beats Drain, and Drain
+// beats the weak frequency baselines.
+func TestBaselineRelativeAccuracyOrdering(t *testing.T) {
+	ds, err := datagen.LogHub("HDFS", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := func(p Parser) float64 {
+		zeroDelays(p)
+		if ta, ok := p.(TruthAware); ok {
+			ta.SetTruth(ds.Truth)
+		}
+		got := p.Parse(ds.Lines)
+		v, err := metrics.GroupingAccuracy(got, ds.Truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	lilac := ga(NewLILAC())
+	drain := ga(NewDrain())
+	logsig := ga(NewLogSig())
+	if lilac < drain-0.05 {
+		t.Errorf("LILAC (%v) should be at least Drain-level (%v)", lilac, drain)
+	}
+	if drain <= logsig {
+		t.Errorf("Drain (%v) should beat LogSig (%v) on HDFS", drain, logsig)
+	}
+	if drain < 0.5 {
+		t.Errorf("Drain GA = %v on HDFS; port is suspect", drain)
+	}
+}
+
+func TestGroupByKeyStable(t *testing.T) {
+	g := newGroupByKey()
+	a := g.id("x")
+	b := g.id("y")
+	if a == b {
+		t.Error("distinct keys share an id")
+	}
+	if g.id("x") != a {
+		t.Error("repeated key changed id")
+	}
+}
+
+func TestHasDigit(t *testing.T) {
+	if hasDigit("abc") || !hasDigit("a1c") || hasDigit("") {
+		t.Error("hasDigit misbehaves")
+	}
+}
+
+func TestThrottleAccumulates(t *testing.T) {
+	th := throttle{perItem: 0}
+	for i := 0; i < 100; i++ {
+		th.tick()
+	}
+	th.flush() // must not hang with zero delay
+}

@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Drain is a from-scratch port of the fixed-depth parse tree parser of He
+// et al. (ICWS '17): logs route through a tree keyed by token count and
+// the first (depth−2) tokens, digit-bearing tokens collapse to a wildcard
+// branch, and leaves hold log groups matched by sequence similarity.
+type Drain struct {
+	// Depth is the parse-tree depth (default 4: length, two prefix
+	// tokens, leaf).
+	Depth int
+	// SimThreshold is the sequence-similarity threshold st (default 0.4).
+	SimThreshold float64
+	// MaxChildren bounds the branching factor (default 100).
+	MaxChildren int
+}
+
+// NewDrain returns Drain with the toolkit's default parameters.
+func NewDrain() *Drain {
+	return &Drain{Depth: 4, SimThreshold: 0.4, MaxChildren: 100}
+}
+
+// Name implements Parser.
+func (d *Drain) Name() string { return "Drain" }
+
+type drainGroup struct {
+	template []string
+	id       int
+}
+
+type drainNode struct {
+	children map[string]*drainNode
+	groups   []*drainGroup
+}
+
+// Parse implements Parser.
+func (d *Drain) Parse(lines []string) []int {
+	root := &drainNode{children: map[string]*drainNode{}}
+	out := make([]int, len(lines))
+	nextID := 0
+	for i, line := range lines {
+		tokens := preprocess(line)
+		leaf := d.route(root, tokens)
+		best := d.bestGroup(leaf, tokens)
+		if best == nil {
+			best = &drainGroup{template: append([]string(nil), tokens...), id: nextID}
+			nextID++
+			leaf.groups = append(leaf.groups, best)
+		} else {
+			mergeTemplate(best.template, tokens)
+		}
+		out[i] = best.id
+	}
+	return out
+}
+
+// route walks (creating as needed) the internal levels: token count, then
+// prefix tokens up to Depth−2.
+func (d *Drain) route(root *drainNode, tokens []string) *drainNode {
+	cur := step(root, lenToken(len(tokens)), d.MaxChildren)
+	for k := 0; k < d.Depth-2 && k < len(tokens); k++ {
+		key := tokens[k]
+		if hasDigit(key) {
+			key = wildcard
+		}
+		cur = step(cur, key, d.MaxChildren)
+	}
+	return cur
+}
+
+func lenToken(n int) string { return "len=" + strconv.Itoa(n) }
+
+func step(n *drainNode, key string, maxChildren int) *drainNode {
+	if n.children == nil {
+		n.children = map[string]*drainNode{}
+	}
+	child, ok := n.children[key]
+	if !ok {
+		if len(n.children) >= maxChildren {
+			// Overflow branch, as in the original: reuse the wildcard
+			// child.
+			key = wildcard
+			if child, ok = n.children[key]; ok {
+				return child
+			}
+		}
+		child = &drainNode{}
+		n.children[key] = child
+	}
+	return child
+}
+
+// bestGroup returns the most similar group above the threshold.
+func (d *Drain) bestGroup(leaf *drainNode, tokens []string) *drainGroup {
+	var best *drainGroup
+	bestSim := -1.0
+	for _, g := range leaf.groups {
+		if len(g.template) != len(tokens) {
+			continue
+		}
+		sim := seqSim(g.template, tokens)
+		if sim >= d.SimThreshold && sim > bestSim {
+			bestSim, best = sim, g
+		}
+	}
+	return best
+}
+
+// seqSim is Drain's simSeq: the fraction of positions where the template
+// token equals the log token (wildcards count as matches).
+func seqSim(template, tokens []string) float64 {
+	if len(template) == 0 {
+		return 1
+	}
+	eq := 0
+	for i := range template {
+		if template[i] == tokens[i] || template[i] == wildcard {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(template))
+}
+
+// mergeTemplate widens template in place so it matches tokens.
+func mergeTemplate(template, tokens []string) {
+	for i := range template {
+		if template[i] != tokens[i] {
+			template[i] = wildcard
+		}
+	}
+}
+
+// templateText is used by tests to inspect Drain-style templates.
+func templateText(tokens []string) string { return strings.Join(tokens, " ") }

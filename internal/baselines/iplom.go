@@ -1,0 +1,207 @@
+package baselines
+
+// IPLoM ports Makanju et al.'s iterative partitioning (KDD '09): partition
+// by event size, then by the token position with the fewest distinct
+// values, then by the bijection relationship between the two most-uniform
+// positions.
+type IPLoM struct {
+	// CT is the cluster-goodness threshold deciding whether a partition
+	// skips step 3 (default 0.35).
+	CT float64
+	// LowerBound gates which bijection mappings split (default 0.25).
+	LowerBound float64
+	// MaxPositionCard caps step-2 splits: positions with more distinct
+	// values than this fraction of the partition are variables, not
+	// split keys (default 0.3).
+	MaxPositionCard float64
+}
+
+// NewIPLoM returns IPLoM with the toolkit defaults.
+func NewIPLoM() *IPLoM {
+	return &IPLoM{CT: 0.35, LowerBound: 0.25, MaxPositionCard: 0.3}
+}
+
+// Name implements Parser.
+func (p *IPLoM) Name() string { return "IPLoM" }
+
+type iplomPartition struct {
+	rows []int // indices into the tokenized corpus
+}
+
+// Parse implements Parser.
+func (p *IPLoM) Parse(lines []string) []int {
+	tokenized := make([][]string, len(lines))
+	for i, l := range lines {
+		tokenized[i] = preprocess(l)
+	}
+
+	// Step 1: partition by event size.
+	bySize := map[int]*iplomPartition{}
+	for i, t := range tokenized {
+		part, ok := bySize[len(t)]
+		if !ok {
+			part = &iplomPartition{}
+			bySize[len(t)] = part
+		}
+		part.rows = append(part.rows, i)
+	}
+
+	out := make([]int, len(lines))
+	next := 0
+	assign := func(rows []int) {
+		for _, r := range rows {
+			out[r] = next
+		}
+		next++
+	}
+	for size, part := range bySize {
+		if size == 0 {
+			assign(part.rows)
+			continue
+		}
+		for _, p2 := range p.splitByPosition(tokenized, part.rows, size) {
+			for _, p3 := range p.splitByBijection(tokenized, p2, size) {
+				assign(p3)
+			}
+		}
+	}
+	return out
+}
+
+// splitByPosition implements step 2: split on the position with the lowest
+// distinct-token cardinality (>1), unless even the best position looks like
+// a variable.
+func (p *IPLoM) splitByPosition(tok [][]string, rows []int, size int) [][]int {
+	bestPos, bestCard := -1, int(^uint(0)>>1)
+	for pos := 0; pos < size; pos++ {
+		seen := map[string]struct{}{}
+		for _, r := range rows {
+			seen[tok[r][pos]] = struct{}{}
+		}
+		if card := len(seen); card > 1 && card < bestCard {
+			bestCard, bestPos = card, pos
+		}
+	}
+	if bestPos < 0 || float64(bestCard) > p.MaxPositionCard*float64(len(rows))+1 {
+		return [][]int{rows}
+	}
+	byTok := map[string][]int{}
+	for _, r := range rows {
+		byTok[tok[r][bestPos]] = append(byTok[tok[r][bestPos]], r)
+	}
+	parts := make([][]int, 0, len(byTok))
+	for _, rs := range byTok {
+		parts = append(parts, rs)
+	}
+	return parts
+}
+
+// splitByBijection implements step 3: choose the two positions whose
+// cardinalities equal the most common cardinality, inspect the mapping
+// between their token sets, and split 1-1 mappings into their own
+// partitions.
+func (p *IPLoM) splitByBijection(tok [][]string, rows []int, size int) [][]int {
+	if size < 2 || len(rows) < 2 || p.goodness(tok, rows, size) > p.CT {
+		return [][]int{rows}
+	}
+	p1, p2 := p.bijectionPositions(tok, rows, size)
+	if p1 < 0 {
+		return [][]int{rows}
+	}
+	// Partition rows by their (p1, p2) token pair when the mapping
+	// between p1 and p2 values is 1-1; otherwise split by the side with
+	// fewer distinct values.
+	fwd := map[string]map[string]struct{}{}
+	for _, r := range rows {
+		a, b := tok[r][p1], tok[r][p2]
+		if fwd[a] == nil {
+			fwd[a] = map[string]struct{}{}
+		}
+		fwd[a][b] = struct{}{}
+	}
+	oneToOne := true
+	for _, bs := range fwd {
+		if len(bs) > 1 {
+			oneToOne = false
+			break
+		}
+	}
+	key := func(r int) string {
+		if oneToOne {
+			return tok[r][p1] + "\x00" + tok[r][p2]
+		}
+		return tok[r][p1]
+	}
+	byKey := map[string][]int{}
+	for _, r := range rows {
+		byKey[key(r)] = append(byKey[key(r)], r)
+	}
+	if len(byKey) == 1 || float64(len(byKey)) > float64(len(rows))*(1-p.LowerBound) {
+		return [][]int{rows}
+	}
+	parts := make([][]int, 0, len(byKey))
+	for _, rs := range byKey {
+		parts = append(parts, rs)
+	}
+	return parts
+}
+
+// goodness is the cluster-goodness ratio: the fraction of positions with a
+// single token value.
+func (p *IPLoM) goodness(tok [][]string, rows []int, size int) float64 {
+	constant := 0
+	for pos := 0; pos < size; pos++ {
+		first := tok[rows[0]][pos]
+		same := true
+		for _, r := range rows[1:] {
+			if tok[r][pos] != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			constant++
+		}
+	}
+	return float64(constant) / float64(size)
+}
+
+// bijectionPositions returns the two positions whose cardinality equals
+// the modal cardinality among positions with more than one value.
+func (p *IPLoM) bijectionPositions(tok [][]string, rows []int, size int) (int, int) {
+	cards := make([]int, size)
+	for pos := 0; pos < size; pos++ {
+		seen := map[string]struct{}{}
+		for _, r := range rows {
+			seen[tok[r][pos]] = struct{}{}
+		}
+		cards[pos] = len(seen)
+	}
+	freq := map[int]int{}
+	for _, c := range cards {
+		if c > 1 {
+			freq[c]++
+		}
+	}
+	modal, modalCount := 0, 0
+	for c, n := range freq {
+		if n > modalCount || (n == modalCount && c < modal) {
+			modal, modalCount = c, n
+		}
+	}
+	if modalCount < 2 {
+		return -1, -1
+	}
+	p1, p2 := -1, -1
+	for pos, c := range cards {
+		if c == modal {
+			if p1 < 0 {
+				p1 = pos
+			} else {
+				p2 = pos
+				break
+			}
+		}
+	}
+	return p1, p2
+}

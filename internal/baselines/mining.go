@@ -1,0 +1,437 @@
+package baselines
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// LogMine ports Hamooni et al.'s fast pattern recognition (CIKM '16):
+// one-pass max-distance clustering at increasing distance levels, merging
+// cluster templates upward into a pattern hierarchy. Grouping uses the
+// level-1 clusters, as the toolkit does.
+type LogMine struct {
+	// MaxDist is the level-1 clustering distance threshold (default
+	// 0.005 in the paper for normalized distance; the toolkit uses
+	// 0.1-scale distances — we use 0.3 on the token-mismatch ratio).
+	MaxDist float64
+	// Levels is the number of merge levels (default 3).
+	Levels int
+}
+
+// NewLogMine returns LogMine with default parameters.
+func NewLogMine() *LogMine { return &LogMine{MaxDist: 0.3, Levels: 3} }
+
+// Name implements Parser.
+func (l *LogMine) Name() string { return "LogMine" }
+
+type logMineCluster struct {
+	rep []string // representative template
+	id  int
+}
+
+// Parse implements Parser.
+func (l *LogMine) Parse(lines []string) []int {
+	out := make([]int, len(lines))
+	clusters := map[int][]*logMineCluster{}
+	next := 0
+	for i, line := range lines {
+		tokens := preprocess(line)
+		var best *logMineCluster
+		for _, c := range clusters[len(tokens)] {
+			if logMineDist(c.rep, tokens) <= l.MaxDist {
+				best = c
+				break // one-pass: first cluster within distance wins
+			}
+		}
+		if best == nil {
+			best = &logMineCluster{rep: append([]string(nil), tokens...), id: next}
+			next++
+			clusters[len(tokens)] = append(clusters[len(tokens)], best)
+		} else {
+			mergeTemplate(best.rep, tokens)
+		}
+		out[i] = best.id
+	}
+	// Higher levels merge clusters; grouping stays at level 1, so they
+	// influence nothing here but are computed to preserve the cost
+	// profile of the original (it is the slowest syntax baseline).
+	for level := 2; level <= l.Levels; level++ {
+		threshold := l.MaxDist * float64(level)
+		for _, cs := range clusters {
+			for i := 1; i < len(cs); i++ {
+				for j := 0; j < i; j++ {
+					if logMineDist(cs[i].rep, cs[j].rep) <= threshold {
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// logMineDist is 1 − matching/len, wildcards matching anything.
+func logMineDist(a, b []string) float64 {
+	if len(a) != len(b) {
+		return 1
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] || a[i] == wildcard {
+			match++
+		}
+	}
+	return 1 - float64(match)/float64(len(a))
+}
+
+// SHISO ports Mizutani's incremental tree clustering (SCC '13): each new
+// log descends a tree with bounded branching; node similarity uses
+// character-class composition vectors.
+type SHISO struct {
+	// Threshold is the similarity threshold for joining a node (default
+	// 0.6).
+	Threshold float64
+	// MaxChildren bounds tree branching (default 4, as in the paper).
+	MaxChildren int
+}
+
+// NewSHISO returns SHISO with default parameters.
+func NewSHISO() *SHISO { return &SHISO{Threshold: 0.6, MaxChildren: 4} }
+
+// Name implements Parser.
+func (s *SHISO) Name() string { return "SHISO" }
+
+type shisoNode struct {
+	template []string
+	children []*shisoNode
+	id       int
+}
+
+// Parse implements Parser.
+func (s *SHISO) Parse(lines []string) []int {
+	root := &shisoNode{id: -1}
+	out := make([]int, len(lines))
+	next := 0
+	for i, line := range lines {
+		tokens := preprocess(line)
+		node := s.search(root, tokens)
+		if node == nil {
+			node = &shisoNode{template: append([]string(nil), tokens...), id: next}
+			next++
+			s.insert(root, node)
+		} else {
+			mergeTemplate(node.template, tokens)
+		}
+		out[i] = node.id
+	}
+	return out
+}
+
+func (s *SHISO) search(root *shisoNode, tokens []string) *shisoNode {
+	cur := root
+	for {
+		var best *shisoNode
+		bestSim := -1.0
+		for _, c := range cur.children {
+			sim := shisoSim(c.template, tokens)
+			if sim > bestSim {
+				bestSim, best = sim, c
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		if bestSim >= s.Threshold && len(best.template) == len(tokens) {
+			return best
+		}
+		cur = best
+		if len(cur.children) == 0 {
+			return nil
+		}
+	}
+}
+
+func (s *SHISO) insert(root *shisoNode, node *shisoNode) {
+	cur := root
+	for len(cur.children) >= s.MaxChildren {
+		// Descend into the most similar child.
+		var best *shisoNode
+		bestSim := -1.0
+		for _, c := range cur.children {
+			sim := shisoSim(c.template, node.template)
+			if sim > bestSim {
+				bestSim, best = sim, c
+			}
+		}
+		cur = best
+	}
+	cur.children = append(cur.children, node)
+}
+
+// shisoSim compares character-class composition: each token maps to a
+// 4-vector (upper, lower, digit, other); similarity is 1 − mean vector
+// distance over aligned positions.
+func shisoSim(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += charClassSim(a[i], b[i])
+	}
+	longer := len(a)
+	if len(b) > longer {
+		longer = len(b)
+	}
+	return total / float64(longer)
+}
+
+func charClassSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, vb := charClassVec(a), charClassVec(b)
+	var d float64
+	for i := range va {
+		diff := va[i] - vb[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return 1 - d/2
+}
+
+func charClassVec(s string) [4]float64 {
+	var v [4]float64
+	if len(s) == 0 {
+		return v
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			v[0]++
+		case c >= 'a' && c <= 'z':
+			v[1]++
+		case c >= '0' && c <= '9':
+			v[2]++
+		default:
+			v[3]++
+		}
+	}
+	for i := range v {
+		v[i] /= float64(len(s))
+	}
+	return v
+}
+
+// LogSig ports Tang et al.'s message-signature search (CIKM '11): k groups
+// refined by local search over token-pair potentials. It requires the
+// target group count k, as the original does; SetGroups provides it (the
+// harness passes the dataset's template count, mirroring the toolkit's
+// per-dataset configuration).
+type LogSig struct {
+	// K is the number of groups (default 32 when SetGroups is not
+	// called).
+	K int
+	// Iters is the number of local-search passes (default 5).
+	Iters int
+	// Seed drives the initial random assignment.
+	Seed int64
+}
+
+// NewLogSig returns LogSig with defaults.
+func NewLogSig() *LogSig { return &LogSig{K: 32, Iters: 5, Seed: 1} }
+
+// Name implements Parser.
+func (l *LogSig) Name() string { return "LogSig" }
+
+// SetGroups sets the target group count.
+func (l *LogSig) SetGroups(k int) {
+	if k > 0 {
+		l.K = k
+	}
+}
+
+// Parse implements Parser.
+func (l *LogSig) Parse(lines []string) []int {
+	// Snapshot configuration up front: Parse may outlive a harness
+	// timeout, and the instance must not observe later SetGroups calls.
+	k := l.K
+	iters := l.Iters
+	r := rand.New(rand.NewSource(l.Seed))
+	if len(lines) == 0 {
+		return nil
+	}
+	// Cluster distinct messages; duplicates inherit their
+	// representative's group (identical messages always co-group).
+	distinctIdx := map[string]int{}
+	rowOf := make([]int, len(lines))
+	var distinct []string
+	for i, line := range lines {
+		d, ok := distinctIdx[line]
+		if !ok {
+			d = len(distinct)
+			distinctIdx[line] = d
+			distinct = append(distinct, line)
+		}
+		rowOf[i] = d
+	}
+	n := len(distinct)
+	pairsOf := make([][]string, n)
+	for i, line := range distinct {
+		tokens := preprocess(line)
+		var pairs []string
+		for a := 0; a < len(tokens); a++ {
+			for b := a + 1; b < len(tokens) && b < a+8; b++ {
+				pairs = append(pairs, tokens[a]+"\x00"+tokens[b])
+			}
+		}
+		pairsOf[i] = pairs
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = r.Intn(k)
+	}
+	// pairCount[g][pair] = messages in g containing pair.
+	pairCount := make([]map[string]int, k)
+	size := make([]int, k)
+	for g := range pairCount {
+		pairCount[g] = map[string]int{}
+	}
+	for i, g := range assign {
+		size[g]++
+		for _, p := range pairsOf[i] {
+			pairCount[g][p]++
+		}
+	}
+	score := func(i, g, cur int) float64 {
+		// Evaluate i against g excluding i's own contribution, so a
+		// message stranded alone does not score its own singleton group
+		// as a perfect fit.
+		sz := size[g]
+		self := 0
+		if g == cur {
+			sz--
+			self = 1
+		}
+		if sz <= 0 {
+			return 0
+		}
+		var s float64
+		for _, p := range pairsOf[i] {
+			f := float64(pairCount[g][p]-self) / float64(sz)
+			s += f * f
+		}
+		return s
+	}
+	for iter := 0; iter < iters; iter++ {
+		moved := false
+		for i := 0; i < n; i++ {
+			cur := assign[i]
+			best, bestScore := cur, score(i, cur, cur)
+			for g := 0; g < k; g++ {
+				if g == cur {
+					continue
+				}
+				if sc := score(i, g, cur); sc > bestScore {
+					bestScore, best = sc, g
+				}
+			}
+			if best != cur {
+				moved = true
+				size[cur]--
+				size[best]++
+				for _, p := range pairsOf[i] {
+					pairCount[cur][p]--
+					pairCount[best][p]++
+				}
+				assign[i] = best
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	out := make([]int, len(lines))
+	for i := range lines {
+		out[i] = assign[rowOf[i]]
+	}
+	return out
+}
+
+// Logram ports Dai et al.'s n-gram dictionary parser (TSE '20): token
+// 2-gram/3-gram frequencies decide which tokens are dynamic; lines group
+// by their static-token skeleton.
+type Logram struct {
+	// TriThreshold and BiThreshold are the dictionary frequency cutoffs
+	// (defaults in the paper's tuning range).
+	TriThreshold int
+	BiThreshold  int
+}
+
+// NewLogram returns Logram with default thresholds.
+func NewLogram() *Logram { return &Logram{TriThreshold: 4, BiThreshold: 8} }
+
+// Name implements Parser.
+func (l *Logram) Name() string { return "Logram" }
+
+// Parse implements Parser.
+func (l *Logram) Parse(lines []string) []int {
+	tokenized := make([][]string, len(lines))
+	bi := map[string]int{}
+	tri := map[string]int{}
+	for i, line := range lines {
+		tokenized[i] = preprocess(line)
+		t := tokenized[i]
+		for j := 0; j+1 < len(t); j++ {
+			bi[t[j]+"\x00"+t[j+1]]++
+		}
+		for j := 0; j+2 < len(t); j++ {
+			tri[t[j]+"\x00"+t[j+1]+"\x00"+t[j+2]]++
+		}
+	}
+	g := newGroupByKey()
+	out := make([]int, len(lines))
+	skel := make([]string, 0, 32)
+	for i, t := range tokenized {
+		skel = skel[:0]
+		for j := range t {
+			if l.static(t, j, bi, tri) {
+				skel = append(skel, t[j])
+			} else {
+				skel = append(skel, wildcard)
+			}
+		}
+		out[i] = g.id(strconv.Itoa(len(skel)) + "|" + joinKey(skel))
+	}
+	return out
+}
+
+// static decides whether token j of t is a constant: some 3-gram covering
+// it is frequent, or (at the edges) a covering 2-gram is frequent.
+func (l *Logram) static(t []string, j int, bi, tri map[string]int) bool {
+	for s := j - 2; s <= j; s++ {
+		if s >= 0 && s+2 < len(t) {
+			if tri[t[s]+"\x00"+t[s+1]+"\x00"+t[s+2]] >= l.TriThreshold {
+				return true
+			}
+		}
+	}
+	for s := j - 1; s <= j; s++ {
+		if s >= 0 && s+1 < len(t) {
+			if bi[t[s]+"\x00"+t[s+1]] >= l.BiThreshold {
+				return true
+			}
+		}
+	}
+	return false
+}

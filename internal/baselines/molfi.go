@@ -1,0 +1,166 @@
+package baselines
+
+import "math/rand"
+
+// MoLFI ports Messaoudi et al.'s search-based parser (ICPC '18) in reduced
+// form: per length group, a small evolutionary search over template sets,
+// with mutation flipping positions between constant and wildcard, selected
+// by a weighted frequency/specificity fitness. The original's NSGA-II
+// population mechanics are simplified to a (μ+λ) loop; accuracy and cost
+// land in the same regime the paper reports for MoLFI (mid-pack accuracy,
+// low throughput).
+type MoLFI struct {
+	// Generations and Population bound the search (defaults 8 and 10).
+	Generations int
+	Population  int
+	// Seed drives the evolutionary randomness.
+	Seed int64
+}
+
+// NewMoLFI returns MoLFI with default parameters.
+func NewMoLFI() *MoLFI { return &MoLFI{Generations: 8, Population: 10, Seed: 1} }
+
+// Name implements Parser.
+func (m *MoLFI) Name() string { return "MoLFI" }
+
+type molfiChrom struct {
+	templates [][]string
+	fitness   float64
+}
+
+// Parse implements Parser.
+func (m *MoLFI) Parse(lines []string) []int {
+	r := rand.New(rand.NewSource(m.Seed))
+	tokenized := make([][]string, len(lines))
+	byLen := map[int][]int{}
+	for i, line := range lines {
+		tokenized[i] = preprocess(line)
+		byLen[len(tokenized[i])] = append(byLen[len(tokenized[i])], i)
+	}
+	out := make([]int, len(lines))
+	base := 0
+	for _, rows := range byLen {
+		templates := m.evolve(tokenized, rows, r)
+		for _, row := range rows {
+			out[row] = base + matchFirst(templates, tokenized[row])
+		}
+		base += len(templates) + 1
+	}
+	return out
+}
+
+// evolve searches for a template set covering the rows of one length
+// group.
+func (m *MoLFI) evolve(tok [][]string, rows []int, r *rand.Rand) [][]string {
+	// Seed chromosome: the distinct lines with digit tokens wildcarded.
+	seedSet := map[string][]string{}
+	for _, row := range rows {
+		t := make([]string, len(tok[row]))
+		for j, w := range tok[row] {
+			if hasDigit(w) || w == wildcard {
+				t[j] = wildcard
+			} else {
+				t[j] = w
+			}
+		}
+		seedSet[joinKey(t)] = t
+	}
+	seed := make([][]string, 0, len(seedSet))
+	for _, t := range seedSet {
+		seed = append(seed, t)
+	}
+	best := molfiChrom{templates: seed}
+	best.fitness = m.fitness(tok, rows, best.templates)
+	for gen := 0; gen < m.Generations; gen++ {
+		for p := 0; p < m.Population; p++ {
+			cand := mutate(best.templates, r)
+			fit := m.fitness(tok, rows, cand)
+			if fit > best.fitness {
+				best = molfiChrom{templates: cand, fitness: fit}
+			}
+		}
+	}
+	return best.templates
+}
+
+// mutate flips one random position of one random template between its
+// original token and the wildcard (here: toggles to wildcard, or merges
+// two random templates).
+func mutate(templates [][]string, r *rand.Rand) [][]string {
+	out := make([][]string, len(templates))
+	for i, t := range templates {
+		c := make([]string, len(t))
+		copy(c, t)
+		out[i] = c
+	}
+	if len(out) == 0 {
+		return out
+	}
+	if len(out) > 1 && r.Intn(3) == 0 {
+		// Merge two templates of the same length into their union.
+		i, j := r.Intn(len(out)), r.Intn(len(out))
+		if i != j && len(out[i]) == len(out[j]) {
+			for k := range out[i] {
+				if out[i][k] != out[j][k] {
+					out[i][k] = wildcard
+				}
+			}
+			out = append(out[:j], out[j+1:]...)
+			return out
+		}
+	}
+	t := out[r.Intn(len(out))]
+	if len(t) > 0 {
+		t[r.Intn(len(t))] = wildcard
+	}
+	return out
+}
+
+// fitness rewards covering all lines with few, specific templates.
+func (m *MoLFI) fitness(tok [][]string, rows []int, templates [][]string) float64 {
+	covered := 0
+	for _, row := range rows {
+		if matchFirst(templates, tok[row]) < len(templates) {
+			covered++
+		}
+	}
+	specificity := 0.0
+	for _, t := range templates {
+		if len(t) == 0 {
+			continue
+		}
+		cons := 0
+		for _, w := range t {
+			if w != wildcard {
+				cons++
+			}
+		}
+		specificity += float64(cons) / float64(len(t))
+	}
+	if len(templates) > 0 {
+		specificity /= float64(len(templates))
+	}
+	coverage := float64(covered) / float64(len(rows))
+	return coverage + 0.5*specificity - 0.01*float64(len(templates))
+}
+
+// matchFirst returns the index of the first matching template, or
+// len(templates) when none match.
+func matchFirst(templates [][]string, tokens []string) int {
+	for i, t := range templates {
+		if len(t) != len(tokens) {
+			continue
+		}
+		ok := true
+		for j := range t {
+			if t[j] != wildcard && t[j] != tokens[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return len(templates)
+}

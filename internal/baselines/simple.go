@@ -1,0 +1,327 @@
+package baselines
+
+import (
+	"math"
+	"strconv"
+)
+
+// AEL ports Jiang et al.'s Abstracting Execution Logs (QSIC '08):
+// anonymize obvious dynamic tokens, categorize by (token count, anonymized
+// token count), then group by the anonymized skeleton with a reconcile
+// pass that merges skeletons differing in a single position.
+type AEL struct{}
+
+// NewAEL returns the AEL parser.
+func NewAEL() *AEL { return &AEL{} }
+
+// Name implements Parser.
+func (a *AEL) Name() string { return "AEL" }
+
+// Parse implements Parser.
+func (a *AEL) Parse(lines []string) []int {
+	keys := make([]string, len(lines))
+	skeletons := make([][]string, len(lines))
+	for i, line := range lines {
+		tokens := preprocess(line)
+		skel := make([]string, len(tokens))
+		anon := 0
+		for j, t := range tokens {
+			if hasDigit(t) || t == wildcard {
+				skel[j] = wildcard
+				anon++
+			} else {
+				skel[j] = t
+			}
+		}
+		skeletons[i] = skel
+		keys[i] = strconv.Itoa(len(tokens)) + ":" + strconv.Itoa(anon) + "|" + joinKey(skel)
+	}
+	// Reconcile: within a (len, anon) bin, merge skeletons that differ at
+	// exactly one position.
+	canon := map[string]string{}
+	byBin := map[string][]string{}
+	for _, k := range keys {
+		if _, ok := canon[k]; ok {
+			continue
+		}
+		canon[k] = k
+		bin := k[:indexByte(k, '|')]
+		merged := false
+		for _, other := range byBin[bin] {
+			if offByOne(k, other) {
+				canon[k] = canon[other]
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			byBin[bin] = append(byBin[bin], k)
+		}
+	}
+	g := newGroupByKey()
+	out := make([]int, len(lines))
+	for i, k := range keys {
+		out[i] = g.id(canon[k])
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// offByOne reports whether two bin-prefixed skeleton keys differ in exactly
+// one token.
+func offByOne(a, b string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	ta := splitKey(a[indexByte(a, '|')+1:])
+	tb := splitKey(b[indexByte(b, '|')+1:])
+	if len(ta) != len(tb) {
+		return false
+	}
+	diff := 0
+	for i := range ta {
+		if ta[i] != tb[i] {
+			diff++
+			if diff > 1 {
+				return false
+			}
+		}
+	}
+	return diff == 1
+}
+
+func splitKey(key string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == 0 {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// LFA ports Nagappan & Vouk's line-frequency abstraction (MSR '10): global
+// token frequencies are computed per position; within each line, tokens
+// whose frequency falls below the line's most common frequency are
+// variables.
+type LFA struct{}
+
+// NewLFA returns the LFA parser.
+func NewLFA() *LFA { return &LFA{} }
+
+// Name implements Parser.
+func (l *LFA) Name() string { return "LFA" }
+
+// Parse implements Parser.
+func (l *LFA) Parse(lines []string) []int {
+	tokenized := make([][]string, len(lines))
+	freq := map[string]int{}
+	for i, line := range lines {
+		tokenized[i] = preprocess(line)
+		for pos, t := range tokenized[i] {
+			freq[posTok(pos, t)]++
+		}
+	}
+	g := newGroupByKey()
+	out := make([]int, len(lines))
+	skel := make([]string, 0, 32)
+	for i, tokens := range tokenized {
+		skel = skel[:0]
+		// Modal frequency of the line's tokens.
+		counts := map[int]int{}
+		for pos, t := range tokens {
+			counts[freq[posTok(pos, t)]]++
+		}
+		modal, modalN := 0, 0
+		for f, n := range counts {
+			if n > modalN || (n == modalN && f > modal) {
+				modal, modalN = f, n
+			}
+		}
+		for pos, t := range tokens {
+			if freq[posTok(pos, t)] >= modal {
+				skel = append(skel, t)
+			} else {
+				skel = append(skel, wildcard)
+			}
+		}
+		out[i] = g.id(lenKey(skel))
+	}
+	return out
+}
+
+func posTok(pos int, tok string) string { return strconv.Itoa(pos) + "\x00" + tok }
+
+// LogCluster ports Vaarandi & Pihelgas' frequent-word clustering: words
+// with support of at least Support fraction of lines are "frequent"; each
+// line's cluster key is its subsequence of frequent words.
+type LogCluster struct {
+	// Support is the relative frequent-word support (default 0.02).
+	Support float64
+}
+
+// NewLogCluster returns LogCluster with default support.
+func NewLogCluster() *LogCluster { return &LogCluster{Support: 0.02} }
+
+// Name implements Parser.
+func (l *LogCluster) Name() string { return "LogCluster" }
+
+// Parse implements Parser.
+func (l *LogCluster) Parse(lines []string) []int {
+	tokenized := make([][]string, len(lines))
+	support := map[string]int{}
+	for i, line := range lines {
+		tokenized[i] = preprocess(line)
+		seen := map[string]struct{}{}
+		for _, t := range tokenized[i] {
+			if _, ok := seen[t]; !ok {
+				seen[t] = struct{}{}
+				support[t]++
+			}
+		}
+	}
+	min := int(l.Support * float64(len(lines)))
+	if min < 2 {
+		min = 2
+	}
+	g := newGroupByKey()
+	out := make([]int, len(lines))
+	key := make([]string, 0, 32)
+	for i, tokens := range tokenized {
+		key = key[:0]
+		for _, t := range tokens {
+			if support[t] >= min {
+				key = append(key, t)
+			}
+		}
+		out[i] = g.id(joinKey(key))
+	}
+	return out
+}
+
+// SLCT ports Vaarandi's Simple Logfile Clustering Tool (IPOM '03):
+// frequent (position, word) pairs with absolute support at least Support
+// form cluster candidates; a line's template keeps its frequent positional
+// words and wildcards the rest.
+type SLCT struct {
+	// Support is the relative support threshold (default 0.01).
+	Support float64
+}
+
+// NewSLCT returns SLCT with default support.
+func NewSLCT() *SLCT { return &SLCT{Support: 0.01} }
+
+// Name implements Parser.
+func (s *SLCT) Name() string { return "SLCT" }
+
+// Parse implements Parser.
+func (s *SLCT) Parse(lines []string) []int {
+	tokenized := make([][]string, len(lines))
+	support := map[string]int{}
+	for i, line := range lines {
+		tokenized[i] = preprocess(line)
+		for pos, t := range tokenized[i] {
+			support[posTok(pos, t)]++
+		}
+	}
+	min := int(s.Support * float64(len(lines)))
+	if min < 2 {
+		min = 2
+	}
+	g := newGroupByKey()
+	out := make([]int, len(lines))
+	skel := make([]string, 0, 32)
+	for i, tokens := range tokenized {
+		skel = skel[:0]
+		for pos, t := range tokens {
+			if support[posTok(pos, t)] >= min {
+				skel = append(skel, t)
+			} else {
+				skel = append(skel, wildcard)
+			}
+		}
+		out[i] = g.id(lenKey(skel))
+	}
+	return out
+}
+
+// LenMa ports Shima's length-matrix clustering: lines cluster by token
+// count and the cosine similarity of their word-length vectors.
+type LenMa struct {
+	// Threshold is the cosine-similarity threshold (default 0.78).
+	Threshold float64
+}
+
+// NewLenMa returns LenMa with the paper's default threshold.
+func NewLenMa() *LenMa { return &LenMa{Threshold: 0.78} }
+
+// Name implements Parser.
+func (l *LenMa) Name() string { return "LenMa" }
+
+type lenmaCluster struct {
+	lengths []float64
+	tokens  []string
+	id      int
+}
+
+// Parse implements Parser.
+func (l *LenMa) Parse(lines []string) []int {
+	clusters := map[int][]*lenmaCluster{}
+	out := make([]int, len(lines))
+	next := 0
+	for i, line := range lines {
+		tokens := preprocess(line)
+		vec := make([]float64, len(tokens))
+		for j, t := range tokens {
+			vec[j] = float64(len(t))
+		}
+		var best *lenmaCluster
+		bestSim := -1.0
+		for _, c := range clusters[len(tokens)] {
+			sim := cosine(c.lengths, vec)
+			// Positional word agreement refines the decision, as in the
+			// original's "exact match" shortcut.
+			if sim >= l.Threshold && sim > bestSim {
+				bestSim, best = sim, c
+			}
+		}
+		if best == nil {
+			best = &lenmaCluster{lengths: vec, tokens: append([]string(nil), tokens...), id: next}
+			next++
+			clusters[len(tokens)] = append(clusters[len(tokens)], best)
+		} else {
+			for j := range best.lengths {
+				if best.tokens[j] != tokens[j] {
+					best.tokens[j] = wildcard
+					// Mean-update the length profile.
+					best.lengths[j] = (best.lengths[j] + vec[j]) / 2
+				}
+			}
+		}
+		out[i] = best.id
+	}
+	return out
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

@@ -1,0 +1,152 @@
+package baselines
+
+// Spell is a port of Du & Li's streaming LCS parser (ICDM '16): each
+// incoming log joins the existing LCSObject whose longest common
+// subsequence with it covers at least half of the log, updating the
+// object's template to the LCS (dropped positions become wildcards).
+type Spell struct {
+	// Tau is the LCS coverage threshold (default 0.5, as in the paper).
+	Tau float64
+}
+
+// NewSpell returns Spell with default parameters.
+func NewSpell() *Spell { return &Spell{Tau: 0.5} }
+
+// Name implements Parser.
+func (s *Spell) Name() string { return "Spell" }
+
+type lcsObject struct {
+	template []string // with wildcards
+	id       int
+}
+
+// Parse implements Parser.
+func (s *Spell) Parse(lines []string) []int {
+	out := make([]int, len(lines))
+	// Bucket objects by a coarse key (token count band) to keep the
+	// scan tractable; Spell's prefix tree serves the same purpose.
+	objects := make(map[int][]*lcsObject)
+	nextID := 0
+	for i, line := range lines {
+		tokens := preprocess(line)
+		var best *lcsObject
+		bestLen := 0
+		// Candidate objects have comparable constant counts; scan the
+		// nearby length buckets.
+		for b := len(tokens) / 2; b <= len(tokens); b++ {
+			for _, obj := range objects[b] {
+				l := lcsLen(constantsOf(obj.template), tokens)
+				if l >= int(s.Tau*float64(len(tokens))) && l > bestLen {
+					bestLen, best = l, obj
+				}
+			}
+		}
+		if best == nil {
+			obj := &lcsObject{template: append([]string(nil), tokens...), id: nextID}
+			nextID++
+			objects[len(constantsOf(obj.template))] = append(objects[len(constantsOf(obj.template))], obj)
+			out[i] = obj.id
+			continue
+		}
+		// Refine the template to the LCS; positions outside it become
+		// wildcards.
+		oldKey := len(constantsOf(best.template))
+		best.template = lcsTemplate(constantsOf(best.template), tokens)
+		newKey := len(constantsOf(best.template))
+		if newKey != oldKey {
+			objects[oldKey] = removeObj(objects[oldKey], best)
+			objects[newKey] = append(objects[newKey], best)
+		}
+		out[i] = best.id
+	}
+	return out
+}
+
+func removeObj(list []*lcsObject, obj *lcsObject) []*lcsObject {
+	for i, o := range list {
+		if o == obj {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// constantsOf strips wildcards, yielding the constant skeleton Spell
+// compares by LCS.
+func constantsOf(template []string) []string {
+	out := make([]string, 0, len(template))
+	for _, t := range template {
+		if t != wildcard {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// lcsLen computes the length of the longest common subsequence of a and b.
+func lcsLen(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// lcsTemplate rebuilds a template from the LCS of the old constant
+// skeleton and the new token sequence: LCS tokens stay, everything else in
+// the new sequence becomes a wildcard.
+func lcsTemplate(a, b []string) []string {
+	// Standard LCS backtrack over the full table.
+	dp := make([][]int, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]int, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				dp[i][j] = dp[i-1][j-1] + 1
+			case dp[i-1][j] >= dp[i][j-1]:
+				dp[i][j] = dp[i-1][j]
+			default:
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	inLCS := make([]bool, len(b))
+	for i, j := len(a), len(b); i > 0 && j > 0; {
+		switch {
+		case a[i-1] == b[j-1]:
+			inLCS[j-1] = true
+			i--
+			j--
+		case dp[i-1][j] >= dp[i][j-1]:
+			i--
+		default:
+			j--
+		}
+	}
+	out := make([]string, len(b))
+	for j := range b {
+		if inLCS[j] {
+			out[j] = b[j]
+		} else {
+			out[j] = wildcard
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"bytebrain/internal/dedup"
+)
+
+// bnode is a clustering-tree node under construction, before flattening
+// into model Nodes.
+type bnode struct {
+	members    []*dedup.Unique
+	template   []string
+	saturation float64
+	depth      int
+	children   []*bnode
+	weight     int // duplicate-weighted count
+}
+
+// buildTree hierarchically clusters one initial group into a tree (§4.3).
+// rng must be dedicated to this group; training is deterministic because
+// each group derives its generator from the seed and the group key.
+func buildTree(members []*dedup.Unique, o *Options, rng *rand.Rand) *bnode {
+	return buildNode(members, o, rng, 0, -1)
+}
+
+// buildNode creates the node for members and recursively splits it while
+// saturation can still improve. parentSat is the saturation of the parent
+// node (-1 at the root, so any score counts as an improvement).
+func buildNode(members []*dedup.Unique, o *Options, rng *rand.Rand, depth int, parentSat float64) *bnode {
+	st := newPosStats(members)
+	sat := st.saturation(o)
+	// Clamp to keep the root-to-leaf saturation sequence non-decreasing,
+	// the invariant query-time rollup relies on (§3: "strictly increases
+	// with tree depth").
+	if sat < parentSat {
+		sat = parentSat
+	}
+	n := &bnode{
+		members:    members,
+		template:   st.template(),
+		saturation: sat,
+		depth:      depth,
+		weight:     totalWeight(members),
+	}
+	if sat >= 1 || depth >= o.MaxDepth || len(members) <= 1 {
+		return n
+	}
+
+	parts := splitNode(members, st, sat, o, rng)
+	if len(parts) <= 1 {
+		// The clustering process failed to separate the members and no
+		// positional fallback applies: accept the node as a leaf.
+		return n
+	}
+	for _, p := range parts {
+		n.children = append(n.children, buildNode(p, o, rng, depth+1, sat))
+	}
+	return n
+}
+
+// splitNode partitions members into sub-clusters, applying the early-stop
+// shortcuts of §4.7 before running the full clustering process.
+func splitNode(members []*dedup.Unique, st *posStats, parentSat float64, o *Options, rng *rand.Rand) [][]*dedup.Unique {
+	if !o.NoEarlyStop {
+		// Rule 1: two (unique) logs form their own clusters.
+		if len(members) == 2 {
+			return [][]*dedup.Unique{{members[0]}, {members[1]}}
+		}
+		// Rule 3: every unresolved position is fully distinct — the logs
+		// are inherently dissimilar; each forms its own cluster.
+		if allUnresolvedDistinct(st) {
+			parts := make([][]*dedup.Unique, len(members))
+			for i, u := range members {
+				parts[i] = []*dedup.Unique{u}
+			}
+			return parts
+		}
+	}
+	parts := clusterOnce(members, parentSat, o, rng)
+	if len(parts) <= 1 {
+		parts = positionalFallback(members, st)
+	}
+	return parts
+}
+
+// allUnresolvedDistinct reports whether every unresolved position has a
+// different token in every member (n_u(i) == n). Duplicated streams
+// (NoDedup) can never satisfy this, which is intended: early stop is one of
+// the dedup-dependent optimizations.
+func allUnresolvedDistinct(st *posStats) bool {
+	any := false
+	for i := range st.counts {
+		nu := len(st.counts[i])
+		if nu == 1 {
+			continue
+		}
+		any = true
+		if nu != st.n {
+			return false
+		}
+	}
+	return any
+}
+
+// clusterOnce is the single clustering process of §4.4: K-means-style
+// iterative assignment under positional similarity, with K-means++ seeding,
+// balanced tie-breaking and saturation-guided cluster injection.
+func clusterOnce(members []*dedup.Unique, parentSat float64, o *Options, rng *rand.Rand) [][]*dedup.Unique {
+	n := len(members)
+	if n < 2 {
+		return [][]*dedup.Unique{members}
+	}
+
+	// Seed two clusters. First centroid random; second the member
+	// farthest from (least similar to) the first, unless the ablation
+	// asks for fully random centroids.
+	first := rng.Intn(n)
+	var second int
+	if o.RandomCentroids {
+		second = rng.Intn(n - 1)
+		if second >= first {
+			second++
+		}
+	} else {
+		seedStats := newPosStats(members[first : first+1])
+		best, bestSim := -1, 2.0
+		for i, u := range members {
+			if i == first {
+				continue
+			}
+			sim := seedStats.similarity(u.Enc, o.NoPositionImportance)
+			if sim < bestSim {
+				bestSim, best = sim, i
+			}
+		}
+		second = best
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	assign[first], assign[second] = 0, 1
+	k := 2
+
+	var clusterStats []*posStats
+	rebuild := func() {
+		clusterStats = make([]*posStats, k)
+		for c := 0; c < k; c++ {
+			clusterStats[c] = &posStats{}
+		}
+		for i, u := range members {
+			if assign[i] >= 0 {
+				clusterStats[assign[i]].add(u)
+			}
+		}
+	}
+	rebuild()
+
+	ties := make([]int, 0, 4)
+	for iter := 0; iter < o.MaxIters; iter++ {
+		changed := false
+		next := make([]int, n)
+		for i, u := range members {
+			bestSim := -1.0
+			ties = ties[:0]
+			for c := 0; c < k; c++ {
+				if clusterStats[c].n == 0 {
+					continue
+				}
+				sim := clusterStats[c].similarity(u.Enc, o.NoPositionImportance)
+				switch {
+				case sim > bestSim+simEps:
+					bestSim = sim
+					ties = append(ties[:0], c)
+				case sim > bestSim-simEps:
+					ties = append(ties, c)
+				}
+			}
+			choice := ties[0]
+			if len(ties) > 1 && !o.NoBalancedGrouping {
+				// Balanced grouping (§4.6): uniform among equals.
+				choice = ties[rng.Intn(len(ties))]
+			}
+			next[i] = choice
+			if next[i] != assign[i] {
+				changed = true
+			}
+		}
+		assign = next
+		rebuild()
+
+		grew := false
+		if !o.NoEnsureSaturationIncrease && k < n {
+			// If some cluster failed to improve on the parent, inject a
+			// new cluster seeded with the member farthest from every
+			// existing cluster (§4.4).
+			for c := 0; c < k; c++ {
+				if clusterStats[c].n == 0 {
+					continue
+				}
+				if clusterStats[c].n == n || clusterStats[c].saturation(o) <= parentSat+satEps {
+					far := farthestMember(members, clusterStats, o)
+					if far >= 0 {
+						assign[far] = k
+						k++
+						rebuild()
+						grew = true
+					}
+					break
+				}
+			}
+		}
+		if !changed && !grew {
+			break
+		}
+	}
+
+	parts := make([][]*dedup.Unique, k)
+	for i, u := range members {
+		c := assign[i]
+		parts[c] = append(parts[c], u)
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+const (
+	simEps = 1e-12
+	satEps = 1e-12
+)
+
+// farthestMember returns the index of the member with the smallest maximum
+// similarity to any non-empty cluster, skipping members that are sole
+// occupants of a cluster (they are already centroids).
+func farthestMember(members []*dedup.Unique, stats []*posStats, o *Options) int {
+	best, bestScore := -1, 2.0
+	for i, u := range members {
+		maxSim := -1.0
+		for _, st := range stats {
+			if st.n == 0 {
+				continue
+			}
+			if sim := st.similarity(u.Enc, o.NoPositionImportance); sim > maxSim {
+				maxSim = sim
+			}
+		}
+		if maxSim < bestScore {
+			bestScore, best = maxSim, i
+		}
+	}
+	return best
+}
+
+// positionalFallback splits members by their token at the lowest-cardinality
+// unresolved position. It guarantees progress (each part gains a constant
+// position) when the clustering process degenerates to a single cluster.
+func positionalFallback(members []*dedup.Unique, st *posStats) [][]*dedup.Unique {
+	pos := -1
+	bestCard := int(^uint(0) >> 1)
+	for i := range st.counts {
+		if nu := len(st.counts[i]); nu > 1 && nu < bestCard {
+			bestCard, pos = nu, i
+		}
+	}
+	if pos < 0 {
+		return [][]*dedup.Unique{members}
+	}
+	byTok := make(map[uint64][]*dedup.Unique)
+	var order []uint64
+	for _, u := range members {
+		code := u.Enc[pos]
+		if _, ok := byTok[code]; !ok {
+			order = append(order, code)
+		}
+		byTok[code] = append(byTok[code], u)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	parts := make([][]*dedup.Unique, 0, len(order))
+	for _, code := range order {
+		parts = append(parts, byTok[code])
+	}
+	return parts
+}
+
+func totalWeight(members []*dedup.Unique) int {
+	w := 0
+	for _, u := range members {
+		w += u.Count
+	}
+	return w
+}

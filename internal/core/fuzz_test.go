@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTrainAndMatch feeds arbitrary byte soup through the full pipeline:
+// training must never panic, always produce a valid model, and every
+// trained line must be matchable. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzTrainAndMatch ./internal/core` explores further.
+func FuzzTrainAndMatch(f *testing.F) {
+	f.Add("simple log line", "another log line", "third 123 line")
+	f.Add("", " ", "\t\n")
+	f.Add("a=b c:d [e] {f}", `escaped \"quote\" here`, "https://host/path?x=1")
+	f.Add("しかし ログ 123", "émoji 🎉 test", "mixed ascii ünicode")
+	f.Add(strings.Repeat("tok ", 100), "short", "x")
+	f.Add("<*> literal wildcard", "<*> <*> <*>", "*")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		if !utf8.ValidString(a) || !utf8.ValidString(b) || !utf8.ValidString(c) {
+			t.Skip()
+		}
+		lines := []string{a, b, c, a} // include a duplicate
+		p := New(Options{Seed: 1})
+		res, err := p.Train(lines)
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		if err := res.Model.Validate(); err != nil {
+			t.Fatalf("invalid model: %v", err)
+		}
+		if res.Model.Len() == 0 {
+			// All lines tokenized to nothing; matching would error.
+			return
+		}
+		matcher, err := p.NewMatcher(res.Model)
+		if err != nil {
+			t.Fatalf("NewMatcher: %v", err)
+		}
+		for _, l := range lines {
+			r := matcher.Match(l)
+			if r.NodeID == 0 {
+				t.Fatalf("line %q unassigned", l)
+			}
+			// Rollup at any threshold succeeds for a matched node.
+			for _, th := range []float64{0, 0.5, 1} {
+				if _, err := res.Model.TemplateAt(r.NodeID, th); err != nil {
+					t.Fatalf("TemplateAt(%q, %v): %v", l, th, err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzModelUnmarshal hardens deserialization against corrupt snapshot
+// bytes: it must error or produce a valid model, never panic.
+func FuzzModelUnmarshal(f *testing.F) {
+	res, err := New(Options{Seed: 1}).Train([]string{"a b c", "a b d", "x y z 1"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := res.Model.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	if len(good) > 10 {
+		f.Add(good[:len(good)/2]) // truncated
+		mutated := append([]byte(nil), good...)
+		mutated[len(mutated)/3] ^= 0xFF
+		f.Add(mutated)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Model
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything that decodes must be structurally usable.
+		for id := range m.Nodes {
+			if _, err := m.Ancestry(id); err != nil {
+				// Dangling parents are possible in corrupt-but-decodable
+				// inputs; Ancestry must report, not panic.
+				continue
+			}
+		}
+	})
+}
+
+// FuzzTemplateSimilarity checks the metric's contract on arbitrary token
+// pairs: symmetric, bounded, and 1 for identical templates.
+func FuzzTemplateSimilarity(f *testing.F) {
+	f.Add("a b c", "a b c")
+	f.Add("a <*> c", "a x c")
+	f.Add("", "x")
+	f.Fuzz(func(t *testing.T, x, y string) {
+		a := strings.Fields(x)
+		b := strings.Fields(y)
+		ab := TemplateSimilarity(a, b)
+		ba := TemplateSimilarity(b, a)
+		if ab != ba {
+			t.Fatalf("asymmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("out of range: %v", ab)
+		}
+		if aa := TemplateSimilarity(a, a); len(a) > 0 && aa != 1 {
+			t.Fatalf("self-similarity = %v", aa)
+		}
+	})
+}

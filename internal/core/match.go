@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// MatchResult reports where one log landed.
+type MatchResult struct {
+	// NodeID is the matched template node.
+	NodeID uint64
+	// Template is the matched template text.
+	Template string
+	// New is true when no trained template matched and the log was
+	// inserted as a temporary singleton template.
+	New bool
+}
+
+// Matcher performs online matching (§4.8): logs are matched directly
+// against template text in descending saturation order, never by
+// re-running distance computations over the tree. A Matcher is safe for
+// concurrent use; temporary-template insertion is serialized internally.
+type Matcher struct {
+	parser *Parser
+	model  *Model
+
+	mu      sync.RWMutex
+	order   map[uint64]int // node ID → global match priority (lower first)
+	nextOrd int
+	index   map[int]*lenBucket // token count → candidates
+	linear  []*Node            // LinearMatch: all candidates in order
+}
+
+// lenBucket indexes the candidates of one token count by first token.
+type lenBucket struct {
+	byFirst   map[string][]*Node // first token constant
+	wildFirst []*Node            // first token is the wildcard
+}
+
+// NewMatcher builds a matcher over model using the parser's preprocessing
+// and options. The model is retained by reference: temporary templates are
+// inserted into it.
+func (p *Parser) NewMatcher(model *Model) (*Matcher, error) {
+	if model == nil || model.Len() == 0 {
+		return nil, ErrEmptyModel
+	}
+	m := &Matcher{
+		parser: p,
+		model:  model,
+		order:  make(map[uint64]int, model.Len()),
+		index:  make(map[int]*lenBucket),
+	}
+	// Candidate order: saturation descending, then depth descending
+	// (more precise first among equals), then ID for determinism.
+	nodes := make([]*Node, 0, model.Len())
+	for _, n := range model.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Saturation != nodes[j].Saturation {
+			return nodes[i].Saturation > nodes[j].Saturation
+		}
+		if nodes[i].Depth != nodes[j].Depth {
+			return nodes[i].Depth > nodes[j].Depth
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+	for _, n := range nodes {
+		m.insertLocked(n)
+	}
+	return m, nil
+}
+
+// Model returns the underlying model (including temporary insertions).
+func (m *Matcher) Model() *Model { return m.model }
+
+// insertLocked appends n at the current end of the priority order. Callers
+// must hold mu (or be the constructor).
+func (m *Matcher) insertLocked(n *Node) {
+	m.order[n.ID] = m.nextOrd
+	m.nextOrd++
+	m.linear = append(m.linear, n)
+	lb := m.index[len(n.Template)]
+	if lb == nil {
+		lb = &lenBucket{byFirst: make(map[string][]*Node)}
+		m.index[len(n.Template)] = lb
+	}
+	// Empty templates and wildcard-first templates have no usable first
+	// token; both live in the always-scanned list.
+	if len(n.Template) == 0 || n.Template[0] == Wildcard {
+		lb.wildFirst = append(lb.wildFirst, n)
+	} else {
+		lb.byFirst[n.Template[0]] = append(lb.byFirst[n.Template[0]], n)
+	}
+}
+
+// Match parses one raw line: preprocess, match against templates, and — on
+// a miss — insert the log itself as a temporary template (§3, Online
+// Matching).
+func (m *Matcher) Match(line string) MatchResult {
+	tokens := m.parser.PreprocessLine(line)
+	return m.MatchTokens(tokens)
+}
+
+// MatchTokens matches an already-preprocessed token sequence.
+func (m *Matcher) MatchTokens(tokens []string) MatchResult {
+	m.mu.RLock()
+	n := m.lookup(tokens)
+	m.mu.RUnlock()
+	if n != nil {
+		return MatchResult{NodeID: n.ID, Template: n.Text()}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-check: another goroutine may have inserted the same template.
+	if n := m.lookup(tokens); n != nil {
+		return MatchResult{NodeID: n.ID, Template: n.Text()}
+	}
+	node := m.insertTemporaryLocked(tokens)
+	return MatchResult{NodeID: node.ID, Template: node.Text(), New: true}
+}
+
+// lookup returns the highest-priority matching node, or nil. Callers must
+// hold mu (read or write).
+func (m *Matcher) lookup(tokens []string) *Node {
+	if m.parser.opts.LinearMatch {
+		for _, n := range m.linear {
+			if len(n.Template) == len(tokens) && templateMatches(n.Template, tokens) {
+				return n
+			}
+		}
+		return nil
+	}
+	lb := m.index[len(tokens)]
+	if lb == nil {
+		return nil
+	}
+	var exact []*Node
+	if len(tokens) > 0 {
+		exact = lb.byFirst[tokens[0]]
+	}
+	wild := lb.wildFirst
+	// Merge the two priority-sorted candidate lists.
+	i, j := 0, 0
+	for i < len(exact) || j < len(wild) {
+		var n *Node
+		switch {
+		case i >= len(exact):
+			n, j = wild[j], j+1
+		case j >= len(wild):
+			n, i = exact[i], i+1
+		case m.order[exact[i].ID] < m.order[wild[j].ID]:
+			n, i = exact[i], i+1
+		default:
+			n, j = wild[j], j+1
+		}
+		if templateMatches(n.Template, tokens) {
+			return n
+		}
+	}
+	return nil
+}
+
+// insertTemporaryLocked adds tokens as a temporary singleton template. The
+// lookup that precedes insertion already tried every node — roots included
+// — so no existing subtree covers this log and the temporary becomes an
+// individual root node, exactly the paper's "insert it into the clustering
+// tree as an individual node". The next training cycle re-learns it
+// properly (TrainMerge drops temporaries and forwards their IDs).
+func (m *Matcher) insertTemporaryLocked(tokens []string) *Node {
+	tmpl := make([]string, len(tokens))
+	copy(tmpl, tokens)
+	n := &Node{
+		ID:         m.model.newID(),
+		Parent:     NoParent,
+		Template:   tmpl,
+		Saturation: 1,
+		Count:      1,
+		Weight:     1,
+		Temporary:  true,
+	}
+	m.model.addNode(n)
+	m.insertLocked(n)
+	return n
+}
+
+// MatchBatch matches lines on up to the parser's Parallelism workers and
+// returns one result per line. Duplicate lines — the dominant case in
+// real streams (§4.1.3, Fig. 4) — are preprocessed and matched once and
+// the result fanned out, the same deduplication lever the training
+// pipeline uses; it is the largest factor in the paper's efficiency
+// ablation (Fig. 9).
+func (m *Matcher) MatchBatch(lines []string) []MatchResult {
+	out := make([]MatchResult, len(lines))
+	// Collapse to distinct lines.
+	firstAt := make(map[string]int, len(lines)/4+1)
+	var distinct []string
+	ref := make([]int, len(lines))
+	for i, l := range lines {
+		d, ok := firstAt[l]
+		if !ok {
+			d = len(distinct)
+			firstAt[l] = d
+			distinct = append(distinct, l)
+		}
+		ref[i] = d
+	}
+	results := make([]MatchResult, len(distinct))
+	m.parser.forEachChunk(len(distinct), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i] = m.Match(distinct[i])
+		}
+	})
+	for i := range lines {
+		out[i] = results[ref[i]]
+	}
+	return out
+}
+
+// templateMatches reports whether tokens fit the template: equal length,
+// and each template position either equals the log token or is the
+// wildcard. Lengths must be pre-checked equal by the caller's bucketing;
+// the check here keeps the linear path safe too.
+func templateMatches(template, tokens []string) bool {
+	if len(template) != len(tokens) {
+		return false
+	}
+	for i, t := range template {
+		if t != Wildcard && t != tokens[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeModels folds the freshly trained next model into prev, implementing
+// the periodic retraining rule of §3: templates whose similarity to an
+// existing template meets threshold are merged (the existing node absorbs
+// the new one's counts, and their children merge recursively); templates
+// below the threshold are attached as new child nodes. Temporary nodes in
+// prev are dropped — their logs were part of the retraining input.
+//
+// MergeModels returns the merged model (prev and next are not modified) and
+// a remap from next-model node IDs to merged-model node IDs.
+func MergeModels(prev, next *Model, threshold float64) (*Model, map[uint64]uint64, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, nil, fmt.Errorf("core: merge threshold %v out of (0,1]", threshold)
+	}
+	merged := NewModel()
+	merged.NextID = prev.NextID
+	for id, to := range prev.Aliases {
+		merged.Aliases[id] = to
+	}
+
+	// Copy prev, skipping temporary nodes (and any subtree under them —
+	// temporaries are always leaves, but be defensive).
+	dropped := make(map[uint64]bool)
+	for _, id := range sortedIDs(prev) {
+		n := prev.Nodes[id]
+		if n.Temporary || dropped[n.Parent] {
+			dropped[id] = true
+			continue
+		}
+		merged.addNode(cloneNode(n))
+	}
+
+	remap := make(map[uint64]uint64, next.Len())
+	for _, rootID := range next.Roots() {
+		nr := next.Nodes[rootID]
+		target := findRoot(merged, nr)
+		if target == nil {
+			graft(merged, next, rootID, NoParent, 0, remap)
+			continue
+		}
+		mergeInto(merged, next, target.ID, rootID, threshold, remap)
+	}
+
+	// Forward dropped temporary IDs to their retrained replacement, so
+	// records stored under the temporary ID stay queryable. Temporaries
+	// with no replacement (their logs were sampled out of the training
+	// buffer) are kept instead of dropped.
+	for id := range dropped {
+		temp := prev.Nodes[id]
+		if target := bestMatchNode(merged, temp.Template); target != 0 {
+			merged.Aliases[id] = target
+		} else {
+			kept := cloneNode(temp)
+			kept.Parent = NoParent
+			kept.Depth = 0
+			merged.addNode(kept)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: merged model invalid: %w", err)
+	}
+	return merged, remap, nil
+}
+
+// bestMatchNode finds the node whose template matches tokens (template
+// wildcards match anything), preferring higher saturation then depth; 0
+// when none match.
+func bestMatchNode(m *Model, tokens []string) uint64 {
+	var best *Node
+	for _, n := range m.Nodes {
+		if len(n.Template) != len(tokens) {
+			continue
+		}
+		ok := true
+		for i, t := range n.Template {
+			if t != Wildcard && t != tokens[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || n.Saturation > best.Saturation ||
+			(n.Saturation == best.Saturation && n.Depth > best.Depth) ||
+			(n.Saturation == best.Saturation && n.Depth == best.Depth && n.ID < best.ID) {
+			best = n
+		}
+	}
+	if best == nil {
+		return 0
+	}
+	return best.ID
+}
+
+// mergeInto merges the next-model node srcID (and its subtree) into the
+// merged-model node dstID. Counts always flow into dst and dst's template
+// widens to cover src. Src's refinement content then routes down: its
+// children (or src itself, when it is a leaf carrying a template
+// dissimilar to dst) merge into the best-matching existing child above the
+// similarity threshold, or graft as new children — the §3 rule "templates
+// with similarity scores above a given threshold are merged; otherwise,
+// they remain separate child nodes".
+func mergeInto(merged, next *Model, dstID, srcID uint64, threshold float64, remap map[uint64]uint64) {
+	dst := merged.Nodes[dstID]
+	src := next.Nodes[srcID]
+	remap[srcID] = dstID
+	dst.Count += src.Count
+	dst.Weight += src.Weight
+	sim := TemplateSimilarity(dst.Template, src.Template)
+	similar := sim >= threshold
+	// Widen the template: positions that disagree become wildcards, so
+	// the merged template matches everything both templates matched.
+	for i := range dst.Template {
+		if i < len(src.Template) && dst.Template[i] != src.Template[i] {
+			dst.Template[i] = Wildcard
+		}
+	}
+	if !similar && dst.Saturation > sim {
+		// Dst now contains structurally different content: it is a
+		// container, not a resolved template, and query rollup must not
+		// stop at it. Its precision drops to the observed similarity.
+		dst.Saturation = sim
+	}
+	srcChildren := next.Children(srcID)
+	if len(srcChildren) == 0 && !similar {
+		// Src is a refined template that does not belong to dst itself
+		// (dst is its length-group container): route it one level down.
+		best, bestSim := uint64(0), -1.0
+		for _, existingID := range merged.Children(dstID) {
+			existing := merged.Nodes[existingID]
+			if sim := TemplateSimilarity(existing.Template, src.Template); sim > bestSim {
+				bestSim, best = sim, existingID
+			}
+		}
+		if best != 0 && bestSim >= threshold {
+			mergeInto(merged, next, best, srcID, threshold, remap)
+		} else {
+			graft(merged, next, srcID, dstID, dst.Depth+1, remap)
+		}
+		return
+	}
+	for _, childID := range srcChildren {
+		child := next.Nodes[childID]
+		best, bestSim := uint64(0), -1.0
+		for _, existingID := range merged.Children(dstID) {
+			existing := merged.Nodes[existingID]
+			sim := TemplateSimilarity(existing.Template, child.Template)
+			if sim > bestSim {
+				bestSim, best = sim, existingID
+			}
+		}
+		if best != 0 && bestSim >= threshold {
+			mergeInto(merged, next, best, childID, threshold, remap)
+		} else {
+			graft(merged, next, childID, dstID, merged.Nodes[dstID].Depth+1, remap)
+		}
+	}
+}
+
+// graft copies the subtree rooted at srcID from next into merged under
+// parent, allocating fresh IDs and recording them in remap.
+func graft(merged, next *Model, srcID, parent uint64, depth int, remap map[uint64]uint64) {
+	src := next.Nodes[srcID]
+	n := cloneNode(src)
+	n.ID = merged.newID()
+	n.Parent = parent
+	n.Depth = depth
+	if parent != NoParent {
+		if p := merged.Nodes[parent]; n.Saturation < p.Saturation {
+			n.Saturation = p.Saturation
+		}
+	}
+	merged.addNode(n)
+	remap[srcID] = n.ID
+	for _, childID := range next.Children(srcID) {
+		graft(merged, next, childID, n.ID, depth+1, remap)
+	}
+}
+
+// findRoot locates the merged-model root for the same initial group as n:
+// same template length, best template similarity among candidates. (With
+// the default PrefixLen of 0 there is at most one root per length; with a
+// prefix, similarity separates the prefix groups.)
+func findRoot(m *Model, n *Node) *Node {
+	var best *Node
+	bestSim := -1.0
+	for _, rid := range m.roots {
+		r := m.Nodes[rid]
+		if len(r.Template) != len(n.Template) {
+			continue
+		}
+		if sim := TemplateSimilarity(r.Template, n.Template); sim > bestSim {
+			bestSim, best = sim, r
+		}
+	}
+	return best
+}
+
+// TemplateSimilarity scores two equal-length templates in [0,1]: the
+// fraction of positions that agree, where a wildcard agrees with anything.
+// Different lengths score 0.
+func TemplateSimilarity(a, b []string) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	if len(a) == 0 {
+		return 1
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] || a[i] == Wildcard || b[i] == Wildcard {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+func cloneNode(n *Node) *Node {
+	c := *n
+	c.Template = make([]string, len(n.Template))
+	copy(c.Template, n.Template)
+	return &c
+}
+
+func sortedIDs(m *Model) []uint64 {
+	ids := make([]uint64, 0, len(m.Nodes))
+	for id := range m.Nodes {
+		ids = append(ids, id)
+	}
+	// Parents were always allocated before children, so ascending ID
+	// order guarantees parents are visited first.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

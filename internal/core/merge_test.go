@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// trainOn is a test helper producing a model from lines.
+func trainOn(t *testing.T, seed int64, lines []string) *TrainResult {
+	t.Helper()
+	res, err := New(Options{Seed: seed}).Train(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMergeSelfIsStable(t *testing.T) {
+	// Merging a model with a retrain of the same data must not grow the
+	// template set meaningfully (idempotence up to tie-breaking).
+	lines := sampleLogs(300, 21)
+	a := trainOn(t, 1, lines)
+	b := trainOn(t, 1, lines)
+	merged, _, err := MergeModels(a.Model, b.Model, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() > a.Model.Len()+a.Model.Len()/4 {
+		t.Errorf("self-merge grew model %d → %d", a.Model.Len(), merged.Len())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePreservesOldIDs(t *testing.T) {
+	a := trainOn(t, 1, []string{"alpha beta 1", "alpha beta 2", "gamma delta x9"})
+	b := trainOn(t, 1, []string{"alpha beta 7", "alpha beta 9"})
+	merged, _, err := MergeModels(a.Model, b.Model, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, old := range a.Model.Nodes {
+		if old.Temporary {
+			continue
+		}
+		n, ok := merged.Nodes[id]
+		if !ok {
+			t.Errorf("old node %d lost in merge", id)
+			continue
+		}
+		if len(n.Template) != len(old.Template) {
+			t.Errorf("node %d template length changed", id)
+		}
+	}
+}
+
+func TestMergeRemapCoversAllNewNodes(t *testing.T) {
+	a := trainOn(t, 1, sampleLogs(200, 5))
+	b := trainOn(t, 2, sampleLogs(200, 6))
+	merged, remap, err := MergeModels(a.Model, b.Model, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range b.Model.Nodes {
+		target, ok := remap[id]
+		if !ok {
+			t.Errorf("new node %d has no remap entry", id)
+			continue
+		}
+		if _, ok := merged.Nodes[target]; !ok {
+			t.Errorf("remap target %d of %d not in merged model", target, id)
+		}
+	}
+}
+
+func TestMergeAliasForwardsTemporaries(t *testing.T) {
+	p := New(Options{Seed: 1})
+	res, err := p.Train([]string{"svc start on node n1", "svc start on node n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMatcher(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := "queue depth exceeded for shard 7"
+	r := m.Match(novel)
+	if !r.New {
+		t.Fatal("expected temporary")
+	}
+	tempID := r.NodeID
+	res2, err := p.TrainMerge(res.Model, []string{novel, "queue depth exceeded for shard 9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := res2.Model.Resolve(tempID)
+	if resolved == tempID {
+		t.Fatalf("temporary %d not forwarded", tempID)
+	}
+	n, err := res2.Model.TemplateAt(tempID, 0.7)
+	if err != nil {
+		t.Fatalf("old temporary ID unusable after merge: %v", err)
+	}
+	if n.Temporary {
+		t.Error("alias resolved to a temporary node")
+	}
+}
+
+func TestMergeKeepsUnretrainedTemporaries(t *testing.T) {
+	// A temporary whose logs were sampled out of the training buffer
+	// must survive the merge so its stored records stay queryable.
+	p := New(Options{Seed: 1})
+	res, err := p.Train([]string{"alpha one 1", "alpha one 2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMatcher(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Match("totally different structure here now")
+	if !r.New {
+		t.Fatal("expected temporary")
+	}
+	// Retrain WITHOUT the novel line.
+	res2, err := p.TrainMerge(res.Model, []string{"alpha one 7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res2.Model.TemplateAt(r.NodeID, 0.7); err != nil {
+		t.Errorf("unretrained temporary lost: %v", err)
+	}
+}
+
+func TestMergeLowersContainerSaturation(t *testing.T) {
+	// When dissimilar content routes into a length-group container, the
+	// container's saturation must drop so rollup does not stop at it.
+	a := trainOn(t, 1, []string{
+		"cache miss for key 111 backend s1",
+		"cache miss for key 222 backend s2",
+		"cache miss for key 333 backend s3",
+	})
+	b := trainOn(t, 1, []string{
+		"disk alarm raised on vol 9 now",
+		"disk alarm raised on vol 3 now",
+	})
+	merged, _, err := MergeModels(a.Model, b.Model, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range merged.Roots() {
+		root := merged.Nodes[rid]
+		if len(merged.Children(rid)) >= 2 && root.Saturation > 0.8 {
+			// Multiple dissimilar children under a high-saturation
+			// container would merge unrelated logs at query time.
+			allWild := true
+			for _, tok := range root.Template {
+				if tok != Wildcard {
+					allWild = false
+				}
+			}
+			if allWild {
+				t.Errorf("all-wildcard container kept saturation %v", root.Saturation)
+			}
+		}
+	}
+}
+
+func TestMergeChainAcrossManyCycles(t *testing.T) {
+	p := New(Options{Seed: 3})
+	var model *Model
+	r := rand.New(rand.NewSource(9))
+	var sizes []int
+	for cycle := 0; cycle < 6; cycle++ {
+		var lines []string
+		for i := 0; i < 100; i++ {
+			lines = append(lines, fmt.Sprintf("cycle%d event %d from host h%d", cycle%3, r.Intn(1000), r.Intn(20)))
+		}
+		res, err := p.TrainMerge(model, lines)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		model = res.Model
+		if err := model.Validate(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		sizes = append(sizes, model.Len())
+	}
+	// Recurring structures: growth must decelerate sharply once all
+	// three cycle variants have been seen (convergence, not linear
+	// accumulation), and stay within a small multiple of the ~60 true
+	// leaf templates.
+	firstHalf := sizes[2] - sizes[0]
+	secondHalf := sizes[5] - sizes[3]
+	if secondHalf*2 > firstHalf {
+		t.Errorf("merge did not converge: sizes %v", sizes)
+	}
+	if sizes[5] > 400 {
+		t.Errorf("model ballooned to %d nodes for ~60 templates", sizes[5])
+	}
+}
+
+func TestResolveBoundedOnAliasCycle(t *testing.T) {
+	m := NewModel()
+	m.Aliases[1] = 2
+	m.Aliases[2] = 1 // malicious cycle: Resolve must terminate
+	_ = m.Resolve(1)
+}
+
+func TestBestMatchNodePrefersPrecise(t *testing.T) {
+	m := NewModel()
+	coarse := &Node{ID: m.newID(), Template: []string{"a", Wildcard}, Saturation: 0.5}
+	m.addNode(coarse)
+	fine := &Node{ID: m.newID(), Parent: coarse.ID, Depth: 1, Template: []string{"a", "b"}, Saturation: 1.0}
+	m.addNode(fine)
+	if got := bestMatchNode(m, []string{"a", "b"}); got != fine.ID {
+		t.Errorf("bestMatchNode = %d, want precise node %d", got, fine.ID)
+	}
+	if got := bestMatchNode(m, []string{"a", "zzz"}); got != coarse.ID {
+		t.Errorf("bestMatchNode = %d, want wildcard node %d", got, coarse.ID)
+	}
+	if got := bestMatchNode(m, []string{"x", "y", "z"}); got != 0 {
+		t.Errorf("bestMatchNode on unmatched length = %d, want 0", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	res := trainOn(t, 1, sampleLogs(100, 4))
+	m := res.Model
+
+	// Dangling parent.
+	bad := &Node{ID: m.newID(), Parent: 99999, Template: []string{"x"}, Saturation: 1, Depth: 1}
+	m.Nodes[bad.ID] = bad
+	if err := m.Validate(); err == nil {
+		t.Error("dangling parent not caught")
+	}
+	delete(m.Nodes, bad.ID)
+
+	// Saturation out of range.
+	for _, n := range m.Nodes {
+		old := n.Saturation
+		n.Saturation = 1.5
+		if err := m.Validate(); err == nil {
+			t.Error("saturation out of range not caught")
+		}
+		n.Saturation = old
+		break
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("model did not restore cleanly: %v", err)
+	}
+}

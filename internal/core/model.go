@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NoParent marks a root node's Parent field.
+const NoParent uint64 = 0
+
+// Node is one template in the clustering forest. Node metadata — template
+// text, saturation, parent link — is exactly what the paper persists to the
+// internal topic; per-position token statistics are deliberately not stored
+// (§4.8: text-based matching keeps the model small).
+type Node struct {
+	// ID is unique within a model and stable across merges. IDs start
+	// at 1; 0 means "no node".
+	ID uint64
+	// Parent is the ID of the parent node, or NoParent for roots.
+	Parent uint64
+	// Template is the token sequence with Wildcard at variable
+	// positions.
+	Template []string
+	// Saturation is the precision score of this template, in [0,1],
+	// non-decreasing from root to leaf.
+	Saturation float64
+	// Depth is the distance from the group root.
+	Depth int
+	// Count is the number of distinct training logs under this node.
+	Count int
+	// Weight is the duplicate-weighted training log count.
+	Weight int
+	// Temporary marks nodes inserted by online matching for logs unseen
+	// in training; they are reconsidered at the next training cycle.
+	Temporary bool
+}
+
+// Text renders the template as a single-spaced string.
+func (n *Node) Text() string { return strings.Join(n.Template, " ") }
+
+// Model is a trained clustering forest plus the bookkeeping needed to merge
+// future training cycles into it.
+type Model struct {
+	// Nodes holds every template node keyed by ID.
+	Nodes map[uint64]*Node
+	// NextID is the next unassigned node ID.
+	NextID uint64
+	// Aliases forwards IDs of nodes dropped during model merging
+	// (temporary templates replaced by retrained ones) to their
+	// replacement, so records stored with the old ID stay queryable.
+	Aliases map[uint64]uint64
+
+	children map[uint64][]uint64
+	roots    []uint64
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{Nodes: make(map[uint64]*Node), NextID: 1, Aliases: make(map[uint64]uint64)}
+}
+
+// Resolve follows alias forwarding to the live node ID for id (identity
+// for live IDs).
+func (m *Model) Resolve(id uint64) uint64 {
+	for i := 0; i < 8; i++ { // alias chains are short; bound defensively
+		next, ok := m.Aliases[id]
+		if !ok {
+			return id
+		}
+		id = next
+	}
+	return id
+}
+
+// addNode inserts n (which must already carry a fresh ID) and indexes it.
+func (m *Model) addNode(n *Node) {
+	m.Nodes[n.ID] = n
+	if m.children == nil {
+		m.children = make(map[uint64][]uint64)
+	}
+	if n.Parent == NoParent {
+		m.roots = append(m.roots, n.ID)
+	} else {
+		m.children[n.Parent] = append(m.children[n.Parent], n.ID)
+	}
+}
+
+// newID allocates the next node ID.
+func (m *Model) newID() uint64 {
+	id := m.NextID
+	m.NextID++
+	return id
+}
+
+// reindex rebuilds the children/roots indexes from Nodes, e.g. after
+// deserialization.
+func (m *Model) reindex() {
+	m.children = make(map[uint64][]uint64, len(m.Nodes))
+	m.roots = m.roots[:0]
+	ids := make([]uint64, 0, len(m.Nodes))
+	for id := range m.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.Nodes[id]
+		if n.Parent == NoParent {
+			m.roots = append(m.roots, id)
+		} else {
+			m.children[n.Parent] = append(m.children[n.Parent], id)
+		}
+	}
+}
+
+// Roots returns the root node IDs in ascending order.
+func (m *Model) Roots() []uint64 {
+	out := make([]uint64, len(m.roots))
+	copy(out, m.roots)
+	return out
+}
+
+// Children returns the child IDs of id in ascending order.
+func (m *Model) Children(id uint64) []uint64 {
+	out := make([]uint64, len(m.children[id]))
+	copy(out, m.children[id])
+	return out
+}
+
+// Len returns the number of nodes.
+func (m *Model) Len() int { return len(m.Nodes) }
+
+// Leaves returns the IDs of nodes without children, ascending.
+func (m *Model) Leaves() []uint64 {
+	var out []uint64
+	for id := range m.Nodes {
+		if len(m.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TemplateAt walks from the node id toward the root and returns the
+// coarsest ancestor whose saturation still meets threshold — the query-time
+// precision control of §3. If even id itself falls below the threshold, id
+// is returned: it is the most precise template available.
+func (m *Model) TemplateAt(id uint64, threshold float64) (*Node, error) {
+	n, ok := m.Nodes[m.Resolve(id)]
+	if !ok {
+		return nil, fmt.Errorf("core: node %d not in model", id)
+	}
+	best := n
+	for n.Parent != NoParent {
+		parent, ok := m.Nodes[n.Parent]
+		if !ok {
+			break
+		}
+		if parent.Saturation >= threshold {
+			best = parent
+		}
+		n = parent
+	}
+	return best, nil
+}
+
+// Ancestry returns the path from the group root down to id, inclusive.
+func (m *Model) Ancestry(id uint64) ([]*Node, error) {
+	n, ok := m.Nodes[m.Resolve(id)]
+	if !ok {
+		return nil, fmt.Errorf("core: node %d not in model", id)
+	}
+	var rev []*Node
+	for {
+		rev = append(rev, n)
+		if n.Parent == NoParent {
+			break
+		}
+		parent, ok := m.Nodes[n.Parent]
+		if !ok {
+			return nil, fmt.Errorf("core: node %d has dangling parent %d", n.ID, n.Parent)
+		}
+		n = parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// TemplatesAtThreshold returns, for every root-reachable subtree, the
+// shallowest nodes whose saturation meets threshold — the template set a
+// user sees at a given precision slider position. Results are ordered by
+// descending weight, then ID.
+func (m *Model) TemplatesAtThreshold(threshold float64) []*Node {
+	var out []*Node
+	var walk func(id uint64)
+	walk = func(id uint64) {
+		n := m.Nodes[id]
+		if n.Saturation >= threshold {
+			out = append(out, n)
+			return
+		}
+		kids := m.children[id]
+		if len(kids) == 0 {
+			out = append(out, n)
+			return
+		}
+		for _, c := range kids {
+			walk(c)
+		}
+	}
+	for _, r := range m.roots {
+		walk(r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// modelWire is the gob wire format: a flat node list.
+type modelWire struct {
+	Nodes   []*Node
+	NextID  uint64
+	Aliases map[uint64]uint64
+}
+
+// MarshalBinary serializes the model (encoding.BinaryMarshaler).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	w := modelWire{NextID: m.NextID, Aliases: m.Aliases, Nodes: make([]*Node, 0, len(m.Nodes))}
+	ids := make([]uint64, 0, len(m.Nodes))
+	for id := range m.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w.Nodes = append(w.Nodes, m.Nodes[id])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("core: encode model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a model produced by MarshalBinary
+// (encoding.BinaryUnmarshaler).
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("core: decode model: %w", err)
+	}
+	m.Nodes = make(map[uint64]*Node, len(w.Nodes))
+	for _, n := range w.Nodes {
+		if n == nil || n.ID == 0 {
+			return errors.New("core: decode model: invalid node")
+		}
+		m.Nodes[n.ID] = n
+	}
+	m.NextID = w.NextID
+	if m.NextID == 0 {
+		m.NextID = 1
+	}
+	m.Aliases = w.Aliases
+	if m.Aliases == nil {
+		m.Aliases = make(map[uint64]uint64)
+	}
+	m.reindex()
+	return nil
+}
+
+// SizeBytes returns the serialized model size; the storage-cost figure the
+// paper reports in Table 5.
+func (m *Model) SizeBytes() (int, error) {
+	b, err := m.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// Validate checks structural invariants: parent links resolve, saturations
+// lie in [0,1] and do not decrease from parent to child, and depths are
+// consistent. It is used by tests and by the service before activating a
+// freshly merged model.
+func (m *Model) Validate() error {
+	for id, n := range m.Nodes {
+		if id != n.ID {
+			return fmt.Errorf("core: node keyed %d has ID %d", id, n.ID)
+		}
+		if n.Saturation < 0 || n.Saturation > 1+1e-9 {
+			return fmt.Errorf("core: node %d saturation %v out of range", id, n.Saturation)
+		}
+		if n.Parent != NoParent {
+			p, ok := m.Nodes[n.Parent]
+			if !ok {
+				return fmt.Errorf("core: node %d parent %d missing", id, n.Parent)
+			}
+			if n.Saturation+1e-9 < p.Saturation {
+				return fmt.Errorf("core: node %d saturation %v below parent %v", id, n.Saturation, p.Saturation)
+			}
+			if n.Depth != p.Depth+1 {
+				return fmt.Errorf("core: node %d depth %d, parent depth %d", id, n.Depth, p.Depth)
+			}
+		} else if n.Depth != 0 {
+			return fmt.Errorf("core: root %d has depth %d", id, n.Depth)
+		}
+	}
+	return nil
+}

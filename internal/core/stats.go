@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+
+	"bytebrain/internal/dedup"
+)
+
+// posStats summarizes per-position token distributions for a set of logs of
+// equal token count. It backs both the positional-similarity distance
+// (Eq. 2) and the saturation score (Eq. 3).
+type posStats struct {
+	// counts[i] maps token code → number of member logs carrying it at
+	// position i. Members are unique (deduplicated) logs; each counts 1.
+	counts []map[uint64]int
+	// rep[i] is the token text at position i of the first member, used
+	// to render constant positions in template text.
+	rep []string
+	// typed[i] counts member tokens at position i that look like typed
+	// values (digit-bearing, hex-like, path-like) — the SemanticHints
+	// evidence.
+	typed []int
+	// n is the number of member logs.
+	n int
+	// weight is the duplicate-weighted member count (Σ Count).
+	weight int
+}
+
+// typedToken reports whether a token looks like a typed value rather than
+// a word: it carries a digit, or is an absolute path.
+func typedToken(s string) bool {
+	if len(s) > 0 && s[0] == '/' {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// newPosStats computes statistics over members (all of identical length).
+func newPosStats(members []*dedup.Unique) *posStats {
+	if len(members) == 0 {
+		return &posStats{}
+	}
+	m := len(members[0].Tokens)
+	st := &posStats{
+		counts: make([]map[uint64]int, m),
+		rep:    members[0].Tokens,
+		typed:  make([]int, m),
+		n:      len(members),
+	}
+	for i := 0; i < m; i++ {
+		st.counts[i] = make(map[uint64]int, 4)
+	}
+	for _, u := range members {
+		st.weight += u.Count
+		for i, code := range u.Enc {
+			st.counts[i][code]++
+			if typedToken(u.Tokens[i]) {
+				st.typed[i]++
+			}
+		}
+	}
+	return st
+}
+
+// positions returns the token count m.
+func (st *posStats) positions() int { return len(st.counts) }
+
+// distinct returns n_i, the number of distinct tokens at position i.
+func (st *posStats) distinct(i int) int { return len(st.counts[i]) }
+
+// constants returns m_c, the number of positions where all members agree.
+func (st *posStats) constants() int {
+	mc := 0
+	for i := range st.counts {
+		if len(st.counts[i]) == 1 {
+			mc++
+		}
+	}
+	return mc
+}
+
+// similarity computes the positional similarity of Eq. 2 between a log and
+// the cluster summarized by st:
+//
+//	sim(L,C) = Σ w_i · f_i(L,C) / Σ w_i
+//
+// where f_i is the relative frequency of L's token at position i among the
+// cluster members and w_i = 1/(n_i − 1) down-weights high-variability
+// positions (capped at 2 for constant positions, where the paper's formula
+// divides by zero). Values lie in [0,1]; the paper's "distance" is
+// 1 − similarity, and logs are assigned to the most similar cluster.
+func (st *posStats) similarity(enc []uint64, noPositionImportance bool) float64 {
+	if st.n == 0 || len(enc) != len(st.counts) {
+		return 0
+	}
+	var num, den float64
+	inv := 1.0 / float64(st.n)
+	for i, code := range enc {
+		var w float64
+		if noPositionImportance {
+			w = 1
+		} else {
+			ni := len(st.counts[i])
+			d := float64(ni) - 1
+			if d < 0.5 {
+				d = 0.5
+			}
+			w = 1 / d
+		}
+		f := float64(st.counts[i][code]) * inv
+		num += w * f
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// add incorporates one member into the statistics.
+func (st *posStats) add(u *dedup.Unique) {
+	if st.counts == nil {
+		m := len(u.Tokens)
+		st.counts = make([]map[uint64]int, m)
+		for i := range st.counts {
+			st.counts[i] = make(map[uint64]int, 4)
+		}
+		st.rep = u.Tokens
+		st.typed = make([]int, m)
+	}
+	for i, code := range u.Enc {
+		st.counts[i][code]++
+		if typedToken(u.Tokens[i]) {
+			st.typed[i]++
+		}
+	}
+	st.n++
+	st.weight += u.Count
+}
+
+// Variable declaration thresholds: a position whose distinct-token count
+// reaches both bounds is a "likely variable" (§4.5: saturation "considers
+// both confirmed constants and likely variables") and counts as resolved.
+// The minimum-evidence guard keeps tiny nodes — like the three-log sets of
+// Fig. 5 — in the conservative regime where only structure, not
+// statistics, can resolve a position. Table 4 shows the effect at scale:
+// high-cardinality positions (lock, uid, pid) stay wildcards at every
+// precision level while low-cardinality positions (name, ws) keep
+// refining.
+const (
+	declareMinDistinct = 10
+	declareAbsolute    = 32
+	declareRatio       = 0.3
+)
+
+// declaredVariable reports whether position i is statistically resolved as
+// a variable: at least declareMinDistinct distinct tokens, and either a
+// large absolute vocabulary (bounded variables like ports and PIDs stay
+// below any fixed fraction of n once n is large) or a high distinct ratio
+// (small nodes where most members disagree at the position). With
+// semantic hints (§8 extension), a position whose tokens are nearly all
+// typed values qualifies with only a quarter of the distinct-count
+// evidence.
+func (st *posStats) declaredVariable(i int, semantic bool) bool {
+	nu := len(st.counts[i])
+	if semantic && nu > 1 && st.typed != nil &&
+		float64(st.typed[i]) >= 0.95*float64(st.n) &&
+		nu*4 >= declareMinDistinct {
+		return true
+	}
+	if nu < declareMinDistinct {
+		return false
+	}
+	return nu >= declareAbsolute || float64(nu) >= declareRatio*float64(st.n)
+}
+
+// fullyDistinctVariable reports whether a position with nu distinct tokens
+// qualifies for the small-node fully-distinct rule (Fig. 5 Set 1): nearly
+// every member carries its own value, and members are barely duplicated. A
+// handful of unique values carrying heavy duplicate weight is categorical
+// evidence, not variable sampling, hence the weight guard.
+func (st *posStats) fullyDistinctVariable(nu int) bool {
+	if st.weight > 3*st.n || st.n < 3 {
+		return false
+	}
+	if nu == st.n {
+		return true
+	}
+	// Larger nodes tolerate one repeated value.
+	return st.n >= 6 && nu >= st.n-1
+}
+
+// saturation computes s(C) per Eq. 3 under the interpretation documented in
+// DESIGN.md §2.2, which reproduces every value of Fig. 5 and the Table-4
+// refinement behaviour. Positions are classified:
+//
+//   - constant: n_u = 1;
+//   - declared variable: statistically variable (n_u ≥ 8 and ≥ n/2) —
+//     the "likely variables" of §4.5 — or, in small nodes without any
+//     ambiguous position, fully distinct (n_u = n, n ≥ 3, the Fig.-5
+//     Set-1 case);
+//   - ambiguous: everything else — a mid-cardinality position that could
+//     be a pooled variable or a categorical constant; only further
+//     splitting (Table 4: name → android, ws → null) can tell.
+//
+// Then with resolved = constants + declared:
+//
+//	f_c = resolved/m
+//	f_v = min_i ln(n_u(i))/ln(n)   over unresolved positions
+//	p_c = 1/2^(m−resolved−1)       confidence in the unresolved evidence
+//	s   = (f_v·p_c + (1−p_c)) · f_c
+//
+// and s = 1 when nothing is unresolved (or the node has ≤ 1 member).
+// Fully-distinct positions are suspended from declaration when ambiguous
+// positions coexist — Fig. 5 Set 2's point that apparent variables may be
+// structurally correlated with unresolved structure.
+func (st *posStats) saturation(o *Options) float64 {
+	m := st.positions()
+	if st.n <= 1 || m == 0 {
+		return 1
+	}
+	noVar := o != nil && o.NoVariableSaturation
+	semantic := o != nil && o.SemanticHints
+	constants := 0
+	declared := 0
+	fullyDistinct := 0
+	ambiguous := 0
+	for i := range st.counts {
+		nu := len(st.counts[i])
+		switch {
+		case nu == 1:
+			constants++
+		case st.declaredVariable(i, semantic):
+			declared++
+		case st.fullyDistinctVariable(nu):
+			fullyDistinct++
+		default:
+			ambiguous++
+		}
+	}
+	if noVar {
+		// Ablation: only confirmed constants count (s = f_c).
+		return float64(constants) / float64(m)
+	}
+	resolved := constants + declared
+	if ambiguous == 0 {
+		resolved += fullyDistinct
+	}
+	if resolved == m {
+		return 1
+	}
+	// Unresolved = ambiguous plus any suspended fully-distinct positions.
+	// The variability scale divides by the *total* (duplicate-weighted)
+	// log count, per the paper's "let n be the total number of logs": a
+	// position with six values over six barely-duplicated logs is highly
+	// variable, the same six values over six hundred logs are categorical.
+	minFv := math.Inf(1)
+	logN := math.Log(float64(st.weight))
+	for i := range st.counts {
+		nu := len(st.counts[i])
+		if nu == 1 || st.declaredVariable(i, semantic) {
+			continue
+		}
+		if logN > 0 {
+			fv := math.Log(float64(nu)) / logN
+			if fv < minFv {
+				minFv = fv
+			}
+		}
+	}
+	fc := float64(resolved) / float64(m)
+	fv := minFv
+	if math.IsInf(fv, 1) {
+		fv = 0
+	}
+	if fv > 1 {
+		fv = 1
+	}
+	if o != nil && o.NoConfidenceFactor {
+		return fv * fc
+	}
+	pc := math.Pow(2, -float64(m-resolved-1))
+	return (fv*pc + (1 - pc)) * fc
+}
+
+// template renders the node template: constant positions keep their token,
+// all others become the wildcard.
+func (st *posStats) template() []string {
+	t := make([]string, st.positions())
+	for i := range st.counts {
+		if len(st.counts[i]) == 1 {
+			t[i] = st.rep[i]
+		} else {
+			t[i] = Wildcard
+		}
+	}
+	return t
+}
+
+// unresolvedPositions returns the indices with more than one distinct
+// token.
+func (st *posStats) unresolvedPositions() []int {
+	var idx []int
+	for i := range st.counts {
+		if len(st.counts[i]) > 1 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

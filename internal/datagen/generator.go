@@ -1,0 +1,498 @@
+// Package datagen simulates the LogHub and LogHub-2.0 benchmark datasets
+// (§5.1.1, Table 1).
+//
+// The real corpora are multi-gigabyte public downloads that cannot ship
+// with an offline module, so each of the sixteen datasets is replaced by a
+// generator that preserves the properties log-parsing accuracy and
+// throughput actually depend on: the Table-1 template count, per-dataset
+// message shapes (HDFS block ops, BGL RAS events, Android wakelocks, …),
+// typed variable slots, a Zipf-distributed template frequency (which also
+// reproduces the heavy duplication of Fig. 4), and exact ground-truth
+// labels. Template patterns use two kinds of markers:
+//
+//   - runtime slots, filled per generated line: {int} {smallint} {hex}
+//     {ip} {ipport} {uuid} {float} {path} {host} {user} {ts} {dur} {ver}
+//     {blk} {pid} {word:a|b|c} {list:item}
+//   - expansion constants, fixed per template: {C:name} draws from the
+//     dataset's flavor list "name", so one base pattern yields a family of
+//     distinct templates ("Starting task cleanup", "Starting task gc", …).
+//
+// {list:item} renders one to four items, so logs from the same statement
+// can have different token counts — the variable-length challenge §7
+// discusses; the ground-truth label stays the same across lengths, which
+// bounds syntax-based parsers below perfect GA exactly as on the real
+// data.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dataset is one generated benchmark dataset.
+type Dataset struct {
+	// Name is the LogHub dataset name (e.g. "HDFS").
+	Name string
+	// Lines are the raw log lines.
+	Lines []string
+	// Truth holds the ground-truth template ID of each line.
+	Truth []int
+	// NumTemplates is the number of distinct templates the generator
+	// built (the Table-1 template count).
+	NumTemplates int
+	// Bytes is the total size of Lines.
+	Bytes int64
+}
+
+// template is a compiled pattern: literal parts interleaved with slots.
+type template struct {
+	id    int
+	parts []string
+	slots []slot
+}
+
+type slot struct {
+	kind    string
+	choices []string // for "word"
+}
+
+// compile parses a fully-expanded pattern (no {C:...} markers remain) into
+// a template.
+func compile(id int, pattern string) (*template, error) {
+	t := &template{id: id}
+	rest := pattern
+	for {
+		open := strings.IndexByte(rest, '{')
+		if open < 0 {
+			t.parts = append(t.parts, rest)
+			return t, nil
+		}
+		closeIdx := strings.IndexByte(rest[open:], '}')
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("datagen: unclosed marker in %q", pattern)
+		}
+		closeIdx += open
+		t.parts = append(t.parts, rest[:open])
+		marker := rest[open+1 : closeIdx]
+		s := slot{kind: marker}
+		if k, arg, ok := strings.Cut(marker, ":"); ok {
+			s.kind = k
+			s.choices = strings.Split(arg, "|")
+		}
+		if !validSlot(s.kind) {
+			return nil, fmt.Errorf("datagen: unknown slot %q in %q", s.kind, pattern)
+		}
+		t.slots = append(t.slots, s)
+		rest = rest[closeIdx+1:]
+	}
+}
+
+func validSlot(kind string) bool {
+	switch kind {
+	case "int", "smallint", "hex", "ip", "ipport", "uuid", "float",
+		"path", "host", "user", "ts", "dur", "ver", "blk", "pid",
+		"pkg", "word", "list":
+		return true
+	}
+	return false
+}
+
+// genState carries the per-stream randomness plus a recent-value cache per
+// slot kind. Real log streams have strong temporal value locality — the
+// same block ID is allocated, written, and deleted within moments — which
+// is what makes raw streams duplicate at all (Fig. 4, left). With
+// probability localityP a slot reuses one of the last cacheSize values of
+// its kind instead of drawing fresh.
+type genState struct {
+	r     *rand.Rand
+	cache map[string][]string
+	sb    strings.Builder
+	tmp   strings.Builder
+}
+
+const (
+	localityP = 0.6
+	cacheSize = 24
+)
+
+func newGenState(seed int64) *genState {
+	return &genState{r: rand.New(rand.NewSource(seed)), cache: make(map[string][]string)}
+}
+
+// render instantiates the template with random slot values.
+func (t *template) render(g *genState) string {
+	g.sb.Reset()
+	for i, p := range t.parts {
+		g.sb.WriteString(p)
+		if i < len(t.slots) {
+			g.renderSlot(t.slots[i])
+		}
+	}
+	return g.sb.String()
+}
+
+// renderSlot writes one slot value, reusing a recent value of the same kind
+// with probability localityP.
+func (g *genState) renderSlot(s slot) {
+	switch s.kind {
+	case "word", "list", "smallint":
+		// Low-cardinality kinds need no locality cache.
+		renderSlotFresh(&g.sb, s, g.r)
+		return
+	}
+	if vals := g.cache[s.kind]; len(vals) > 0 && g.r.Float64() < localityP {
+		g.sb.WriteString(vals[g.r.Intn(len(vals))])
+		return
+	}
+	g.tmp.Reset()
+	renderSlotFresh(&g.tmp, s, g.r)
+	v := g.tmp.String()
+	ring := g.cache[s.kind]
+	if len(ring) < cacheSize {
+		ring = append(ring, v)
+	} else {
+		ring[g.r.Intn(cacheSize)] = v
+	}
+	g.cache[s.kind] = ring
+	g.sb.WriteString(v)
+}
+
+func renderSlotFresh(sb *strings.Builder, s slot, r *rand.Rand) {
+	switch s.kind {
+	case "int":
+		// Mixed magnitudes: counters and sizes repeat, offsets do not.
+		switch r.Intn(3) {
+		case 0:
+			sb.WriteString(strconv.Itoa(r.Intn(100)))
+		case 1:
+			sb.WriteString(strconv.Itoa(r.Intn(1000)))
+		default:
+			sb.WriteString(strconv.Itoa(r.Intn(1000000)))
+		}
+	case "smallint":
+		sb.WriteString(strconv.Itoa(r.Intn(100)))
+	case "hex":
+		fmt.Fprintf(sb, "0x%08x", r.Uint32())
+	case "ip":
+		fmt.Fprintf(sb, "10.%d.%d.%d", r.Intn(4), r.Intn(16), r.Intn(256))
+	case "ipport":
+		fmt.Fprintf(sb, "10.%d.%d.%d:%d", r.Intn(4), r.Intn(16), r.Intn(256), 1024+r.Intn(60000))
+	case "uuid":
+		fmt.Fprintf(sb, "%08x-%04x-%04x-%04x-%012x", r.Uint32(), r.Intn(0x10000), r.Intn(0x10000), r.Intn(0x10000), r.Int63n(1<<48))
+	case "float":
+		fmt.Fprintf(sb, "%.2f", r.Float64()*100)
+	case "path":
+		fmt.Fprintf(sb, "/var/data/part-%05d", r.Intn(2000))
+	case "host":
+		fmt.Fprintf(sb, "node-%03d", r.Intn(64))
+	case "user":
+		sb.WriteString(userPool[r.Intn(len(userPool))])
+	case "pkg":
+		sb.WriteString(pkgPool[r.Intn(len(pkgPool))])
+	case "ts":
+		fmt.Fprintf(sb, "2025-%02d-%02d %02d:%02d:%02d", 1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60))
+	case "dur":
+		fmt.Fprintf(sb, "%dms", r.Intn(30000))
+	case "ver":
+		fmt.Fprintf(sb, "%d.%d.%d", 1+r.Intn(4), r.Intn(10), r.Intn(20))
+	case "blk":
+		fmt.Fprintf(sb, "blk_%d", 1608999687919860000+int64(r.Intn(4000)))
+	case "pid":
+		sb.WriteString(strconv.Itoa(100 + r.Intn(4000)))
+	case "word":
+		sb.WriteString(s.choices[r.Intn(len(s.choices))])
+	case "list":
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(s.choices[r.Intn(len(s.choices))])
+			sb.WriteString(strconv.Itoa(r.Intn(100)))
+		}
+	}
+}
+
+// userPool holds 72 user names so that user-name positions are clearly in
+// variable territory (high absolute cardinality) rather than looking like
+// small categorical constants.
+var userPool = buildUserPool()
+
+// pkgPool holds ~90 package/bundle identifiers; package names in messages
+// like Android's "Start proc" are variables in the real ground truth, not
+// template-defining constants.
+var pkgPool = buildPkgPool()
+
+func buildPkgPool() []string {
+	vendors := []string{"com.android", "com.google.android", "com.tencent", "org.chromium", "com.netease", "io.grpc"}
+	apps := []string{"mm", "gms", "chrome", "settings", "music", "maps", "camera", "dialer", "launcher", "keyboard", "mail", "calendar", "clock", "gallery", "store"}
+	out := make([]string, 0, len(vendors)*len(apps))
+	for _, v := range vendors {
+		for _, a := range apps {
+			out = append(out, v+"."+a)
+		}
+	}
+	return out
+}
+
+func buildUserPool() []string {
+	base := []string{
+		"root", "admin", "daemon", "worker", "svc-ingest", "svc-index",
+		"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+		"ivan", "judy", "mallory", "oscar", "peggy", "trent", "victor", "wendy",
+	}
+	out := make([]string, 0, len(base)+50)
+	out = append(out, base...)
+	for i := 0; i < 50; i++ {
+		out = append(out, fmt.Sprintf("user%02d", i))
+	}
+	return out
+}
+
+// spec describes one dataset family; see datasets.go for the sixteen
+// instances.
+type spec struct {
+	name string
+	// logHub2Logs is the full LogHub-2.0 line count from Table 1 (0 for
+	// the two LogHub-only datasets).
+	logHub2Logs int
+	// logHubTemplates / logHub2Templates are the Table-1 template counts.
+	logHubTemplates  int
+	logHub2Templates int
+	// zipf shapes the template frequency distribution (s parameter).
+	zipf float64
+	// patterns are the base message shapes, possibly with {C:...}
+	// expansion markers.
+	patterns []string
+	// flavors are the expansion constant pools referenced by {C:...}.
+	flavors map[string][]string
+}
+
+// expand resolves the {C:...} markers of base with the combo-th constant
+// combination. Markers advance diagonally — every marker indexed by combo,
+// offset per marker — rather than as a mixed-radix cross product: real
+// codebases pair each message with one or two components, not with every
+// component, and a cross product would flood one message across the whole
+// component pool (making categorical positions statistically
+// indistinguishable from variables).
+func (sp *spec) expand(base string, combo int) string {
+	out := base
+	marker := 0
+	for {
+		open := strings.Index(out, "{C:")
+		if open < 0 {
+			return out
+		}
+		closeIdx := strings.IndexByte(out[open:], '}')
+		if closeIdx < 0 {
+			return out // malformed; caught later by compile
+		}
+		closeIdx += open
+		name := out[open+3 : closeIdx]
+		pool := sp.flavors[name]
+		if len(pool) == 0 {
+			pool = []string{name}
+		}
+		pick := pool[(combo+marker*7)%len(pool)]
+		marker++
+		out = out[:open] + pick + out[closeIdx+1:]
+	}
+}
+
+// buildTemplates expands the base patterns into exactly k distinct
+// templates, deterministically. Genuine constant combinations are used
+// first across all patterns; only when a full sweep yields nothing new do
+// sequence-discriminated variants pad the remainder, and those are kept
+// low-cardinality per family by spreading across patterns.
+func (sp *spec) buildTemplates(k int) ([]*template, error) {
+	seen := make(map[string]bool, k)
+	var out []*template
+	add := func(pattern string) error {
+		seen[pattern] = true
+		t, err := compile(len(out), pattern)
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	newInSweep := false
+	for round := 0; len(out) < k; round++ {
+		base := sp.patterns[round%len(sp.patterns)]
+		combo := round / len(sp.patterns)
+		if round%len(sp.patterns) == 0 {
+			if combo > 0 && !newInSweep {
+				break // genuine combinations exhausted
+			}
+			newInSweep = false
+		}
+		pattern := sp.expand(base, combo)
+		if seen[pattern] {
+			continue
+		}
+		newInSweep = true
+		if err := add(pattern); err != nil {
+			return nil, err
+		}
+	}
+	// Pad with discriminated variants, round-robin over patterns so no
+	// single family accumulates a high-cardinality suffix position. The
+	// discriminator is alphabetic: a digit-bearing suffix would be
+	// masked away by every digit-heuristic parser and turn the variants
+	// into artificial collisions.
+	for v := 0; len(out) < k; v++ {
+		base := sp.patterns[v%len(sp.patterns)]
+		pattern := sp.expand(base, v) + " " + alphaTag(v/len(sp.patterns))
+		if seen[pattern] {
+			continue
+		}
+		if err := add(pattern); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// alphaTag encodes n as a short letters-only discriminator token ("qa",
+// "qb", …, "qba", …).
+func alphaTag(n int) string {
+	buf := []byte{'q'}
+	for {
+		buf = append(buf, byte('a'+n%26))
+		n /= 26
+		if n == 0 {
+			return string(buf)
+		}
+	}
+}
+
+// generate renders n lines over templates with Zipf-distributed template
+// choice.
+func generate(name string, templates []*template, n int, zipfS float64, seed int64) *Dataset {
+	g := newGenState(seed)
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	z := rand.NewZipf(g.r, zipfS, 1, uint64(len(templates)-1))
+	ds := &Dataset{
+		Name:         name,
+		Lines:        make([]string, 0, n),
+		Truth:        make([]int, 0, n),
+		NumTemplates: len(templates),
+	}
+	for i := 0; i < n; i++ {
+		var ti int
+		if i < len(templates) {
+			// Guarantee every template appears at least once, as in the
+			// labeled benchmark cuts.
+			ti = i
+		} else {
+			ti = int(z.Uint64())
+		}
+		line := templates[ti].render(g)
+		ds.Lines = append(ds.Lines, line)
+		ds.Truth = append(ds.Truth, templates[ti].id)
+		ds.Bytes += int64(len(line)) + 1
+	}
+	// Shuffle so the guaranteed-first occurrences do not cluster at the
+	// head of the stream.
+	g.r.Shuffle(len(ds.Lines), func(i, j int) {
+		ds.Lines[i], ds.Lines[j] = ds.Lines[j], ds.Lines[i]
+		ds.Truth[i], ds.Truth[j] = ds.Truth[j], ds.Truth[i]
+	})
+	return ds
+}
+
+// Names returns all sixteen LogHub dataset names in Table-1 order.
+func Names() []string {
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LogHub2Names returns the fourteen datasets present in LogHub-2.0
+// (Android and Windows are LogHub-only).
+func LogHub2Names() []string {
+	var names []string
+	for _, n := range Names() {
+		if specs[n].logHub2Logs > 0 {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// LogHubLines is the labeled cut size of every LogHub dataset.
+const LogHubLines = 2000
+
+// LogHub generates the 2,000-line LogHub cut of the named dataset.
+func LogHub(name string, seed int64) (*Dataset, error) {
+	sp, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	templates, err := sp.buildTemplates(sp.logHubTemplates)
+	if err != nil {
+		return nil, err
+	}
+	return generate(name, templates, LogHubLines, sp.zipf, seed), nil
+}
+
+// LogHub2 generates a LogHub-2.0 cut scaled to scale × the Table-1 line
+// count (scale 1.0 reproduces the full volume; experiments default to a
+// small fraction to keep runtimes in minutes). The template count is the
+// full Table-1 value regardless of scale.
+func LogHub2(name string, scale float64, seed int64) (*Dataset, error) {
+	sp, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	if sp.logHub2Logs == 0 {
+		return nil, fmt.Errorf("datagen: %s is not part of LogHub-2.0", name)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(sp.logHub2Logs) * scale)
+	// Keep scaled cuts meaningful: at least the LogHub cut size and two
+	// lines per template, but never above the paper's full volume.
+	if min := sp.logHub2Templates * 2; n < min {
+		n = min
+	}
+	if n < LogHubLines {
+		n = LogHubLines
+	}
+	if n > sp.logHub2Logs {
+		n = sp.logHub2Logs
+	}
+	templates, err := sp.buildTemplates(sp.logHub2Templates)
+	if err != nil {
+		return nil, err
+	}
+	return generate(name, templates, n, sp.zipf, seed), nil
+}
+
+// FullLogHub2Lines returns the Table-1 LogHub-2.0 line count for name (0
+// if absent), letting callers report the paper-scale volume alongside the
+// scaled cut actually generated.
+func FullLogHub2Lines(name string) int {
+	if sp, ok := specs[name]; ok {
+		return sp.logHub2Logs
+	}
+	return 0
+}
+
+// TemplateCounts returns the Table-1 template counts (LogHub, LogHub-2.0)
+// for name; zeros if unknown.
+func TemplateCounts(name string) (logHub, logHub2 int) {
+	if sp, ok := specs[name]; ok {
+		return sp.logHubTemplates, sp.logHub2Templates
+	}
+	return 0, 0
+}

@@ -1,0 +1,254 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesAndLogHub2Names(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("Names() = %d datasets, want 16 (Table 1)", len(names))
+	}
+	lh2 := LogHub2Names()
+	if len(lh2) != 14 {
+		t.Fatalf("LogHub2Names() = %d datasets, want 14", len(lh2))
+	}
+	for _, n := range lh2 {
+		if n == "Android" || n == "Windows" {
+			t.Errorf("%s should be LogHub-only", n)
+		}
+	}
+}
+
+func TestLogHubDatasetShapes(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds, err := LogHub(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ds.Lines) != LogHubLines {
+				t.Errorf("%s lines = %d, want %d", name, len(ds.Lines), LogHubLines)
+			}
+			if len(ds.Truth) != len(ds.Lines) {
+				t.Fatal("truth/lines length mismatch")
+			}
+			wantT, _ := TemplateCounts(name)
+			if ds.NumTemplates != wantT {
+				t.Errorf("%s templates = %d, want %d (Table 1)", name, ds.NumTemplates, wantT)
+			}
+			// Every template is represented at least once.
+			seen := map[int]bool{}
+			for _, id := range ds.Truth {
+				if id < 0 || id >= ds.NumTemplates {
+					t.Fatalf("truth id %d out of range", id)
+				}
+				seen[id] = true
+			}
+			if len(seen) != ds.NumTemplates {
+				t.Errorf("%s: only %d of %d templates appear", name, len(seen), ds.NumTemplates)
+			}
+			for _, l := range ds.Lines {
+				if l == "" {
+					t.Fatal("empty log line generated")
+				}
+				if strings.Contains(l, "{") && strings.Contains(l, ":") && strings.Contains(l, "{C:") {
+					t.Fatalf("unexpanded constant marker in %q", l)
+				}
+			}
+			if ds.Bytes <= 0 {
+				t.Error("byte size not tracked")
+			}
+		})
+	}
+}
+
+func TestLogHub2Scaled(t *testing.T) {
+	for _, name := range LogHub2Names() {
+		ds, err := LogHub2(name, 0.002, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_, wantT := TemplateCounts(name)
+		if ds.NumTemplates != wantT {
+			t.Errorf("%s templates = %d, want %d", name, ds.NumTemplates, wantT)
+		}
+		if len(ds.Lines) < wantT*2 {
+			t.Errorf("%s too few lines: %d", name, len(ds.Lines))
+		}
+	}
+}
+
+func TestLogHub2RejectsLogHubOnly(t *testing.T) {
+	if _, err := LogHub2("Android", 0.1, 1); err == nil {
+		t.Error("LogHub2 accepted Android")
+	}
+	if _, err := LogHub2("Windows", 0.1, 1); err == nil {
+		t.Error("LogHub2 accepted Windows")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := LogHub("NotADataset", 1); err == nil {
+		t.Error("LogHub accepted unknown dataset")
+	}
+	if _, err := LogHub2("NotADataset", 1, 1); err == nil {
+		t.Error("LogHub2 accepted unknown dataset")
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, err := LogHub("HDFS", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LogHub("HDFS", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] || a.Truth[i] != b.Truth[i] {
+			t.Fatalf("line %d differs across identical seeds", i)
+		}
+	}
+	c, err := LogHub("HDFS", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Lines {
+		if a.Lines[i] == c.Lines[i] {
+			same++
+		}
+	}
+	if same == len(a.Lines) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestZipfSkewProducesDuplicates(t *testing.T) {
+	// The Fig. 4 premise: log data is highly duplicated, and duplication
+	// increases further after variable replacement. Check raw duplicates
+	// and template-frequency skew on the large datasets.
+	for _, name := range []string{"HDFS", "Thunderbird", "Linux", "Hadoop"} {
+		ds, err := LogHub2(name, 0.005, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniq := map[string]bool{}
+		for _, l := range ds.Lines {
+			uniq[l] = true
+		}
+		if len(uniq) == len(ds.Lines) {
+			t.Errorf("%s: no duplicate raw lines at all", name)
+		}
+		freq := map[int]int{}
+		for _, id := range ds.Truth {
+			freq[id]++
+		}
+		max := 0
+		for _, c := range freq {
+			if c > max {
+				max = c
+			}
+		}
+		uniform := len(ds.Lines) / ds.NumTemplates
+		if max < uniform*3 {
+			t.Errorf("%s: head template count %d not skewed vs uniform %d", name, max, uniform)
+		}
+	}
+}
+
+func TestCompileRejectsBadPatterns(t *testing.T) {
+	if _, err := compile(0, "text {unclosed"); err == nil {
+		t.Error("compile accepted unclosed marker")
+	}
+	if _, err := compile(0, "text {nosuchslot} end"); err == nil {
+		t.Error("compile accepted unknown slot")
+	}
+}
+
+func TestCompileAndRenderRoundTrip(t *testing.T) {
+	tmpl, err := compile(0, "job {int} on {host} took {dur} status {word:ok|failed}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGenState(1)
+	line := tmpl.render(g)
+	if !strings.HasPrefix(line, "job ") || !strings.Contains(line, " on node-") {
+		t.Errorf("rendered line %q lacks literal structure", line)
+	}
+	if !strings.Contains(line, "status ok") && !strings.Contains(line, "status failed") {
+		t.Errorf("word slot not rendered: %q", line)
+	}
+}
+
+func TestListSlotVariableLength(t *testing.T) {
+	tmpl, err := compile(0, "users={list:u}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGenState(2)
+	lengths := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		line := tmpl.render(g)
+		lengths[len(strings.Fields(line))] = true
+	}
+	if len(lengths) < 2 {
+		t.Error("list slot never varied token count")
+	}
+}
+
+func TestExpandDistinctCombos(t *testing.T) {
+	sp := &spec{
+		flavors: map[string][]string{
+			"a": {"x", "y"},
+			"b": {"1", "2", "3"},
+		},
+	}
+	seen := map[string]bool{}
+	for combo := 0; combo < 6; combo++ {
+		seen[sp.expand("p {C:a} {C:b}", combo)] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("expand yielded %d distinct strings from 6 combos, want 6", len(seen))
+	}
+}
+
+func TestBuildTemplatesExactCount(t *testing.T) {
+	for _, name := range Names() {
+		sp := specs[name]
+		for _, k := range []int{sp.logHubTemplates, sp.logHub2Templates} {
+			if k == 0 {
+				continue
+			}
+			ts, err := sp.buildTemplates(k)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(ts) != k {
+				t.Errorf("%s: built %d templates, want %d", name, len(ts), k)
+			}
+			for i, tm := range ts {
+				if tm.id != i {
+					t.Errorf("%s: template %d has id %d", name, i, tm.id)
+				}
+			}
+		}
+	}
+}
+
+func TestFullLogHub2LinesTable1(t *testing.T) {
+	// Spot-check Table-1 volumes.
+	if got := FullLogHub2Lines("HDFS"); got != 11167740 {
+		t.Errorf("HDFS full lines = %d", got)
+	}
+	if got := FullLogHub2Lines("Thunderbird"); got != 16601745 {
+		t.Errorf("Thunderbird full lines = %d", got)
+	}
+	if got := FullLogHub2Lines("Android"); got != 0 {
+		t.Errorf("Android should have no LogHub-2.0 volume, got %d", got)
+	}
+}

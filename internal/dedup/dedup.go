@@ -1,0 +1,112 @@
+// Package dedup collapses duplicate log records while keeping occurrence
+// counts (§4.1.3 of the paper).
+//
+// Cloud log streams are extremely repetitive — after common-variable
+// replacement even more so (Fig. 4) — and every later stage (grouping,
+// clustering, saturation) only needs the distinct token sequences plus how
+// often each occurred. Deduplication therefore sits between preprocessing
+// and initial grouping and is the single largest efficiency lever in the
+// ablation study (Fig. 9).
+package dedup
+
+import "bytebrain/internal/encode"
+
+// Unique is one distinct (post-preprocessing) log record.
+type Unique struct {
+	// Tokens is the token sequence of the record.
+	Tokens []string
+	// Enc is the 64-bit encoding of Tokens, parallel to it.
+	Enc []uint64
+	// Count is how many raw records collapsed into this entry.
+	Count int
+	// First is the index (into the raw input) of the first occurrence.
+	First int
+}
+
+// Result maps between the raw stream and its distinct records.
+type Result struct {
+	// Uniques are the distinct records in first-seen order.
+	Uniques []*Unique
+	// Assign[i] is the index into Uniques of raw record i.
+	Assign []int
+}
+
+// Collapse deduplicates tokenized records, encoding each distinct record
+// once with enc. Records hash by their full token-vector content, so two
+// records are merged only when every token matches.
+func Collapse(records [][]string, enc encode.Encoder) Result {
+	return CollapseWeighted(records, nil, enc)
+}
+
+// CollapseWeighted is Collapse for pre-aggregated inputs: weights[i] is
+// how many raw records the i-th tokenized record already represents (nil
+// means 1 each). It enables raw-line deduplication before the expensive
+// preprocessing stage while keeping exact occurrence counts.
+func CollapseWeighted(records [][]string, weights []int, enc encode.Encoder) Result {
+	type slot struct{ idx int }
+	// Key on the joined token text. Token strings cannot contain the
+	// separator byte \x00 in practice (it is not produced by tokenizers),
+	// and even if they did the worst case is a conservative merge miss.
+	index := make(map[string]slot, len(records)/4+1)
+	res := Result{
+		Uniques: make([]*Unique, 0, len(records)/4+1),
+		Assign:  make([]int, len(records)),
+	}
+	var keyBuf []byte
+	for i, toks := range records {
+		w := 1
+		if weights != nil {
+			w = weights[i]
+		}
+		keyBuf = keyBuf[:0]
+		for _, t := range toks {
+			keyBuf = append(keyBuf, t...)
+			keyBuf = append(keyBuf, 0)
+		}
+		if s, ok := index[string(keyBuf)]; ok {
+			res.Uniques[s.idx].Count += w
+			res.Assign[i] = s.idx
+			continue
+		}
+		u := &Unique{
+			Tokens: toks,
+			Enc:    enc.Encode(make([]uint64, 0, len(toks)), toks),
+			Count:  w,
+			First:  i,
+		}
+		index[string(keyBuf)] = slot{idx: len(res.Uniques)}
+		res.Assign[i] = len(res.Uniques)
+		res.Uniques = append(res.Uniques, u)
+	}
+	return res
+}
+
+// Passthrough wraps every record as its own Unique without merging. It is
+// the "w/o deduplication" ablation: downstream stages see the full
+// duplicated stream.
+func Passthrough(records [][]string, enc encode.Encoder) Result {
+	res := Result{
+		Uniques: make([]*Unique, len(records)),
+		Assign:  make([]int, len(records)),
+	}
+	for i, toks := range records {
+		res.Uniques[i] = &Unique{
+			Tokens: toks,
+			Enc:    enc.Encode(make([]uint64, 0, len(toks)), toks),
+			Count:  1,
+			First:  i,
+		}
+		res.Assign[i] = i
+	}
+	return res
+}
+
+// TotalCount returns the sum of occurrence counts, which must equal the raw
+// record count for any Result produced by Collapse or Passthrough.
+func (r Result) TotalCount() int {
+	n := 0
+	for _, u := range r.Uniques {
+		n += u.Count
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package dedup
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bytebrain/internal/encode"
+)
+
+func toks(ss ...string) []string { return ss }
+
+func TestCollapseMergesExactDuplicates(t *testing.T) {
+	recs := [][]string{
+		toks("a", "b", "c"),
+		toks("a", "b", "d"),
+		toks("a", "b", "c"),
+		toks("a", "b", "c"),
+	}
+	res := Collapse(recs, encode.HashEncoder{})
+	if len(res.Uniques) != 2 {
+		t.Fatalf("uniques = %d, want 2", len(res.Uniques))
+	}
+	if res.Uniques[0].Count != 3 || res.Uniques[1].Count != 1 {
+		t.Errorf("counts = %d,%d want 3,1", res.Uniques[0].Count, res.Uniques[1].Count)
+	}
+	wantAssign := []int{0, 1, 0, 0}
+	if !reflect.DeepEqual(res.Assign, wantAssign) {
+		t.Errorf("assign = %v, want %v", res.Assign, wantAssign)
+	}
+	if res.Uniques[0].First != 0 || res.Uniques[1].First != 1 {
+		t.Errorf("first occurrences = %d,%d", res.Uniques[0].First, res.Uniques[1].First)
+	}
+}
+
+func TestCollapseDistinguishesLengths(t *testing.T) {
+	// "a b" and "ab" must not merge even though their concatenation is
+	// related; the \x00 separator keeps boundaries.
+	recs := [][]string{toks("a", "b"), toks("ab"), toks("a", "b")}
+	res := Collapse(recs, encode.HashEncoder{})
+	if len(res.Uniques) != 2 {
+		t.Fatalf("uniques = %d, want 2", len(res.Uniques))
+	}
+}
+
+func TestCollapseEncodesTokens(t *testing.T) {
+	recs := [][]string{toks("x", "y")}
+	res := Collapse(recs, encode.HashEncoder{})
+	u := res.Uniques[0]
+	if len(u.Enc) != 2 || u.Enc[0] != encode.Hash64("x") || u.Enc[1] != encode.Hash64("y") {
+		t.Errorf("enc = %v", u.Enc)
+	}
+}
+
+func TestCollapseEmptyInput(t *testing.T) {
+	res := Collapse(nil, encode.HashEncoder{})
+	if len(res.Uniques) != 0 || len(res.Assign) != 0 {
+		t.Error("nonempty result for empty input")
+	}
+	if res.TotalCount() != 0 {
+		t.Error("TotalCount != 0 for empty input")
+	}
+}
+
+func TestPassthroughKeepsEverything(t *testing.T) {
+	recs := [][]string{toks("a"), toks("a"), toks("b")}
+	res := Passthrough(recs, encode.HashEncoder{})
+	if len(res.Uniques) != 3 {
+		t.Fatalf("uniques = %d, want 3", len(res.Uniques))
+	}
+	for i, u := range res.Uniques {
+		if u.Count != 1 || res.Assign[i] != i || u.First != i {
+			t.Errorf("entry %d not a passthrough: %+v assign=%d", i, u, res.Assign[i])
+		}
+	}
+}
+
+// TestQuickCountsPreserved: total occurrence count always equals input size,
+// and every Assign index points at a Unique whose tokens match the raw
+// record.
+func TestQuickCountsPreserved(t *testing.T) {
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	gen := func(r *rand.Rand) [][]string {
+		n := r.Intn(60)
+		recs := make([][]string, n)
+		for i := range recs {
+			m := 1 + r.Intn(4)
+			rec := make([]string, m)
+			for j := range rec {
+				rec[j] = vocab[r.Intn(len(vocab))]
+			}
+			recs[i] = rec
+		}
+		return recs
+	}
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		recs := gen(r)
+		res := Collapse(recs, encode.HashEncoder{})
+		if res.TotalCount() != len(recs) {
+			t.Fatalf("TotalCount = %d, want %d", res.TotalCount(), len(recs))
+		}
+		for i, rec := range recs {
+			u := res.Uniques[res.Assign[i]]
+			if !reflect.DeepEqual(u.Tokens, rec) {
+				t.Fatalf("assign[%d] points at wrong unique: %v vs %v", i, u.Tokens, rec)
+			}
+		}
+		// Distinct token sequences map to distinct uniques.
+		seen := map[string]bool{}
+		for _, u := range res.Uniques {
+			key := ""
+			for _, tok := range u.Tokens {
+				key += tok + "\x00"
+			}
+			if seen[key] {
+				t.Fatal("duplicate unique entry")
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestQuickCollapseIdempotent(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := make([][]string, 30)
+		for i := range recs {
+			recs[i] = []string{"t", string(rune('a' + r.Intn(3)))}
+		}
+		a := Collapse(recs, encode.HashEncoder{})
+		// Re-collapsing the unique token sets yields the same uniques
+		// with count 1 each.
+		uniqToks := make([][]string, len(a.Uniques))
+		for i, u := range a.Uniques {
+			uniqToks[i] = u.Tokens
+		}
+		b := Collapse(uniqToks, encode.HashEncoder{})
+		if len(b.Uniques) != len(a.Uniques) {
+			return false
+		}
+		for _, u := range b.Uniques {
+			if u.Count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCollapse(b *testing.B) {
+	recs := make([][]string, 10000)
+	for i := range recs {
+		recs[i] = []string{"Receiving", "block", "blk", "src", "port", string(rune('a' + i%7))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Collapse(recs, encode.HashEncoder{})
+	}
+}

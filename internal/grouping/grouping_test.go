@@ -1,0 +1,130 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+
+	"bytebrain/internal/dedup"
+	"bytebrain/internal/encode"
+)
+
+func mk(tokens ...string) *dedup.Unique {
+	return &dedup.Unique{
+		Tokens: tokens,
+		Enc:    encode.HashEncoder{}.Encode(nil, tokens),
+		Count:  1,
+	}
+}
+
+func TestSplitByLengthOnly(t *testing.T) {
+	recs := []*dedup.Unique{
+		mk("a", "b"),
+		mk("c", "d"),
+		mk("x", "y", "z"),
+	}
+	groups := Split(recs, 0)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[0].Key.Length != 2 || len(groups[0].Records) != 2 {
+		t.Errorf("group0 = %+v", groups[0].Key)
+	}
+	if groups[1].Key.Length != 3 || len(groups[1].Records) != 1 {
+		t.Errorf("group1 = %+v", groups[1].Key)
+	}
+}
+
+func TestSplitWithPrefix(t *testing.T) {
+	recs := []*dedup.Unique{
+		mk("GET", "u1", "200"),
+		mk("GET", "u2", "404"),
+		mk("POST", "u1", "200"),
+	}
+	groups := Split(recs, 1)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (split on first token)", len(groups))
+	}
+	// Deterministic order: prefix "GET\x00" < "POST\x00".
+	if len(groups[0].Records) != 2 || groups[0].Records[0].Tokens[0] != "GET" {
+		t.Errorf("group0 wrong: %+v", groups[0])
+	}
+}
+
+func TestSplitPrefixLongerThanRecord(t *testing.T) {
+	recs := []*dedup.Unique{mk("only"), mk("only"), mk("two", "toks")}
+	groups := Split(recs, 5)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+}
+
+func TestSplitNegativePrefixTreatedAsZero(t *testing.T) {
+	recs := []*dedup.Unique{mk("a", "b"), mk("c", "d")}
+	groups := Split(recs, -3)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	if got := Split(nil, 0); len(got) != 0 {
+		t.Errorf("Split(nil) = %v", got)
+	}
+}
+
+func TestSplitDeterministicOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var recs []*dedup.Unique
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(5)
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = string(rune('a' + r.Intn(6)))
+		}
+		recs = append(recs, mk(toks...))
+	}
+	a := Split(recs, 2)
+	b := Split(recs, 2)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || len(a[i].Records) != len(b[i].Records) {
+			t.Fatalf("group %d differs across runs", i)
+		}
+	}
+	// Sorted by length then prefix.
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Key.Length > a[i].Key.Length {
+			t.Fatal("groups not sorted by length")
+		}
+		if a[i-1].Key.Length == a[i].Key.Length && a[i-1].Key.Prefix > a[i].Key.Prefix {
+			t.Fatal("groups not sorted by prefix within length")
+		}
+	}
+}
+
+func TestSplitPartitionIsComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var recs []*dedup.Unique
+	for i := 0; i < 100; i++ {
+		toks := make([]string, 1+r.Intn(4))
+		for j := range toks {
+			toks[j] = string(rune('p' + r.Intn(4)))
+		}
+		recs = append(recs, mk(toks...))
+	}
+	groups := Split(recs, 1)
+	total := 0
+	for _, g := range groups {
+		total += len(g.Records)
+		for _, u := range g.Records {
+			if len(u.Tokens) != g.Key.Length {
+				t.Fatalf("record of length %d in group of length %d", len(u.Tokens), g.Key.Length)
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("partition lost records: %d of %d", total, len(recs))
+	}
+}

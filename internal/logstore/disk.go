@@ -1,0 +1,356 @@
+package logstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the record-storage interface the service writes through. Topic
+// (in-memory) and DiskTopic (persistent) both implement it.
+type Store interface {
+	// Append stores a record and returns its offset.
+	Append(ts time.Time, raw string, templateID uint64) (int64, error)
+	// Len returns the record count.
+	Len() int
+	// Bytes returns the total raw payload size.
+	Bytes() int64
+	// Get returns the record at offset.
+	Get(offset int64) (Record, error)
+	// Scan visits records in [from, to) until fn returns false; to < 0
+	// means end.
+	Scan(from, to int64, fn func(Record) bool)
+	// ByTemplate returns offsets of records with any of the template
+	// IDs, ascending.
+	ByTemplate(ids ...uint64) []int64
+	// TemplateCounts returns record counts per template ID.
+	TemplateCounts() map[uint64]int
+	// Search returns offsets of records containing the exact token.
+	Search(token string) []int64
+	// CountSince counts records at or after cut.
+	CountSince(cut time.Time) int
+	// Close releases resources; further Appends fail.
+	Close() error
+}
+
+var (
+	_ Store = (*memStore)(nil)
+	_ Store = (*DiskTopic)(nil)
+)
+
+// memStore adapts Topic to the Store interface.
+type memStore struct{ *Topic }
+
+// NewStore returns an in-memory Store.
+func NewStore(name string) Store { return memStore{NewTopic(name)} }
+
+// Append implements Store.
+func (m memStore) Append(ts time.Time, raw string, templateID uint64) (int64, error) {
+	return m.Topic.Append(ts, raw, templateID), nil
+}
+
+// Close implements Store.
+func (m memStore) Close() error { return nil }
+
+// DiskTopic is a persistent Store: records append to length-prefixed
+// segment files under a directory and are indexed in memory; Open replays
+// the segments (tolerating a truncated tail from a crash) to recover.
+type DiskTopic struct {
+	dir string
+
+	mu      sync.Mutex
+	mem     *Topic // authoritative in-memory indexes
+	seg     *os.File
+	segW    *bufio.Writer
+	segIdx  int
+	segLen  int64
+	closed  bool
+	maxSeg  int64
+	scratch []byte
+}
+
+const (
+	segmentPrefix  = "segment-"
+	segmentSuffix  = ".log"
+	defaultMaxSeg  = 64 << 20  // rotate at 64 MiB
+	recordOverhead = 8 + 8 + 4 // time + templateID + rawLen
+)
+
+// OpenDiskTopic opens (or creates) the persistent topic stored in dir,
+// replaying existing segments. A torn final record — the crash case — is
+// truncated away.
+func OpenDiskTopic(dir string) (*DiskTopic, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: open %s: %w", dir, err)
+	}
+	t := &DiskTopic{
+		dir:    dir,
+		mem:    NewTopic(filepath.Base(dir)),
+		maxSeg: defaultMaxSeg,
+	}
+	segs, err := t.segmentFiles()
+	if err != nil {
+		return nil, err
+	}
+	for i, path := range segs {
+		last := i == len(segs)-1
+		if err := t.replaySegment(path, last); err != nil {
+			return nil, err
+		}
+	}
+	if len(segs) > 0 {
+		t.segIdx = len(segs) - 1
+	}
+	if err := t.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *DiskTopic) segmentFiles() ([]string, error) {
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: list %s: %w", t.dir, err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix) {
+			segs = append(segs, filepath.Join(t.dir, name))
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// replaySegment loads one segment into the in-memory indexes. When
+// tolerateTail is true, a truncated final record is cut off (crash
+// recovery); anywhere else it is corruption.
+func (t *DiskTopic) replaySegment(path string, tolerateTail bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("logstore: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var goodBytes int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if tolerateTail && errors.Is(err, errTornRecord) {
+				// Crash mid-append: truncate the torn tail.
+				return os.Truncate(path, goodBytes)
+			}
+			return fmt.Errorf("logstore: replay %s at %d: %w", path, goodBytes, err)
+		}
+		t.mem.Append(rec.Time, rec.Raw, rec.TemplateID)
+		goodBytes += n
+	}
+}
+
+var errTornRecord = errors.New("logstore: torn record")
+
+// readRecord reads one length-prefixed record: 8-byte unix-nano time,
+// 8-byte template ID, 4-byte raw length, raw bytes.
+func readRecord(r *bufio.Reader) (Record, int64, error) {
+	var hdr [recordOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, errTornRecord
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, 0, errTornRecord
+	}
+	ts := int64(binary.LittleEndian.Uint64(hdr[0:8]))
+	tmpl := binary.LittleEndian.Uint64(hdr[8:16])
+	rawLen := binary.LittleEndian.Uint32(hdr[16:20])
+	if rawLen > 64<<20 {
+		return Record{}, 0, fmt.Errorf("logstore: implausible record length %d", rawLen)
+	}
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Record{}, 0, errTornRecord
+	}
+	return Record{Time: time.Unix(0, ts), Raw: string(raw), TemplateID: tmpl},
+		int64(recordOverhead) + int64(rawLen), nil
+}
+
+func (t *DiskTopic) openSegmentLocked() error {
+	path := filepath.Join(t.dir, fmt.Sprintf("%s%06d%s", segmentPrefix, t.segIdx, segmentSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("logstore: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("logstore: stat segment: %w", err)
+	}
+	t.seg = f
+	t.segW = bufio.NewWriterSize(f, 256<<10)
+	t.segLen = st.Size()
+	return nil
+}
+
+// Append implements Store.
+func (t *DiskTopic) Append(ts time.Time, raw string, templateID uint64) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, errors.New("logstore: topic closed")
+	}
+	if t.segLen >= t.maxSeg {
+		if err := t.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	t.scratch = t.scratch[:0]
+	var hdr [recordOverhead]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(ts.UnixNano()))
+	binary.LittleEndian.PutUint64(hdr[8:16], templateID)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(raw)))
+	t.scratch = append(t.scratch, hdr[:]...)
+	t.scratch = append(t.scratch, raw...)
+	if _, err := t.segW.Write(t.scratch); err != nil {
+		return 0, fmt.Errorf("logstore: append: %w", err)
+	}
+	t.segLen += int64(len(t.scratch))
+	return t.mem.Append(ts, raw, templateID), nil
+}
+
+func (t *DiskTopic) rotateLocked() error {
+	if err := t.segW.Flush(); err != nil {
+		return err
+	}
+	if err := t.seg.Close(); err != nil {
+		return err
+	}
+	t.segIdx++
+	return t.openSegmentLocked()
+}
+
+// Sync flushes buffered appends to the OS and the file system.
+func (t *DiskTopic) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if err := t.segW.Flush(); err != nil {
+		return err
+	}
+	return t.seg.Sync()
+}
+
+// Close implements Store.
+func (t *DiskTopic) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if err := t.segW.Flush(); err != nil {
+		return err
+	}
+	return t.seg.Close()
+}
+
+// Read-side methods delegate to the in-memory indexes.
+
+// Len implements Store.
+func (t *DiskTopic) Len() int { return t.mem.Len() }
+
+// Bytes implements Store.
+func (t *DiskTopic) Bytes() int64 { return t.mem.Bytes() }
+
+// Get implements Store.
+func (t *DiskTopic) Get(offset int64) (Record, error) { return t.mem.Get(offset) }
+
+// Scan implements Store.
+func (t *DiskTopic) Scan(from, to int64, fn func(Record) bool) { t.mem.Scan(from, to, fn) }
+
+// ByTemplate implements Store.
+func (t *DiskTopic) ByTemplate(ids ...uint64) []int64 { return t.mem.ByTemplate(ids...) }
+
+// TemplateCounts implements Store.
+func (t *DiskTopic) TemplateCounts() map[uint64]int { return t.mem.TemplateCounts() }
+
+// Search implements Store.
+func (t *DiskTopic) Search(token string) []int64 { return t.mem.Search(token) }
+
+// CountSince implements Store.
+func (t *DiskTopic) CountSince(cut time.Time) int { return t.mem.CountSince(cut) }
+
+// DiskInternal persists model snapshots as numbered files in a directory.
+type DiskInternal struct {
+	dir string
+	mu  sync.Mutex
+	n   int
+}
+
+// OpenDiskInternal opens (or creates) the snapshot directory and counts
+// existing snapshots.
+func OpenDiskInternal(dir string) (*DiskInternal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: open internal %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "model-") && strings.HasSuffix(e.Name(), ".bin") {
+			n++
+		}
+	}
+	return &DiskInternal{dir: dir, n: n}, nil
+}
+
+// AppendSnapshot writes one model snapshot file.
+func (in *DiskInternal) AppendSnapshot(ts time.Time, data []byte) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	path := filepath.Join(in.dir, fmt.Sprintf("model-%06d.bin", in.n))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("logstore: snapshot: %w", err)
+	}
+	in.n++
+	return nil
+}
+
+// LatestSnapshot returns the newest snapshot bytes.
+func (in *DiskInternal) LatestSnapshot() ([]byte, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.n == 0 {
+		return nil, ErrNoSnapshot
+	}
+	path := filepath.Join(in.dir, fmt.Sprintf("model-%06d.bin", in.n-1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: read snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// Snapshots returns the snapshot count.
+func (in *DiskInternal) Snapshots() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}

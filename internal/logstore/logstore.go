@@ -1,0 +1,231 @@
+// Package logstore implements the append-only topic storage substrate of
+// the paper's log service (§3): a log topic is the unit where records are
+// indexed, stored, and made available for analysis. Records carry the
+// template ID computed at ingestion (template IDs "must be computed along
+// with other traditional text indices before logs can be written to the
+// append-only log topic storage"), and an internal topic persists model
+// snapshots as ordinary records.
+package logstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one stored log entry.
+type Record struct {
+	// Offset is the dense, zero-based position in the topic.
+	Offset int64
+	// Time is the ingestion timestamp.
+	Time time.Time
+	// Raw is the original log line.
+	Raw string
+	// TemplateID is the most precise template matched at ingestion.
+	TemplateID uint64
+}
+
+// Topic is an append-only record log with a template index and a token
+// index. All methods are safe for concurrent use.
+type Topic struct {
+	name string
+
+	mu       sync.RWMutex
+	records  []Record
+	byTmpl   map[uint64][]int64
+	tokenIdx map[string][]int64
+	bytes    int64
+}
+
+// NewTopic creates an empty topic.
+func NewTopic(name string) *Topic {
+	return &Topic{
+		name:     name,
+		byTmpl:   make(map[uint64][]int64),
+		tokenIdx: make(map[string][]int64),
+	}
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Append stores a record, assigns its offset, and indexes it. It returns
+// the assigned offset.
+func (t *Topic) Append(ts time.Time, raw string, templateID uint64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	off := int64(len(t.records))
+	t.records = append(t.records, Record{Offset: off, Time: ts, Raw: raw, TemplateID: templateID})
+	t.byTmpl[templateID] = append(t.byTmpl[templateID], off)
+	for _, tok := range strings.Fields(raw) {
+		if len(t.tokenIdx[tok]) == 0 || t.tokenIdx[tok][len(t.tokenIdx[tok])-1] != off {
+			t.tokenIdx[tok] = append(t.tokenIdx[tok], off)
+		}
+	}
+	t.bytes += int64(len(raw))
+	return off
+}
+
+// Len returns the record count.
+func (t *Topic) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}
+
+// Bytes returns the total raw payload size.
+func (t *Topic) Bytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// Get returns the record at offset.
+func (t *Topic) Get(offset int64) (Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if offset < 0 || offset >= int64(len(t.records)) {
+		return Record{}, fmt.Errorf("logstore: offset %d out of range [0,%d)", offset, len(t.records))
+	}
+	return t.records[offset], nil
+}
+
+// Scan calls fn for every record in [from, to) offsets until fn returns
+// false. A negative to means "until the end".
+func (t *Topic) Scan(from, to int64, fn func(Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if from < 0 {
+		from = 0
+	}
+	if to < 0 || to > int64(len(t.records)) {
+		to = int64(len(t.records))
+	}
+	for _, r := range t.records[from:to] {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// ByTemplate returns the offsets of records matched to any of ids, in
+// ascending order.
+func (t *Topic) ByTemplate(ids ...uint64) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int64
+	for _, id := range ids {
+		out = append(out, t.byTmpl[id]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TemplateCounts returns the record count per template ID.
+func (t *Topic) TemplateCounts() map[uint64]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint64]int, len(t.byTmpl))
+	for id, offs := range t.byTmpl {
+		out[id] = len(offs)
+	}
+	return out
+}
+
+// Search returns the offsets of records containing token (exact
+// whitespace-delimited match), ascending.
+func (t *Topic) Search(token string) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	offs := t.tokenIdx[token]
+	out := make([]int64, len(offs))
+	copy(out, offs)
+	return out
+}
+
+// CountSince returns how many records arrived at or after cut.
+func (t *Topic) CountSince(cut time.Time) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Records are time-ordered by construction; binary search the
+	// boundary.
+	i := sort.Search(len(t.records), func(i int) bool {
+		return !t.records[i].Time.Before(cut)
+	})
+	return len(t.records) - i
+}
+
+// ErrNoSnapshot is returned by LatestSnapshot on an empty internal topic.
+var ErrNoSnapshot = errors.New("logstore: no model snapshot")
+
+// SnapshotStore persists model snapshots — the "internal topic" of §3.
+// Internal keeps them in memory; DiskInternal on disk.
+type SnapshotStore interface {
+	// AppendSnapshot stores one serialized model.
+	AppendSnapshot(ts time.Time, data []byte) error
+	// LatestSnapshot returns the newest snapshot bytes.
+	LatestSnapshot() ([]byte, error)
+	// Snapshots returns the stored snapshot count.
+	Snapshots() int
+}
+
+var (
+	_ SnapshotStore = (*Internal)(nil)
+	_ SnapshotStore = (*DiskInternal)(nil)
+)
+
+// Internal is the in-memory internal topic holding model snapshots (§3:
+// node metadata lives "in an internal topic", avoiding external
+// databases).
+type Internal struct {
+	mu        sync.RWMutex
+	snapshots [][]byte
+	times     []time.Time
+}
+
+// NewInternal creates an empty internal topic.
+func NewInternal() *Internal { return &Internal{} }
+
+// AppendSnapshot implements SnapshotStore.
+func (in *Internal) AppendSnapshot(ts time.Time, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.snapshots = append(in.snapshots, cp)
+	in.times = append(in.times, ts)
+	return nil
+}
+
+// LatestSnapshot implements SnapshotStore.
+func (in *Internal) LatestSnapshot() ([]byte, error) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if len(in.snapshots) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	last := len(in.snapshots) - 1
+	cp := make([]byte, len(in.snapshots[last]))
+	copy(cp, in.snapshots[last])
+	return cp, nil
+}
+
+// LatestSnapshotTime returns when the newest snapshot was stored.
+func (in *Internal) LatestSnapshotTime() (time.Time, error) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if len(in.times) == 0 {
+		return time.Time{}, ErrNoSnapshot
+	}
+	return in.times[len(in.times)-1], nil
+}
+
+// Snapshots implements SnapshotStore.
+func (in *Internal) Snapshots() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.snapshots)
+}

@@ -1,0 +1,175 @@
+package logstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ts(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func TestAppendAssignsDenseOffsets(t *testing.T) {
+	tp := NewTopic("t")
+	for i := 0; i < 10; i++ {
+		off := tp.Append(ts(i), "line", uint64(i%3))
+		if off != int64(i) {
+			t.Fatalf("offset = %d, want %d", off, i)
+		}
+	}
+	if tp.Len() != 10 {
+		t.Errorf("Len = %d", tp.Len())
+	}
+}
+
+func TestGetAndScan(t *testing.T) {
+	tp := NewTopic("t")
+	tp.Append(ts(1), "alpha beta", 1)
+	tp.Append(ts(2), "gamma delta", 2)
+	r, err := tp.Get(1)
+	if err != nil || r.Raw != "gamma delta" || r.TemplateID != 2 {
+		t.Fatalf("Get(1) = %+v, %v", r, err)
+	}
+	if _, err := tp.Get(5); err == nil {
+		t.Error("Get out of range did not error")
+	}
+	if _, err := tp.Get(-1); err == nil {
+		t.Error("Get(-1) did not error")
+	}
+	var seen []string
+	tp.Scan(0, -1, func(r Record) bool {
+		seen = append(seen, r.Raw)
+		return true
+	})
+	if len(seen) != 2 {
+		t.Errorf("scan saw %d records", len(seen))
+	}
+	// Early stop.
+	n := 0
+	tp.Scan(0, -1, func(Record) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("scan did not stop early: %d", n)
+	}
+}
+
+func TestByTemplateAndCounts(t *testing.T) {
+	tp := NewTopic("t")
+	tp.Append(ts(1), "a", 7)
+	tp.Append(ts(2), "b", 9)
+	tp.Append(ts(3), "c", 7)
+	offs := tp.ByTemplate(7)
+	if len(offs) != 2 || offs[0] != 0 || offs[1] != 2 {
+		t.Errorf("ByTemplate(7) = %v", offs)
+	}
+	both := tp.ByTemplate(7, 9)
+	if len(both) != 3 {
+		t.Errorf("ByTemplate(7,9) = %v", both)
+	}
+	counts := tp.TemplateCounts()
+	if counts[7] != 2 || counts[9] != 1 {
+		t.Errorf("TemplateCounts = %v", counts)
+	}
+}
+
+func TestSearchTokenIndex(t *testing.T) {
+	tp := NewTopic("t")
+	tp.Append(ts(1), "error on disk sda", 1)
+	tp.Append(ts(2), "ok on disk sdb", 1)
+	tp.Append(ts(3), "error again", 2)
+	offs := tp.Search("error")
+	if len(offs) != 2 || offs[0] != 0 || offs[1] != 2 {
+		t.Errorf("Search(error) = %v", offs)
+	}
+	if got := tp.Search("absent"); len(got) != 0 {
+		t.Errorf("Search(absent) = %v", got)
+	}
+}
+
+func TestCountSince(t *testing.T) {
+	tp := NewTopic("t")
+	for i := 0; i < 10; i++ {
+		tp.Append(ts(i), "x", 0)
+	}
+	if got := tp.CountSince(ts(7)); got != 3 {
+		t.Errorf("CountSince = %d, want 3", got)
+	}
+	if got := tp.CountSince(ts(100)); got != 0 {
+		t.Errorf("CountSince(future) = %d", got)
+	}
+	if got := tp.CountSince(ts(0)); got != 10 {
+		t.Errorf("CountSince(epoch) = %d", got)
+	}
+}
+
+func TestBytesTracked(t *testing.T) {
+	tp := NewTopic("t")
+	tp.Append(ts(1), "12345", 0)
+	tp.Append(ts(2), "123", 0)
+	if tp.Bytes() != 8 {
+		t.Errorf("Bytes = %d, want 8", tp.Bytes())
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	tp := NewTopic("t")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tp.Append(time.Now(), "concurrent line", uint64(i%5))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tp.Len()
+				tp.TemplateCounts()
+				tp.Search("concurrent")
+			}
+		}()
+	}
+	wg.Wait()
+	if tp.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tp.Len())
+	}
+	// Offsets dense and ordered.
+	last := int64(-1)
+	tp.Scan(0, -1, func(r Record) bool {
+		if r.Offset != last+1 {
+			t.Fatalf("offset gap: %d after %d", r.Offset, last)
+		}
+		last = r.Offset
+		return true
+	})
+}
+
+func TestInternalSnapshots(t *testing.T) {
+	in := NewInternal()
+	if _, err := in.LatestSnapshot(); err != ErrNoSnapshot {
+		t.Fatalf("LatestSnapshot on empty = %v", err)
+	}
+	if _, err := in.LatestSnapshotTime(); err != ErrNoSnapshot {
+		t.Fatalf("LatestSnapshotTime on empty = %v", err)
+	}
+	_ = in.AppendSnapshot(ts(1), []byte("v1"))
+	_ = in.AppendSnapshot(ts(2), []byte("v2"))
+	data, err := in.LatestSnapshot()
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("LatestSnapshot = %q %v", data, err)
+	}
+	if at, err := in.LatestSnapshotTime(); err != nil || !at.Equal(ts(2)) {
+		t.Fatalf("LatestSnapshotTime = %v %v", at, err)
+	}
+	if in.Snapshots() != 2 {
+		t.Errorf("Snapshots = %d", in.Snapshots())
+	}
+	// Stored bytes are isolated from caller mutation.
+	buf := []byte("v3")
+	_ = in.AppendSnapshot(ts(3), buf)
+	buf[0] = 'X'
+	data, _ = in.LatestSnapshot()
+	if string(data) != "v3" {
+		t.Errorf("snapshot aliased caller buffer: %q", data)
+	}
+}

@@ -1,0 +1,83 @@
+// Package metrics implements the paper's evaluation metrics (§5.1.3):
+// Grouping Accuracy and throughput.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// GroupingAccuracy computes GA: the fraction of logs that are correctly
+// grouped, where a log counts as correct only when its predicted group
+// contains exactly the set of logs sharing its ground-truth template. This
+// is the strict metric of He et al. used throughout the paper: a predicted
+// group that splits or pollutes a true group scores zero for every log in
+// it.
+//
+// pred and truth are parallel slices of group labels (any integer IDs).
+func GroupingAccuracy(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("metrics: pred has %d labels, truth has %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 1, nil
+	}
+	truthSize := make(map[int]int)
+	for _, t := range truth {
+		truthSize[t]++
+	}
+	// For each predicted group: the single truth label of its members (or
+	// -1 when mixed) and its size.
+	type groupInfo struct {
+		label int
+		size  int
+		mixed bool
+	}
+	groups := make(map[int]*groupInfo)
+	for i, p := range pred {
+		g, ok := groups[p]
+		if !ok {
+			groups[p] = &groupInfo{label: truth[i], size: 1}
+			continue
+		}
+		g.size++
+		if g.label != truth[i] {
+			g.mixed = true
+		}
+	}
+	correct := 0
+	for _, g := range groups {
+		if !g.mixed && g.size == truthSize[g.label] {
+			correct += g.size
+		}
+	}
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// Throughput reports logs per second for n logs processed in elapsed time,
+// the combined training-plus-matching rate the paper reports.
+func Throughput(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// MeanStd returns the mean and population standard deviation of xs, the
+// "avg ± std" summary used in Tables 2 and 3.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGroupingAccuracyPerfect(t *testing.T) {
+	pred := []int{1, 1, 2, 2, 3}
+	truth := []int{7, 7, 9, 9, 4}
+	ga, err := GroupingAccuracy(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga != 1.0 {
+		t.Errorf("GA = %v, want 1.0", ga)
+	}
+}
+
+func TestGroupingAccuracySplitGroupScoresZero(t *testing.T) {
+	// Truth has one group of 4; prediction splits it 2/2. Every log in
+	// both halves is wrong under the strict definition.
+	pred := []int{1, 1, 2, 2}
+	truth := []int{5, 5, 5, 5}
+	ga, err := GroupingAccuracy(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga != 0 {
+		t.Errorf("GA = %v, want 0 for a split group", ga)
+	}
+}
+
+func TestGroupingAccuracyPollutedGroupScoresZero(t *testing.T) {
+	// Prediction merges two true groups: all 4 logs wrong.
+	pred := []int{1, 1, 1, 1}
+	truth := []int{5, 5, 6, 6}
+	ga, err := GroupingAccuracy(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga != 0 {
+		t.Errorf("GA = %v, want 0 for a merged group", ga)
+	}
+}
+
+func TestGroupingAccuracyPartial(t *testing.T) {
+	// Group A (3 logs) correct; group B (2 logs) split.
+	pred := []int{1, 1, 1, 2, 3}
+	truth := []int{5, 5, 5, 6, 6}
+	ga, err := GroupingAccuracy(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ga-0.6) > 1e-12 {
+		t.Errorf("GA = %v, want 0.6", ga)
+	}
+}
+
+func TestGroupingAccuracyLengthMismatch(t *testing.T) {
+	if _, err := GroupingAccuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Error("no error for mismatched lengths")
+	}
+}
+
+func TestGroupingAccuracyEmpty(t *testing.T) {
+	ga, err := GroupingAccuracy(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga != 1 {
+		t.Errorf("GA(empty) = %v, want 1", ga)
+	}
+}
+
+func TestGroupingAccuracyLabelRenamingInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	truth := make([]int, 200)
+	pred := make([]int, 200)
+	for i := range truth {
+		truth[i] = r.Intn(10)
+		pred[i] = truth[i] // perfect, then rename labels
+	}
+	renamed := make([]int, len(pred))
+	for i, p := range pred {
+		renamed[i] = 1000 - p*7
+	}
+	a, _ := GroupingAccuracy(pred, truth)
+	b, _ := GroupingAccuracy(renamed, truth)
+	if a != b || a != 1.0 {
+		t.Errorf("GA not invariant to label renaming: %v vs %v", a, b)
+	}
+}
+
+func TestGroupingAccuracySingletonGroups(t *testing.T) {
+	// All singletons predicted, truth also singletons: perfect.
+	pred := []int{1, 2, 3}
+	truth := []int{9, 8, 7}
+	ga, _ := GroupingAccuracy(pred, truth)
+	if ga != 1.0 {
+		t.Errorf("GA = %v, want 1.0", ga)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Errorf("Throughput = %v, want 1000", got)
+	}
+	if got := Throughput(500, 250*time.Millisecond); got != 2000 {
+		t.Errorf("Throughput = %v, want 2000", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Errorf("Throughput with zero duration = %v, want 0", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("MeanStd(nil) nonzero")
+	}
+	if m, s := MeanStd([]float64{3}); m != 3 || s != 0 {
+		t.Errorf("MeanStd single = %v,%v", m, s)
+	}
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler returns the HTTP API of the service, mirroring the paper's
+// user-facing surface:
+//
+//	PUT  /topics/{name}                create a topic
+//	GET  /topics                       list topics
+//	POST /topics/{name}/logs           ingest newline-separated raw logs
+//	POST /topics/{name}/train          force a training cycle
+//	GET  /topics/{name}/query?threshold=0.7
+//	                                   records grouped by template at the
+//	                                   given precision (the web UI slider)
+//	GET  /topics/{name}/stats          operational counters
+//	GET  /healthz                      liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/topics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Topics())
+	})
+	mux.HandleFunc("/topics/", s.topicRoutes)
+	return mux
+}
+
+func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/topics/")
+	name, action, _ := strings.Cut(rest, "/")
+	if name == "" {
+		http.Error(w, "missing topic name", http.StatusBadRequest)
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodPut:
+		if err := s.CreateTopic(name); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case action == "logs" && r.Method == http.MethodPost:
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		var lines []string
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				lines = append(lines, line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Ingest(name, lines); err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		writeJSON(w, map[string]int{"ingested": len(lines)})
+	case action == "train" && r.Method == http.MethodPost:
+		if err := s.Train(name); err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case action == "query" && r.Method == http.MethodGet:
+		threshold := 0.0
+		if v := r.URL.Query().Get("threshold"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				http.Error(w, "threshold must be a number in [0,1]", http.StatusBadRequest)
+				return
+			}
+			threshold = f
+		}
+		query := s.Query
+		if r.URL.Query().Get("merged") == "1" {
+			// §7 response-layer view: variable-length list variants
+			// group under one display template.
+			query = s.QueryMerged
+		}
+		rows, err := query(name, threshold)
+		if err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		writeJSON(w, rows)
+	case action == "stats" && r.Method == http.MethodGet:
+		stats, err := s.TopicStats(name)
+		if err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		writeJSON(w, stats)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func httpTopicError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if strings.Contains(err.Error(), "unknown topic") {
+		status = http.StatusNotFound
+	} else if strings.Contains(err.Error(), "no trained model") {
+		status = http.StatusConflict
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Ingester is the asynchronous ingestion pipeline of §3 ("the system
+// distributes matching tasks across multiple processing queues, leveraging
+// the independent nature of template matching"): producers submit raw
+// lines, worker queues batch them, match them against the current model
+// and append to storage. Submit applies backpressure when every queue is
+// full. Records from different queues interleave; per-queue order is
+// preserved.
+type Ingester struct {
+	svc   *Service
+	topic string
+
+	queues []chan string
+	next   int
+	nextMu sync.Mutex
+
+	wg     sync.WaitGroup
+	closed bool
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+const (
+	defaultQueues     = 4
+	defaultQueueDepth = 1024
+	ingestBatch       = 256
+)
+
+// NewIngester creates an ingestion pipeline for topic with the given
+// number of worker queues (≤ 0 uses 4) and per-queue depth (≤ 0 uses
+// 1024).
+func (s *Service) NewIngester(topic string, queues, depth int) (*Ingester, error) {
+	if _, err := s.topic(topic); err != nil {
+		return nil, err
+	}
+	if queues <= 0 {
+		queues = defaultQueues
+	}
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	ing := &Ingester{svc: s, topic: topic, queues: make([]chan string, queues)}
+	for i := range ing.queues {
+		ing.queues[i] = make(chan string, depth)
+		ing.wg.Add(1)
+		go ing.worker(ing.queues[i])
+	}
+	return ing, nil
+}
+
+// worker drains one queue in batches and ingests them.
+func (ing *Ingester) worker(q chan string) {
+	defer ing.wg.Done()
+	batch := make([]string, 0, ingestBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := ing.svc.Ingest(ing.topic, batch); err != nil {
+			ing.recordErr(err)
+		}
+		batch = batch[:0]
+	}
+	for line := range q {
+		batch = append(batch, line)
+		if len(batch) >= ingestBatch {
+			flush()
+			continue
+		}
+		// Opportunistically drain what is already queued, then flush:
+		// low latency when idle, big batches under load.
+		for len(batch) < ingestBatch {
+			select {
+			case more, ok := <-q:
+				if !ok {
+					flush()
+					return
+				}
+				batch = append(batch, more)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		flush()
+	}
+	flush()
+}
+
+func (ing *Ingester) recordErr(err error) {
+	ing.errMu.Lock()
+	defer ing.errMu.Unlock()
+	if ing.firstErr == nil {
+		ing.firstErr = err
+	}
+}
+
+// Submit enqueues one line, blocking when the chosen queue is full
+// (backpressure). Submit must not be called after Close.
+func (ing *Ingester) Submit(line string) error {
+	if ing.closed {
+		return errors.New("service: ingester closed")
+	}
+	ing.nextMu.Lock()
+	q := ing.queues[ing.next%len(ing.queues)]
+	ing.next++
+	ing.nextMu.Unlock()
+	q <- line
+	return nil
+}
+
+// Close drains the queues, waits for the workers, and returns the first
+// ingestion error, if any.
+func (ing *Ingester) Close() error {
+	if ing.closed {
+		return nil
+	}
+	ing.closed = true
+	for _, q := range ing.queues {
+		close(q)
+	}
+	ing.wg.Wait()
+	ing.errMu.Lock()
+	defer ing.errMu.Unlock()
+	if ing.firstErr != nil {
+		return fmt.Errorf("service: async ingest: %w", ing.firstErr)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIngesterDeliversEverything(t *testing.T) {
+	cfg := testConfig()
+	cfg.TrainVolume = 500
+	s := New(cfg)
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := s.NewIngester("app", 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := genLines(3000, 7)
+	for _, l := range lines {
+		if err := ing.Submit(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.TopicStats("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != len(lines) {
+		t.Fatalf("delivered %d of %d records", stats.Records, len(lines))
+	}
+	if stats.Trainings == 0 {
+		t.Error("volume-triggered training never fired through the pipeline")
+	}
+}
+
+func TestIngesterConcurrentProducers(t *testing.T) {
+	s := New(testConfig())
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := s.NewIngester("app", 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const producers, per = 8, 250
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for _, l := range genLines(per, int64(p)) {
+				if err := ing.Submit(l); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := s.TopicStats("app")
+	if stats.Records != producers*per {
+		t.Fatalf("records = %d, want %d", stats.Records, producers*per)
+	}
+}
+
+func TestIngesterUnknownTopic(t *testing.T) {
+	s := New(testConfig())
+	if _, err := s.NewIngester("ghost", 2, 8); err == nil {
+		t.Error("ingester created for unknown topic")
+	}
+}
+
+func TestIngesterSubmitAfterClose(t *testing.T) {
+	s := New(testConfig())
+	_ = s.CreateTopic("app")
+	ing, err := s.NewIngester("app", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Submit("late line"); err == nil {
+		t.Error("submit after close succeeded")
+	}
+	if err := ing.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestIngesterDefaults(t *testing.T) {
+	s := New(testConfig())
+	_ = s.CreateTopic("app")
+	ing, err := s.NewIngester("app", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ing.queues) != defaultQueues || cap(ing.queues[0]) != defaultQueueDepth {
+		t.Errorf("defaults not applied: %d queues, depth %d", len(ing.queues), cap(ing.queues[0]))
+	}
+	_ = ing.Close()
+}

@@ -1,0 +1,465 @@
+// Package service implements the cloud log-parsing service of §3: topics
+// with ingestion pipelines that match logs against the current model
+// before appending to storage, volume- and time-triggered periodic
+// retraining with model merging, reservoir sampling against OOM on huge
+// volumes, and query-time precision control.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bytebrain/internal/core"
+	"bytebrain/internal/logstore"
+	"bytebrain/internal/template"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Parser configures the core parser for every topic.
+	Parser core.Options
+	// TrainVolume triggers retraining after this many new records
+	// (default 10 000).
+	TrainVolume int
+	// TrainInterval triggers retraining after this much time since the
+	// last cycle, checked lazily at ingestion (default 5 minutes — the
+	// paper configures initial training to finish within that bound).
+	TrainInterval time.Duration
+	// SampleCap bounds the training buffer; beyond it, reservoir
+	// sampling keeps a uniform subset ("for exceptionally large log
+	// volumes, random sampling prevents OOM issues"). Default 50 000.
+	SampleCap int
+	// DefaultThreshold is the query threshold when the caller does not
+	// specify one (default 0.7).
+	DefaultThreshold float64
+	// DataDir, when set, persists every topic to disk (append-only
+	// segments plus model snapshots) under DataDir/<topic>; topics
+	// recover on restart. Empty keeps everything in memory.
+	DataDir string
+	// Now supplies timestamps; tests override it. Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrainVolume <= 0 {
+		c.TrainVolume = 10000
+	}
+	if c.TrainInterval <= 0 {
+		c.TrainInterval = 5 * time.Minute
+	}
+	if c.SampleCap <= 0 {
+		c.SampleCap = 50000
+	}
+	if c.DefaultThreshold <= 0 {
+		c.DefaultThreshold = 0.7
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Service manages log topics. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	topics map[string]*topicState
+}
+
+type topicState struct {
+	mu       sync.Mutex
+	name     string
+	store    logstore.Store
+	internal logstore.SnapshotStore
+	parser   *core.Parser
+	model    *core.Model
+	matcher  *core.Matcher
+
+	buffer    []string // training reservoir
+	bufSeen   int      // lines offered to the reservoir since last train
+	sinceLast int      // records since last training
+	lastTrain time.Time
+	trainings int
+	rng       *rand.Rand
+}
+
+// New creates a Service.
+func New(cfg Config) *Service {
+	return &Service{cfg: cfg.withDefaults(), topics: make(map[string]*topicState)}
+}
+
+// CreateTopic registers a topic. With DataDir configured the topic is
+// persistent and recovers any existing on-disk state (records replayed,
+// latest model snapshot reloaded). Creating an already-registered topic is
+// an error.
+func (s *Service) CreateTopic(name string) error {
+	if name == "" {
+		return fmt.Errorf("service: empty topic name")
+	}
+	if strings.ContainsAny(name, "/\\ ") {
+		return fmt.Errorf("service: invalid topic name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.topics[name]; ok {
+		return fmt.Errorf("service: topic %q exists", name)
+	}
+	st := &topicState{
+		name:      name,
+		parser:    core.New(s.cfg.Parser),
+		lastTrain: s.cfg.Now(),
+		rng:       rand.New(rand.NewSource(int64(len(name)) + 17)),
+	}
+	if s.cfg.DataDir == "" {
+		st.store = logstore.NewStore(name)
+		st.internal = logstore.NewInternal()
+	} else {
+		dir := filepath.Join(s.cfg.DataDir, name)
+		store, err := logstore.OpenDiskTopic(filepath.Join(dir, "records"))
+		if err != nil {
+			return err
+		}
+		internal, err := logstore.OpenDiskInternal(filepath.Join(dir, "models"))
+		if err != nil {
+			store.Close()
+			return err
+		}
+		st.store = store
+		st.internal = internal
+		if err := st.recoverLocked(); err != nil {
+			store.Close()
+			return err
+		}
+	}
+	s.topics[name] = st
+	return nil
+}
+
+// recoverLocked reloads the latest persisted model after a restart.
+func (st *topicState) recoverLocked() error {
+	data, err := st.internal.LatestSnapshot()
+	if err != nil {
+		if err == logstore.ErrNoSnapshot {
+			return nil
+		}
+		return err
+	}
+	model := core.NewModel()
+	if err := model.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("service: recover %s: %w", st.name, err)
+	}
+	matcher, err := st.parser.NewMatcher(model)
+	if err != nil {
+		return fmt.Errorf("service: recover %s: %w", st.name, err)
+	}
+	st.model = model
+	st.matcher = matcher
+	st.trainings = st.internal.Snapshots()
+	return nil
+}
+
+// Close flushes and closes every topic store.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, st := range s.topics {
+		st.mu.Lock()
+		if err := st.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		st.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Topics lists topic names, sorted.
+func (s *Service) Topics() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.topics))
+	for n := range s.topics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Service) topic(name string) (*topicState, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown topic %q", name)
+	}
+	return st, nil
+}
+
+// Ingest appends lines to the topic: each line is matched against the
+// current model (template IDs are computed before the record is written,
+// as the indexing pipeline requires), then stored. Unmatched logs become
+// temporary templates via the matcher. Training triggers lazily on volume
+// or elapsed-interval.
+func (s *Service) Ingest(topicName string, lines []string) error {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := s.cfg.Now()
+	for _, line := range lines {
+		var tmplID uint64
+		if st.matcher != nil {
+			tmplID = st.matcher.Match(line).NodeID
+		}
+		if _, err := st.store.Append(now, line, tmplID); err != nil {
+			return fmt.Errorf("service: ingest %s: %w", topicName, err)
+		}
+		st.offerLocked(line)
+	}
+	st.sinceLast += len(lines)
+	if st.sinceLast >= s.cfg.TrainVolume || now.Sub(st.lastTrain) >= s.cfg.TrainInterval {
+		return s.trainLocked(st, now)
+	}
+	return nil
+}
+
+// offerLocked feeds one line into the training reservoir.
+func (st *topicState) offerLocked(line string) {
+	st.bufSeen++
+	if len(st.buffer) < cap(st.buffer) || cap(st.buffer) == 0 {
+		if cap(st.buffer) == 0 {
+			st.buffer = make([]string, 0, 1024)
+		}
+		st.buffer = append(st.buffer, line)
+		return
+	}
+	// Reservoir replacement.
+	if j := st.rng.Intn(st.bufSeen); j < len(st.buffer) {
+		st.buffer[j] = line
+	}
+}
+
+// Train forces a training cycle for the topic.
+func (s *Service) Train(topicName string) error {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return s.trainLocked(st, s.cfg.Now())
+}
+
+func (s *Service) trainLocked(st *topicState, now time.Time) error {
+	if len(st.buffer) == 0 {
+		st.lastTrain = now
+		st.sinceLast = 0
+		return nil
+	}
+	res, err := st.parser.TrainMerge(st.model, st.buffer)
+	if err != nil {
+		return fmt.Errorf("service: train %s: %w", st.name, err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		return fmt.Errorf("service: train %s produced invalid model: %w", st.name, err)
+	}
+	matcher, err := st.parser.NewMatcher(res.Model)
+	if err != nil {
+		return fmt.Errorf("service: train %s: %w", st.name, err)
+	}
+	st.model = res.Model
+	st.matcher = matcher
+	st.trainings++
+	st.lastTrain = now
+	st.sinceLast = 0
+	st.buffer = st.buffer[:0]
+	st.bufSeen = 0
+	data, err := res.Model.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("service: snapshot %s: %w", st.name, err)
+	}
+	if err := st.internal.AppendSnapshot(now, data); err != nil {
+		return fmt.Errorf("service: snapshot %s: %w", st.name, err)
+	}
+	return nil
+}
+
+// Stats reports operational counters for a topic.
+type Stats struct {
+	Records    int
+	Bytes      int64
+	Templates  int
+	Trainings  int
+	ModelBytes int
+	Snapshots  int
+}
+
+// TopicStats returns counters for one topic.
+func (s *Service) TopicStats(topicName string) (Stats, error) {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return Stats{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	stats := Stats{
+		Records:   st.store.Len(),
+		Bytes:     st.store.Bytes(),
+		Trainings: st.trainings,
+		Snapshots: st.internal.Snapshots(),
+	}
+	if st.model != nil {
+		stats.Templates = st.model.Len()
+		if b, err := st.model.MarshalBinary(); err == nil {
+			stats.ModelBytes = len(b)
+		}
+	}
+	return stats, nil
+}
+
+// TemplateRow is one line of a grouped query result.
+type TemplateRow struct {
+	// TemplateID is the rolled-up node ID at the query threshold.
+	TemplateID uint64
+	// Template is the display text, with consecutive wildcards merged
+	// (§7's query-result optimization).
+	Template string
+	// Saturation is the rolled-up node's precision score.
+	Saturation float64
+	// Count is how many queried records grouped here.
+	Count int
+	// SampleOffsets holds up to 5 example record offsets.
+	SampleOffsets []int64
+}
+
+// Query groups a topic's records by template at the given precision
+// threshold (≤ 0 uses the default). It is the §3 "Query" path: records
+// carry their most precise template ID; ancestors are traversed per
+// threshold without reprocessing any log.
+func (s *Service) Query(topicName string, threshold float64) ([]TemplateRow, error) {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	model := st.model
+	st.mu.Unlock()
+	if model == nil {
+		return nil, fmt.Errorf("service: topic %q has no trained model yet", topicName)
+	}
+	if threshold <= 0 {
+		threshold = s.cfg.DefaultThreshold
+	}
+	rows := map[uint64]*TemplateRow{}
+	st.store.Scan(0, -1, func(r logstore.Record) bool {
+		id := r.TemplateID
+		if id != 0 {
+			if n, err := model.TemplateAt(id, threshold); err == nil {
+				id = n.ID
+			}
+		}
+		row, ok := rows[id]
+		if !ok {
+			row = &TemplateRow{TemplateID: id}
+			if n := model.Nodes[model.Resolve(id)]; n != nil {
+				row.Template = template.MergeConsecutiveWildcards(n.Template)
+				row.Saturation = n.Saturation
+			} else {
+				// Records ingested before the first training carry no
+				// template (§3: "templates are unavailable for logs
+				// before first training completes").
+				row.Template = "(unparsed: ingested before first training)"
+			}
+			rows[id] = row
+		}
+		row.Count++
+		if len(row.SampleOffsets) < 5 {
+			row.SampleOffsets = append(row.SampleOffsets, r.Offset)
+		}
+		return true
+	})
+	out := make([]TemplateRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].TemplateID < out[j].TemplateID
+	})
+	return out, nil
+}
+
+// QueryMerged is Query followed by the §7 response-layer optimization:
+// rows whose display templates are identical after consecutive-wildcard
+// merging — typically variable-length list output from one print statement
+// — are grouped into a single row. Users see "users <*>" once; the
+// underlying fixed-length templates keep matching fast.
+func (s *Service) QueryMerged(topicName string, threshold float64) ([]TemplateRow, error) {
+	rows, err := s.Query(topicName, threshold)
+	if err != nil {
+		return nil, err
+	}
+	byText := make(map[string]*TemplateRow)
+	var order []string
+	for i := range rows {
+		r := rows[i]
+		agg, ok := byText[r.Template]
+		if !ok {
+			cp := r
+			byText[r.Template] = &cp
+			order = append(order, r.Template)
+			continue
+		}
+		agg.Count += r.Count
+		if r.Saturation < agg.Saturation {
+			// Report the coarsest member's precision.
+			agg.Saturation = r.Saturation
+		}
+		for _, off := range r.SampleOffsets {
+			if len(agg.SampleOffsets) < 5 {
+				agg.SampleOffsets = append(agg.SampleOffsets, off)
+			}
+		}
+	}
+	out := make([]TemplateRow, 0, len(order))
+	for _, text := range order {
+		out = append(out, *byText[text])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].TemplateID < out[j].TemplateID
+	})
+	return out, nil
+}
+
+// Model returns the topic's current model (nil before first training).
+func (s *Service) Model(topicName string) (*core.Model, error) {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.model, nil
+}
+
+// Store exposes the topic's record store (read-only use).
+func (s *Service) Store(topicName string) (logstore.Store, error) {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	return st.store, nil
+}

@@ -1,0 +1,69 @@
+// Package template provides display-level template utilities: the §7
+// query-result optimization that merges consecutive wildcards (so
+// variable-length list output like "users * * *" presents as "users *"),
+// and parsing/rendering helpers shared by the service and tools.
+package template
+
+import (
+	"strings"
+
+	"bytebrain/internal/vars"
+)
+
+// Wildcard is the template placeholder token.
+const Wildcard = vars.Wildcard
+
+// MergeConsecutiveWildcards renders tokens as display text with runs of
+// adjacent wildcards collapsed into one. The underlying fixed-length
+// templates are untouched — matching stays positional and fast — only the
+// presentation groups variable-length variants together, exactly as §7
+// describes.
+func MergeConsecutiveWildcards(tokens []string) string {
+	var sb strings.Builder
+	prevWildcard := false
+	for _, t := range tokens {
+		w := t == Wildcard
+		if w && prevWildcard {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(t)
+		prevWildcard = w
+	}
+	return sb.String()
+}
+
+// Tokens splits a display template back into tokens (whitespace-based;
+// wildcards are single tokens).
+func Tokens(display string) []string { return strings.Fields(display) }
+
+// Matches reports whether log tokens fit a display template where each
+// wildcard may absorb one or more tokens (used when comparing queries
+// against merged templates; positional templates use the exact matcher in
+// core).
+func Matches(display []string, tokens []string) bool {
+	return matchFrom(display, tokens, 0, 0)
+}
+
+func matchFrom(tmpl, toks []string, i, j int) bool {
+	for i < len(tmpl) {
+		if tmpl[i] != Wildcard {
+			if j >= len(toks) || toks[j] != tmpl[i] {
+				return false
+			}
+			i++
+			j++
+			continue
+		}
+		// Wildcard absorbs at least one token; try increasing spans.
+		for span := 1; j+span <= len(toks); span++ {
+			if matchFrom(tmpl, toks, i+1, j+span) {
+				return true
+			}
+		}
+		return false
+	}
+	return j == len(toks)
+}

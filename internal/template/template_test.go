@@ -1,0 +1,74 @@
+package template
+
+import "testing"
+
+func TestMergeConsecutiveWildcards(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"users", Wildcard}, "users " + Wildcard},
+		{[]string{"users", Wildcard, Wildcard, Wildcard}, "users " + Wildcard},
+		{[]string{Wildcard, "x", Wildcard}, Wildcard + " x " + Wildcard},
+		{[]string{Wildcard, Wildcard}, Wildcard},
+		{[]string{"a", "b"}, "a b"},
+		{nil, ""},
+	}
+	for _, tt := range tests {
+		if got := MergeConsecutiveWildcards(tt.in); got != tt.want {
+			t.Errorf("MergeConsecutiveWildcards(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMergedTemplatesGroupVariableLengthLists(t *testing.T) {
+	// The §7 example: users=<*>, users=<*> <*>, users=<*> <*> <*> all
+	// display as "users <*>".
+	one := MergeConsecutiveWildcards([]string{"users", Wildcard})
+	two := MergeConsecutiveWildcards([]string{"users", Wildcard, Wildcard})
+	three := MergeConsecutiveWildcards([]string{"users", Wildcard, Wildcard, Wildcard})
+	if one != two || two != three {
+		t.Errorf("variable-length lists did not merge: %q %q %q", one, two, three)
+	}
+}
+
+func TestTokensRoundTrip(t *testing.T) {
+	got := Tokens("users " + Wildcard + " done")
+	if len(got) != 3 || got[1] != Wildcard {
+		t.Errorf("Tokens = %v", got)
+	}
+}
+
+func TestMatchesMultiTokenWildcard(t *testing.T) {
+	tmpl := []string{"users", Wildcard}
+	tests := []struct {
+		tokens []string
+		want   bool
+	}{
+		{[]string{"users", "u1"}, true},
+		{[]string{"users", "u1", "u2"}, true},
+		{[]string{"users", "u1", "u2", "u3"}, true},
+		{[]string{"users"}, false}, // wildcard absorbs at least one
+		{[]string{"groups", "g1"}, false},
+	}
+	for _, tt := range tests {
+		if got := Matches(tmpl, tt.tokens); got != tt.want {
+			t.Errorf("Matches(%v, %v) = %v, want %v", tmpl, tt.tokens, got, tt.want)
+		}
+	}
+}
+
+func TestMatchesExact(t *testing.T) {
+	if !Matches([]string{"a", "b"}, []string{"a", "b"}) {
+		t.Error("exact template did not match")
+	}
+	if Matches([]string{"a", "b"}, []string{"a", "b", "c"}) {
+		t.Error("trailing token matched without wildcard")
+	}
+	if !Matches([]string{Wildcard, "end"}, []string{"x", "y", "end"}) {
+		t.Error("leading multi-token wildcard failed")
+	}
+	if !Matches(nil, nil) {
+		t.Error("empty template vs empty tokens should match")
+	}
+}

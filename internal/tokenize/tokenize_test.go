@@ -1,0 +1,182 @@
+package tokenize
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"empty", "", nil},
+		{"spaces only", "   \t  ", nil},
+		{"plain words", "alpha beta gamma", []string{"alpha", "beta", "gamma"}},
+		{"key=value", "lock=2337, flg=0x0", []string{"lock", "2337", "flg", "0x0"}},
+		{"wakelock line",
+			`release:lock=187, flg=0x0, tag="*launch*", name=android, ws=WS{10113}`,
+			[]string{"release", "lock", "187", "flg", "0x0", "tag", "*launch*", "name", "android", "ws", "WS", "10113"}},
+		{"url keeps path", "GET https://example.com/a/b?x=1 done",
+			[]string{"GET", "https", "example.com/a/b", "x", "1", "done"}},
+		{"period mid-number kept", "took 3.14 s", []string{"took", "3.14", "s"}},
+		{"period before space split", "done. next", []string{"done", "next"}},
+		{"period at end split", "done.", []string{"done"}},
+		{"domain kept", "host db01.prod.example resolved", []string{"host", "db01.prod.example", "resolved"}},
+		{"escaped quote", `msg=\"hello\" sent`, []string{"msg", "hello", "sent"}},
+		{"brackets and braces", "[INFO] {core} (main)", []string{"INFO", "core", "main"}},
+		{"colon split", "module:function:42 ok", []string{"module", "function", "42", "ok"}},
+		{"angle and at", "user@host <pid> ready", []string{"user", "host", "pid", "ready"}},
+		{"consecutive delims collapse", "a,,;=  b", []string{"a", "b"}},
+		{"slash not a delimiter", "/var/log/syslog rotated", []string{"/var/log/syslog", "rotated"}},
+		{"dash not a delimiter", "node-17 up", []string{"node-17", "up"}},
+		{"ipv4 with port", "10.0.0.1:8080 connect", []string{"10.0.0.1", "8080", "connect"}},
+		{"tabs and newlines", "a\tb\nc\rd", []string{"a", "b", "c", "d"}},
+		{"question ampersand", "q?a&b", []string{"q", "a", "b"}},
+		{"lone ://", "://", nil},
+		{"colon slash not proto", "a:/b", []string{"a", "/b"}},
+		{"trailing proto", "x://", []string{"x"}},
+	}
+	f := NewFast()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := f.Tokenize(tt.in)
+			if len(got) == 0 && len(tt.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegexpMatchesFastOnCorpus(t *testing.T) {
+	re := MustRegexp(DefaultPattern)
+	fast := NewFast()
+	corpus := []string{
+		"",
+		"packet_write_wait: Connection to 203.0.113.9 port 22: Broken pipe",
+		`081109 203518 143 INFO dfs.DataNode$DataXceiver: Receiving block blk_-1608999687919862906 src: /10.250.19.102:54106 dest: /10.250.19.102:50010`,
+		"- 1117838570 2005.06.03 R02-M1-N0-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected",
+		"jk2_init() Found child 6725 in scoreboard slot 10",
+		`acquire lock=1661, flg=0x1, tag="RILJ_ACK_WL", name=phone, ws=null`,
+		"Failed password for invalid user admin from 198.51.100.7 port 59087 ssh2",
+		"proxy <-> 127.0.0.1:1080 open through proxy 192.0.2.1:3128 HTTPS",
+		"17/06/09 20:10:40 INFO executor.CoarseGrainedExecutorBackend: Got assigned task 4",
+		"nova.compute.manager [req-3a1b2c] Took 21.84 seconds to build instance.",
+		"end of sentence. And another. trailing.",
+		`escaped \"quotes\" and \'single\' ones`,
+		"weird   spacing\t\tand\nnewlines",
+		"a=b;c=d,e:f(g)h[i]j{k}l?m@n&o<p>q",
+	}
+	for _, line := range corpus {
+		got := fast.Tokenize(line)
+		want := re.Tokenize(line)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("fast vs regexp mismatch on %q:\n fast   = %v\n regexp = %v", line, got, want)
+		}
+	}
+}
+
+// TestQuickFastEqualsRegexp cross-checks the scanner against the reference
+// regexp on random byte strings drawn from a delimiter-rich alphabet.
+func TestQuickFastEqualsRegexp(t *testing.T) {
+	re := MustRegexp(DefaultPattern)
+	fast := NewFast()
+	alphabet := []byte("ab1. :/=\"'\\,;()[]{}?@&<>\t\n\rxyz_-*")
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		line := gen(r)
+		got := fast.Tokenize(line)
+		want := re.Tokenize(line)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: mismatch on %q:\n fast   = %v\n regexp = %v", i, line, got, want)
+		}
+	}
+}
+
+// TestQuickNoTokenBytesLost verifies that every non-delimiter byte of the
+// input appears, in order, in the concatenated token stream.
+func TestQuickNoTokenBytesLost(t *testing.T) {
+	fast := NewFast()
+	prop := func(line string) bool {
+		toks := fast.Tokenize(line)
+		joined := strings.Join(toks, "")
+		// Every token byte must come from the input in order.
+		j := 0
+		for i := 0; i < len(line) && j < len(joined); i++ {
+			if line[i] == joined[j] {
+				j++
+			}
+		}
+		return j == len(joined)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTokensNeverEmpty(t *testing.T) {
+	fast := NewFast()
+	prop := func(line string) bool {
+		for _, tok := range fast.Tokenize(line) {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRegexpRejectsBadPattern(t *testing.T) {
+	if _, err := NewRegexp("(unclosed"); err == nil {
+		t.Error("NewRegexp accepted an invalid pattern")
+	}
+	// RE2 rejects look-around, enforcing the paper's complexity bound.
+	if _, err := NewRegexp(`(?=look)`); err == nil {
+		t.Error("NewRegexp accepted look-ahead; RE2 should reject it")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if got := Join([]string{"a", "b", "c"}); got != "a b c" {
+		t.Errorf("Join = %q", got)
+	}
+	if got := Join(nil); got != "" {
+		t.Errorf("Join(nil) = %q", got)
+	}
+}
+
+func BenchmarkFastTokenize(b *testing.B) {
+	f := NewFast()
+	line := `081109 203518 143 INFO dfs.DataNode$DataXceiver: Receiving block blk_-1608999687919862906 src: /10.250.19.102:54106 dest: /10.250.19.102:50010`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Tokenize(line)
+	}
+}
+
+func BenchmarkRegexpTokenize(b *testing.B) {
+	re := MustRegexp(DefaultPattern)
+	line := `081109 203518 143 INFO dfs.DataNode$DataXceiver: Receiving block blk_-1608999687919862906 src: /10.250.19.102:54106 dest: /10.250.19.102:50010`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		re.Tokenize(line)
+	}
+}

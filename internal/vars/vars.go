@@ -1,0 +1,149 @@
+// Package vars implements common variable replacement (§4.1.2 of the paper).
+//
+// Before tokenization-independent clustering, obviously-variable substrings
+// (timestamps, IP addresses, hashes, UUIDs, …) are replaced with a wildcard.
+// Early replacement of these known variables shrinks the distinct-token
+// universe, increases duplication (Fig. 4), and removes noise the clustering
+// would otherwise have to discover per position.
+//
+// A Replacer applies an ordered rule list. The default rule set mirrors the
+// per-topic defaults the paper describes; callers add domain-specific rules
+// per topic with Add.
+package vars
+
+import "regexp"
+
+// Wildcard is the placeholder substituted for matched variables. It is the
+// same wildcard used in template text, so a replaced variable and a
+// cluster-derived variable render identically.
+const Wildcard = "<*>"
+
+// Sentinel is the token-safe stand-in ReplaceTokenSafe substitutes for
+// variables. Wildcard itself contains tokenizer delimiters ('<', '>') and
+// would be shredded by Listing-1 tokenization; the sentinel is a control
+// byte no tokenizer treats as a delimiter. Pipelines tokenize the
+// sentinel-substituted line and then canonicalize sentinel-bearing tokens
+// back to Wildcard (see CanonicalizeTokens).
+const Sentinel = "\x01"
+
+// Rule is a single named replacement pattern.
+type Rule struct {
+	// Name identifies the rule (e.g. "ipv4") in diagnostics.
+	Name string
+	// Pattern matches the variable occurrences to replace.
+	Pattern *regexp.Regexp
+}
+
+// Replacer applies an ordered list of rules to log lines. It is safe for
+// concurrent use after construction.
+type Replacer struct {
+	rules []Rule
+	// digitGated marks rule sets whose every pattern requires a digit,
+	// enabling a cheap whole-line prefilter.
+	digitGated bool
+}
+
+// NewReplacer returns a Replacer with the given rules, applied in order.
+func NewReplacer(rules ...Rule) *Replacer {
+	return &Replacer{rules: rules}
+}
+
+// Default returns the paper's default rule set: timestamps, IP addresses
+// (with optional port), MD5/SHA-style hex digests, UUIDs, and 0x-prefixed
+// hex literals.
+func Default() *Replacer {
+	r := NewReplacer(DefaultRules()...)
+	r.digitGated = true
+	return r
+}
+
+// None returns a Replacer that performs no substitutions. Useful for
+// ablations that measure the value of variable replacement (Fig. 4).
+func None() *Replacer { return &Replacer{} }
+
+// DefaultRules returns copies of the built-in rules in application order.
+// Order matters: longer, more specific patterns run first so that e.g. a
+// UUID is not half-eaten by the hex rule.
+func DefaultRules() []Rule {
+	return []Rule{
+		{"iso-timestamp", regexp.MustCompile(`\b\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}:\d{2}(?:[.,]\d+)?(?:Z|[+-]\d{2}:?\d{2})?\b`)},
+		{"slash-date-time", regexp.MustCompile(`\b\d{2,4}[/.]\d{2}[/.]\d{2,4}[ T]\d{2}:\d{2}:\d{2}\b`)},
+		{"clock-time", regexp.MustCompile(`\b\d{2}:\d{2}:\d{2}(?:[.,]\d+)?\b`)},
+		{"uuid", regexp.MustCompile(`\b[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}\b`)},
+		{"ipv6", regexp.MustCompile(`\b(?:[0-9a-fA-F]{1,4}:){3,7}[0-9a-fA-F]{1,4}\b`)},
+		{"ipv4-port", regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}(?::\d{1,5})?\b`)},
+		{"long-hex", regexp.MustCompile(`\b(?:0x[0-9a-fA-F]+|[0-9a-fA-F]{32,64})\b`)},
+		{"mac-address", regexp.MustCompile(`\b(?:[0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}\b`)},
+	}
+}
+
+// Add appends a domain-specific rule compiled from pattern and returns the
+// receiver for chaining. It panics if pattern does not compile; topic
+// configuration is static, so a bad pattern is a programming error.
+// Custom rules may match digit-free text, so the digit prefilter is
+// disabled.
+func (r *Replacer) Add(name, pattern string) *Replacer {
+	r.rules = append(r.rules, Rule{Name: name, Pattern: regexp.MustCompile(pattern)})
+	r.digitGated = false
+	return r
+}
+
+// Replace substitutes every rule match in line with Wildcard. Intended for
+// human-facing output; parsing pipelines should use ReplaceTokenSafe so the
+// substitution survives tokenization.
+func (r *Replacer) Replace(line string) string { return r.replace(line, Wildcard) }
+
+// ReplaceTokenSafe substitutes every rule match with Sentinel, which no
+// tokenizer splits. Follow tokenization with CanonicalizeTokens.
+func (r *Replacer) ReplaceTokenSafe(line string) string { return r.replace(line, Sentinel) }
+
+func (r *Replacer) replace(line, placeholder string) string {
+	if r == nil || len(r.rules) == 0 {
+		return line
+	}
+	if r.digitGated && !hasASCIIDigit(line) {
+		// Every built-in rule requires at least one digit (an all-letter
+		// hex digest is astronomically unlikely); skip the regex bank
+		// entirely for the common pure-text line.
+		return line
+	}
+	for _, rule := range r.rules {
+		if rule.Pattern.MatchString(line) {
+			line = rule.Pattern.ReplaceAllString(line, placeholder)
+		}
+	}
+	return line
+}
+
+func hasASCIIDigit(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// CanonicalizeTokens rewrites, in place, every token containing Sentinel to
+// the Wildcard token and returns the slice. A token that mixes literal
+// bytes with a replaced variable (e.g. "/" glued to an IP) collapses to the
+// wildcard as a whole, matching how the paper's templates render such
+// positions ("dest *").
+func CanonicalizeTokens(tokens []string) []string {
+	for i, t := range tokens {
+		for j := 0; j < len(t); j++ {
+			if t[j] == Sentinel[0] {
+				tokens[i] = Wildcard
+				break
+			}
+		}
+	}
+	return tokens
+}
+
+// Rules returns the replacement rules in application order.
+func (r *Replacer) Rules() []Rule {
+	out := make([]Rule, len(r.rules))
+	copy(out, r.rules)
+	return out
+}
