@@ -14,6 +14,8 @@ import (
 
 	"bytebrain"
 	"bytebrain/internal/experiments"
+	"bytebrain/internal/logstore"
+	"bytebrain/internal/segment"
 )
 
 func benchConfig() experiments.Config {
@@ -174,6 +176,124 @@ func BenchmarkServiceIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// segmentBenchRecords builds template-tagged records from a synthetic
+// LogHub dataset for the segment-store benchmarks.
+func segmentBenchRecords(b *testing.B, name string) []segment.Record {
+	b.Helper()
+	ds, err := bytebrain.GenerateLogHub(name, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0)
+	recs := make([]segment.Record, len(ds.Lines))
+	for i, line := range ds.Lines {
+		recs[i] = segment.Record{
+			Offset:     int64(i),
+			Time:       base.Add(time.Duration(i) * time.Millisecond),
+			Raw:        line,
+			TemplateID: uint64(ds.Truth[i]) + 1,
+		}
+	}
+	return recs
+}
+
+// BenchmarkSegmentEncode measures sealing throughput and reports the
+// compression ratio of the template-aware columnar encoding.
+func BenchmarkSegmentEncode(b *testing.B) {
+	recs := segmentBenchRecords(b, "HDFS")
+	var raw int64
+	for _, r := range recs {
+		raw += int64(len(r.Raw))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var encoded int64
+	for i := 0; i < b.N; i++ {
+		blob, _, err := segment.Encode(recs, segment.CodecFlate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encoded = int64(len(blob))
+	}
+	b.ReportMetric(float64(raw)*float64(b.N)/b.Elapsed().Seconds()/1e6, "rawMB/s")
+	b.ReportMetric(100*float64(encoded)/float64(raw), "compressed%")
+}
+
+// BenchmarkSegmentDecode measures the full payload decode (the cost a
+// non-pushdownable query pays per block).
+func BenchmarkSegmentDecode(b *testing.B) {
+	recs := segmentBenchRecords(b, "HDFS")
+	blob, _, err := segment.Encode(recs, segment.CodecFlate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := segment.Open(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Records(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// BenchmarkCompactingIngest measures append throughput through the
+// hybrid store while the background compactor seals segments.
+func BenchmarkCompactingIngest(b *testing.B) {
+	recs := segmentBenchRecords(b, "Zookeeper")
+	store, err := logstore.OpenCompacting("bench", logstore.CompactConfig{
+		SegmentBytes: 1 << 20, Codec: segment.CodecFlate,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if _, err := store.Append(r.Time, r.Raw, r.TemplateID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	store.WaitIdle()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// BenchmarkCompactingByTemplate measures grouped queries over sealed
+// segments, where template pushdown skips non-matching blocks.
+func BenchmarkCompactingByTemplate(b *testing.B) {
+	recs := segmentBenchRecords(b, "HDFS")
+	store, err := logstore.OpenCompacting("bench", logstore.CompactConfig{
+		SegmentBytes: 64 << 10, Codec: segment.CodecFlate,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	for _, r := range recs {
+		if _, err := store.Append(r.Time, r.Raw, r.TemplateID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	store.WaitIdle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := store.ByTemplate(uint64(1 + i%5)); len(got) == 0 {
+			b.Fatal("no offsets")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 // BenchmarkModelSerialize measures model snapshot cost (internal-topic

@@ -11,25 +11,41 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bytebrain"
+	"bytebrain/internal/segment"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		trainVolume = flag.Int("train-volume", 10000, "retrain after this many new records")
-		trainEvery  = flag.Duration("train-interval", 5*time.Minute, "retrain after this much time")
-		sampleCap   = flag.Int("sample-cap", 50000, "training reservoir size (OOM guard)")
-		threshold   = flag.Float64("threshold", 0.7, "default query threshold")
-		parallel    = flag.Int("parallel", 4, "parser worker count")
-		seed        = flag.Int64("seed", 1, "clustering seed")
+		addr         = flag.String("addr", ":8080", "listen address")
+		trainVolume  = flag.Int("train-volume", 10000, "retrain after this many new records")
+		trainEvery   = flag.Duration("train-interval", 5*time.Minute, "retrain after this much time")
+		sampleCap    = flag.Int("sample-cap", 50000, "training reservoir size (OOM guard)")
+		threshold    = flag.Float64("threshold", 0.7, "default query threshold")
+		parallel     = flag.Int("parallel", 4, "parser worker count")
+		seed         = flag.Int64("seed", 1, "clustering seed")
+		dataDir      = flag.String("data-dir", "", "persist topics (records + model snapshots) under this directory; empty = in-memory")
+		segmentBytes = flag.Int64("segment-bytes", 0, "enable the compacting segment store: seal hot blocks of this raw size into compressed columnar segments (0 = disabled)")
+		segmentCodec = flag.String("segment-codec", "flate", "sealed-segment payload codec: flate or none")
 	)
 	flag.Parse()
+	if *segmentBytes > 0 {
+		// Fail fast on a bad codec instead of 500ing every topic
+		// creation at request time.
+		if _, err := segment.ParseCodec(*segmentCodec); err != nil {
+			log.Fatalf("logsvcd: -segment-codec: %v", err)
+		}
+	}
 
 	svc := bytebrain.NewService(bytebrain.ServiceConfig{
 		Parser:           bytebrain.Options{Seed: *seed, Parallelism: *parallel},
@@ -37,7 +53,30 @@ func main() {
 		TrainInterval:    *trainEvery,
 		SampleCap:        *sampleCap,
 		DefaultThreshold: *threshold,
+		DataDir:          *dataDir,
+		SegmentBytes:     *segmentBytes,
+		SegmentCodec:     *segmentCodec,
 	})
-	log.Printf("logsvcd listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+
+	// On SIGINT/SIGTERM: drain in-flight HTTP requests, then flush and
+	// close the stores (segment WALs, buffered appends).
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("logsvcd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("logsvcd listening on %s (data-dir=%q segment-bytes=%d)", *addr, *dataDir, *segmentBytes)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Fatalf("logsvcd: close: %v", err)
+	}
 }

@@ -1,0 +1,3 @@
+module bytebrain
+
+go 1.24

@@ -1,0 +1,838 @@
+package logstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bytebrain/internal/segment"
+)
+
+// CompactConfig tunes a CompactingStore.
+type CompactConfig struct {
+	// Dir, when set, persists sealed segments and a write-ahead log for
+	// the hot block there; the store recovers both after a restart.
+	// Empty keeps sealed segments as compressed in-memory blobs (still a
+	// large RAM win over raw lines).
+	Dir string
+	// SegmentBytes seals the hot block once its raw payload reaches this
+	// size (default 4 MiB).
+	SegmentBytes int64
+	// Codec compresses sealed payloads (default flate).
+	Codec segment.Codec
+}
+
+func (c CompactConfig) withDefaults() CompactConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	return c
+}
+
+const (
+	sealedPrefix = "seg-"
+	sealedSuffix = ".bbsg"
+	walPrefix    = "wal-"
+	walSuffix    = ".log"
+)
+
+// CompactingStore is the hybrid topic store: hot writes land in an
+// in-memory Topic (fully indexed, immediately queryable), and a
+// background compactor seals full blocks into immutable template-aware
+// compressed segments. Queries fan out over sealed segments — using
+// template/bloom/time pushdown from segment metadata so non-matching
+// blocks are never decompressed — plus the hot block.
+//
+// With Dir configured, hot appends also go to a per-block write-ahead
+// log; a crash loses at most the unflushed WAL tail, and recovery
+// replays sealed segments then surviving WALs.
+type CompactingStore struct {
+	name string
+	cfg  CompactConfig
+
+	mu     sync.Mutex
+	blocks []*compactBlock
+	closed bool
+
+	sealCh  chan struct{}
+	doneCh  chan struct{}
+	sealWG  sync.WaitGroup
+	idleCh  chan struct{} // closed and replaced whenever seal work finishes
+	sealErr error // most recent seal/rotation failure; cleared by Seal
+	readErr error // most recent sealed-segment read failure on a query path
+}
+
+// compactBlock is one contiguous offset range of the topic, either still
+// hot (in-memory Topic) or sealed (segment reader).
+type compactBlock struct {
+	idx     int   // monotonic block number; names the files
+	first   int64 // topic offset of the first record
+	hot     *Topic
+	sealing bool
+	seg     *segment.Reader
+	wal     *walWriter
+	walPath string // set for any block backed by a WAL file, even when
+	// recovered without a live writer; removed after a successful seal
+}
+
+func (b *compactBlock) count() int64 {
+	if b.seg != nil {
+		return int64(b.seg.Count())
+	}
+	return int64(b.hot.Len())
+}
+
+// OpenCompacting opens a compacting store, recovering on-disk state when
+// cfg.Dir is set: sealed segments load by metadata, leftover WALs replay
+// into hot blocks (all but the newest re-queued for sealing), a torn WAL
+// tail from a crash is truncated, and orphaned segment temp files are
+// removed.
+func OpenCompacting(name string, cfg CompactConfig) (*CompactingStore, error) {
+	cfg = cfg.withDefaults()
+	s := &CompactingStore{
+		name:   name,
+		cfg:    cfg,
+		sealCh: make(chan struct{}, 1),
+		doneCh: make(chan struct{}),
+		idleCh: make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.blocks) == 0 || s.blocks[len(s.blocks)-1].hot == nil || s.blocks[len(s.blocks)-1].sealing {
+		if err := s.startHotLocked(); err != nil {
+			return nil, err
+		}
+	}
+	s.sealWG.Add(1)
+	go s.sealLoop()
+	s.kickSealer()
+	return s, nil
+}
+
+// recover rebuilds the block list from cfg.Dir.
+func (s *CompactingStore) recover() error {
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("logstore: compacting open %s: %w", s.cfg.Dir, err)
+	}
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("logstore: compacting list %s: %w", s.cfg.Dir, err)
+	}
+	segIdx := map[int]string{}
+	walIdx := map[int]string{}
+	for _, e := range entries {
+		n := e.Name()
+		switch {
+		case strings.HasPrefix(n, segmentPrefix) && strings.HasSuffix(n, segmentSuffix):
+			// A DiskTopic record file: this directory was persisted by
+			// the plain disk store (SegmentBytes unset). Silently
+			// ignoring it would hide all those records behind fresh
+			// offsets — refuse instead of losing data.
+			return fmt.Errorf("logstore: compacting open %s: found plain disk-topic file %s; this topic was persisted without the segment store (unset SegmentBytes, or use a fresh data dir)", s.cfg.Dir, n)
+		case strings.HasSuffix(n, segment.TmpSuffix):
+			// Torn segment write from a crash; the WAL still has the data.
+			os.Remove(filepath.Join(s.cfg.Dir, n))
+		case strings.HasPrefix(n, sealedPrefix) && strings.HasSuffix(n, sealedSuffix):
+			var i int
+			if _, err := fmt.Sscanf(n, sealedPrefix+"%06d"+sealedSuffix, &i); err == nil {
+				segIdx[i] = filepath.Join(s.cfg.Dir, n)
+			}
+		case strings.HasPrefix(n, walPrefix) && strings.HasSuffix(n, walSuffix):
+			var i int
+			if _, err := fmt.Sscanf(n, walPrefix+"%06d"+walSuffix, &i); err == nil {
+				walIdx[i] = filepath.Join(s.cfg.Dir, n)
+			}
+		}
+	}
+	var idxs []int
+	for i := range segIdx {
+		idxs = append(idxs, i)
+	}
+	for i := range walIdx {
+		if _, dup := segIdx[i]; !dup {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	var next int64
+	for _, i := range idxs {
+		if path, ok := segIdx[i]; ok {
+			r, err := segment.OpenFile(path)
+			if err != nil && walIdx[i] != "" {
+				// Unreadable segment but its WAL survived (crash hit
+				// between segment rename and WAL delete): move the bad
+				// file aside and recover the block from the WAL below.
+				os.Rename(path, path+".bad")
+			} else if err != nil {
+				return fmt.Errorf("logstore: compacting recover: %w", err)
+			} else {
+				if r.FirstOffset() != next {
+					return fmt.Errorf("logstore: compacting recover: segment %d starts at offset %d, want %d",
+						i, r.FirstOffset(), next)
+				}
+				// The segment is good; its same-index WAL (if the crash
+				// left one) is now redundant.
+				if wal := walIdx[i]; wal != "" {
+					os.Remove(wal)
+				}
+				s.blocks = append(s.blocks, &compactBlock{idx: i, first: next, seg: r})
+				next += int64(r.Count())
+				continue
+			}
+		}
+		// WAL-only block: replay it into a hot Topic. Recovered blocks
+		// re-queue for sealing, except that the newest one may resume
+		// as the live hot block (see below).
+		hot := NewTopic(s.name)
+		if err := replayWAL(walIdx[i], hot); err != nil {
+			return err
+		}
+		if hot.Len() == 0 {
+			os.Remove(walIdx[i])
+			continue
+		}
+		s.blocks = append(s.blocks, &compactBlock{idx: i, first: next, hot: hot, sealing: true, walPath: walIdx[i]})
+		next += int64(hot.Len())
+	}
+	// The newest block, when replayed from a WAL and still under the
+	// seal threshold, resumes as the live hot block instead of being
+	// force-sealed — otherwise every restart under light traffic would
+	// mint an undersized segment.
+	if n := len(s.blocks); n > 0 {
+		last := s.blocks[n-1]
+		if last.hot != nil && last.hot.Bytes() < s.cfg.SegmentBytes {
+			w, err := openWAL(last.walPath)
+			if err != nil {
+				return err
+			}
+			last.wal = w
+			last.sealing = false
+		}
+	}
+	return nil
+}
+
+// startHotLocked appends a fresh hot block (with WAL when persistent).
+func (s *CompactingStore) startHotLocked() error {
+	idx, first := 0, int64(0)
+	if n := len(s.blocks); n > 0 {
+		last := s.blocks[n-1]
+		idx = last.idx + 1
+		first = last.first + last.count()
+	}
+	b := &compactBlock{idx: idx, first: first, hot: NewTopic(s.name)}
+	if s.cfg.Dir != "" {
+		path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s%06d%s", walPrefix, idx, walSuffix))
+		w, err := openWAL(path)
+		if err != nil {
+			return err
+		}
+		b.wal = w
+		b.walPath = path
+	}
+	s.blocks = append(s.blocks, b)
+	return nil
+}
+
+// Append implements Store.
+func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("logstore: compacting store closed")
+	}
+	b := s.blocks[len(s.blocks)-1]
+	// WAL first: if the durability write fails, the record is not
+	// admitted to the in-memory index either, so a caller retry cannot
+	// create a phantom duplicate. (A torn WAL tail from the failed
+	// write is truncated on recovery, like any crash.)
+	if b.wal != nil {
+		if err := b.wal.append(ts, raw, templateID); err != nil {
+			return 0, fmt.Errorf("logstore: wal append: %w", err)
+		}
+	}
+	off := b.first + b.hot.Append(ts, raw, templateID)
+	if b.hot.Bytes() >= s.cfg.SegmentBytes {
+		// Only hand the block to the sealer once its successor exists;
+		// if rotation fails the block simply keeps absorbing appends
+		// (correct, just uncompacted) and the error is surfaced via
+		// SealError rather than failing an append that already landed.
+		if err := s.startHotLocked(); err != nil {
+			s.sealErr = err
+		} else {
+			b.sealing = true
+			s.kickSealer()
+		}
+	}
+	return off, nil
+}
+
+func (s *CompactingStore) kickSealer() {
+	select {
+	case s.sealCh <- struct{}{}:
+	default:
+	}
+}
+
+// sealLoop is the background compactor: it converts seal-pending hot
+// blocks into compressed segments, oldest first, then swaps them into the
+// block list.
+func (s *CompactingStore) sealLoop() {
+	defer s.sealWG.Done()
+	for {
+		select {
+		case <-s.doneCh:
+			return
+		case <-s.sealCh:
+		}
+		for s.sealOne() {
+		}
+		s.mu.Lock()
+		close(s.idleCh)
+		s.idleCh = make(chan struct{})
+		s.mu.Unlock()
+	}
+}
+
+// sealableLocked returns the block the compactor may seal next, or nil.
+// Only the oldest unsealed block qualifies: segment files on disk must
+// stay a contiguous prefix of the block sequence, or a crash after an
+// out-of-order seal would leave an offset gap recovery cannot bridge. A
+// block whose seal failed (sealing cleared) therefore blocks newer ones
+// until Seal re-marks it.
+func (s *CompactingStore) sealableLocked() *compactBlock {
+	for _, b := range s.blocks {
+		if b.hot == nil {
+			continue // already sealed
+		}
+		if b.sealing {
+			return b
+		}
+		return nil
+	}
+	return nil
+}
+
+// sealOne seals the oldest pending block; false when none is pending.
+func (s *CompactingStore) sealOne() bool {
+	s.mu.Lock()
+	b := s.sealableLocked()
+	if b == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+
+	// The block no longer receives appends; read it without the store
+	// lock so queries and hot writes continue during compression.
+	recs := make([]segment.Record, 0, b.hot.Len())
+	b.hot.Scan(0, -1, func(r Record) bool {
+		recs = append(recs, segment.Record{
+			Offset:     b.first + r.Offset,
+			Time:       r.Time,
+			Raw:        r.Raw,
+			TemplateID: r.TemplateID,
+		})
+		return true
+	})
+	reader, err := s.sealRecords(b, recs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// Keep serving the block from memory and record the failure.
+		// sealing is cleared so the drain loop does not spin on it;
+		// Seal (the forced-compaction path) re-marks failed blocks for
+		// another attempt.
+		b.sealing = false
+		s.sealErr = err
+		return true
+	}
+	b.seg = reader
+	b.hot = nil
+	if b.wal != nil {
+		b.wal.close()
+		b.wal = nil
+	}
+	if b.walPath != "" {
+		os.Remove(b.walPath)
+		b.walPath = ""
+	}
+	return true
+}
+
+// sealRecords encodes one block and, when persistent, writes it
+// atomically to disk.
+func (s *CompactingStore) sealRecords(b *compactBlock, recs []segment.Record) (*segment.Reader, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("logstore: seal empty block %d", b.idx)
+	}
+	if b.wal != nil {
+		if err := b.wal.flush(); err != nil {
+			return nil, err
+		}
+	}
+	blob, _, err := segment.Encode(recs, s.cfg.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: seal block %d: %w", b.idx, err)
+	}
+	if s.cfg.Dir != "" {
+		path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s%06d%s", sealedPrefix, b.idx, sealedSuffix))
+		if err := segment.WriteFile(path, blob); err != nil {
+			return nil, err
+		}
+	}
+	return segment.Open(blob)
+}
+
+// Seal marks the current hot block for compaction regardless of size (a
+// no-op when it is empty), re-marks any block whose earlier seal attempt
+// failed, clears the sticky error so SealError reflects this attempt,
+// and returns without waiting.
+func (s *CompactingStore) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("logstore: compacting store closed")
+	}
+	s.sealErr = nil
+	// Retry blocks left hot by a failed seal (everything but the last
+	// block should be sealed or seal-pending).
+	for _, b := range s.blocks[:len(s.blocks)-1] {
+		if b.hot != nil && !b.sealing {
+			b.sealing = true
+		}
+	}
+	b := s.blocks[len(s.blocks)-1]
+	if b.hot.Len() > 0 {
+		if err := s.startHotLocked(); err != nil {
+			s.kickSealer()
+			return err
+		}
+		b.sealing = true
+	}
+	s.kickSealer()
+	return nil
+}
+
+// WaitIdle blocks until no block is pending compaction — test and
+// benchmark plumbing for the otherwise-asynchronous compactor.
+func (s *CompactingStore) WaitIdle() {
+	for {
+		s.mu.Lock()
+		pending := s.sealableLocked() != nil
+		ch := s.idleCh
+		s.mu.Unlock()
+		if !pending {
+			return
+		}
+		s.kickSealer()
+		select {
+		case <-ch:
+		case <-s.doneCh:
+			return
+		}
+	}
+}
+
+// SealError returns the most recent background compaction or rotation
+// failure, if any. Blocks that fail to seal keep serving from memory;
+// Seal clears the error before retrying them.
+func (s *CompactingStore) SealError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealErr
+}
+
+// ReadError returns the most recent sealed-segment decode failure hit by
+// a query path (those paths cannot return errors through the Store
+// interface; affected blocks are skipped, so results may be partial
+// until the error is investigated).
+func (s *CompactingStore) ReadError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readErr
+}
+
+// noteErr records a query-path read failure observed outside the store
+// lock.
+func (s *CompactingStore) noteErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readErr = err
+}
+
+// blockView is a consistent read-side snapshot of one block. The seg/hot
+// fields of compactBlock are mutated by the sealer under the store lock,
+// so queries must not read them from raw block pointers; a view copied
+// under the lock stays valid afterwards (sealed readers are immutable and
+// a hot Topic is never mutated again once its view was taken while it was
+// seal-pending — and has its own lock regardless).
+type blockView struct {
+	first int64
+	n     int64
+	seg   *segment.Reader
+	hot   *Topic
+}
+
+func (v blockView) last() int64 { return v.first + v.n }
+
+// snapshot copies the current block list into read-safe views.
+func (s *CompactingStore) snapshot() []blockView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]blockView, len(s.blocks))
+	for i, b := range s.blocks {
+		out[i] = blockView{first: b.first, n: b.count(), seg: b.seg, hot: b.hot}
+	}
+	return out
+}
+
+// Len implements Store.
+func (s *CompactingStore) Len() int {
+	var n int64
+	for _, b := range s.snapshot() {
+		n += b.n
+	}
+	return int(n)
+}
+
+// Bytes implements Store: the raw payload size the topic represents
+// (sealed blocks report the pre-compression size from metadata).
+func (s *CompactingStore) Bytes() int64 {
+	var n int64
+	for _, b := range s.snapshot() {
+		if b.seg != nil {
+			n += b.seg.RawBytes()
+		} else {
+			n += b.hot.Bytes()
+		}
+	}
+	return n
+}
+
+// Get implements Store.
+func (s *CompactingStore) Get(offset int64) (Record, error) {
+	for _, b := range s.snapshot() {
+		if offset < b.first || offset >= b.last() {
+			continue
+		}
+		if b.seg != nil {
+			rec, err := b.seg.Get(offset)
+			if err != nil {
+				return Record{}, err
+			}
+			return Record{Offset: rec.Offset, Time: rec.Time, Raw: rec.Raw, TemplateID: rec.TemplateID}, nil
+		}
+		r, err := b.hot.Get(offset - b.first)
+		if err != nil {
+			return Record{}, err
+		}
+		r.Offset = offset
+		return r, nil
+	}
+	return Record{}, fmt.Errorf("logstore: offset %d out of range [0,%d)", offset, s.Len())
+}
+
+// Scan implements Store.
+func (s *CompactingStore) Scan(from, to int64, fn func(Record) bool) {
+	if from < 0 {
+		from = 0
+	}
+	stop := false
+	for _, b := range s.snapshot() {
+		if stop {
+			return
+		}
+		last := b.last()
+		if to >= 0 && b.first >= to {
+			return
+		}
+		if last <= from {
+			continue
+		}
+		if b.seg != nil {
+			err := b.seg.Scan(func(rec segment.Record) bool {
+				if rec.Offset < from {
+					return true
+				}
+				if to >= 0 && rec.Offset >= to {
+					stop = true
+					return false
+				}
+				if !fn(Record{Offset: rec.Offset, Time: rec.Time, Raw: rec.Raw, TemplateID: rec.TemplateID}) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				s.noteErr(err)
+			}
+			continue
+		}
+		lo, hi := from-b.first, int64(-1)
+		if to >= 0 {
+			hi = to - b.first
+		}
+		b.hot.Scan(lo, hi, func(r Record) bool {
+			r.Offset += b.first
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// ByTemplate implements Store. Sealed blocks whose metadata lacks every
+// queried template are skipped without decompression.
+func (s *CompactingStore) ByTemplate(ids ...uint64) []int64 {
+	var out []int64
+	for _, b := range s.snapshot() {
+		if b.seg != nil {
+			offs, err := b.seg.ByTemplate(ids...)
+			if err != nil {
+				s.noteErr(err)
+				continue
+			}
+			out = append(out, offs...)
+			continue
+		}
+		for _, off := range b.hot.ByTemplate(ids...) {
+			out = append(out, off+b.first)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TemplateCounts implements Store, answered entirely from sealed-segment
+// metadata plus the hot index — no decompression.
+func (s *CompactingStore) TemplateCounts() map[uint64]int {
+	out := make(map[uint64]int)
+	for _, b := range s.snapshot() {
+		var m map[uint64]int
+		if b.seg != nil {
+			m = b.seg.TemplateCounts()
+		} else {
+			m = b.hot.TemplateCounts()
+		}
+		for id, n := range m {
+			out[id] += n
+		}
+	}
+	return out
+}
+
+// Search implements Store. Sealed blocks screen through their bloom
+// filter first.
+func (s *CompactingStore) Search(token string) []int64 {
+	var out []int64
+	for _, b := range s.snapshot() {
+		if b.seg != nil {
+			offs, err := b.seg.Search(token)
+			if err != nil {
+				s.noteErr(err)
+				continue
+			}
+			out = append(out, offs...)
+			continue
+		}
+		for _, off := range b.hot.Search(token) {
+			out = append(out, off+b.first)
+		}
+	}
+	return out
+}
+
+// CountSince implements Store, using segment time-range metadata for the
+// all-in / all-out blocks.
+func (s *CompactingStore) CountSince(cut time.Time) int {
+	n := 0
+	for _, b := range s.snapshot() {
+		if b.seg != nil {
+			c, err := b.seg.CountSince(cut)
+			if err != nil {
+				s.noteErr(err)
+				continue
+			}
+			n += c
+			continue
+		}
+		n += b.hot.CountSince(cut)
+	}
+	return n
+}
+
+// SegmentStats reports the compression state of the store.
+type SegmentStats struct {
+	// Segments is the sealed segment count.
+	Segments int
+	// SealedRecords is the record count inside sealed segments.
+	SealedRecords int
+	// HotRecords is the record count still in memory (hot + pending).
+	HotRecords int
+	// RawBytes is the pre-compression payload size of sealed segments.
+	RawBytes int64
+	// CompressedBytes is their encoded on-disk/in-memory size.
+	CompressedBytes int64
+	// BlockReads counts payload decompressions across all sealed
+	// segments — the price queries actually paid.
+	BlockReads int64
+	// Codec is the configured payload codec.
+	Codec string
+}
+
+// Ratio returns CompressedBytes/RawBytes (0 when nothing is sealed).
+func (st SegmentStats) Ratio() float64 {
+	if st.RawBytes == 0 {
+		return 0
+	}
+	return float64(st.CompressedBytes) / float64(st.RawBytes)
+}
+
+// SegmentStats returns current compression counters.
+func (s *CompactingStore) SegmentStats() SegmentStats {
+	st := SegmentStats{Codec: s.cfg.Codec.String()}
+	for _, b := range s.snapshot() {
+		if b.seg != nil {
+			st.Segments++
+			st.SealedRecords += b.seg.Count()
+			st.RawBytes += b.seg.RawBytes()
+			st.CompressedBytes += b.seg.EncodedBytes()
+			st.BlockReads += b.seg.BlockReads()
+		} else {
+			st.HotRecords += b.hot.Len()
+		}
+	}
+	return st
+}
+
+// Flush forces buffered WAL bytes to the OS (durability checkpoint).
+func (s *CompactingStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.blocks {
+		if b.wal != nil {
+			if err := b.wal.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close implements Store: seals nothing further, stops the compactor,
+// and flushes WALs so every hot record survives restart.
+func (s *CompactingStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.doneCh)
+	s.sealWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, b := range s.blocks {
+		if b.wal != nil {
+			if err := b.wal.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			b.wal = nil
+		}
+	}
+	return firstErr
+}
+
+var _ Store = (*CompactingStore)(nil)
+
+// walWriter appends length-prefixed records (the DiskTopic record format)
+// to one block's write-ahead log. Its own mutex serializes the sealer's
+// flush against appends/flushes made under the store lock.
+type walWriter struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+}
+
+func openWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: open wal: %w", err)
+	}
+	return &walWriter{path: path, f: f, w: bufio.NewWriterSize(f, 128<<10)}, nil
+}
+
+func (w *walWriter) append(ts time.Time, raw string, templateID uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var hdr [recordOverhead]byte
+	putRecordHeader(hdr[:], ts, templateID, len(raw))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.WriteString(raw)
+	return err
+}
+
+func (w *walWriter) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL loads a write-ahead log into a Topic, truncating a torn tail
+// (the crash case) like DiskTopic replay does.
+func replayWAL(path string, into *Topic) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("logstore: replay wal %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var goodBytes int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, errTornRecord) {
+				return os.Truncate(path, goodBytes)
+			}
+			return fmt.Errorf("logstore: replay wal %s at %d: %w", path, goodBytes, err)
+		}
+		into.Append(rec.Time, rec.Raw, rec.TemplateID)
+		goodBytes += n
+	}
+}

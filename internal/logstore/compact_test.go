@@ -1,0 +1,422 @@
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bytebrain/internal/segment"
+)
+
+// fillCompacting appends n records shaped like real parsed logs across 3
+// templates.
+func fillCompacting(t *testing.T, s *CompactingStore, n, start int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		raw := fmt.Sprintf("worker %d finished job job-%d in 12ms", i%7, i)
+		tmpl := uint64(1 + i%3)
+		off, err := s.Append(ts(i), raw, tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(i) {
+			t.Fatalf("offset %d, want %d", off, i)
+		}
+	}
+}
+
+func TestCompactingStoreRoundTrip(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		name := "memory"
+		if dir != "" {
+			name = "disk"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 2048, Codec: segment.CodecFlate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			fillCompacting(t, s, 500, 0)
+			s.WaitIdle()
+			if err := s.SealError(); err != nil {
+				t.Fatal(err)
+			}
+			st := s.SegmentStats()
+			if st.Segments == 0 {
+				t.Fatal("no segments sealed")
+			}
+			if st.SealedRecords+st.HotRecords != 500 {
+				t.Fatalf("sealed %d + hot %d != 500", st.SealedRecords, st.HotRecords)
+			}
+			if st.CompressedBytes >= st.RawBytes {
+				t.Fatalf("no compression: %d >= %d", st.CompressedBytes, st.RawBytes)
+			}
+			if s.Len() != 500 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+
+			// Every record readable across the sealed/hot boundary.
+			for _, i := range []int64{0, 1, 250, 498, 499} {
+				r, err := s.Get(i)
+				if err != nil {
+					t.Fatalf("Get(%d): %v", i, err)
+				}
+				want := fmt.Sprintf("worker %d finished job job-%d in 12ms", i%7, i)
+				if r.Raw != want || r.Offset != i || r.TemplateID != uint64(1+i%3) {
+					t.Fatalf("Get(%d) = %+v", i, r)
+				}
+			}
+
+			// Scan a window spanning blocks.
+			var seen []int64
+			s.Scan(100, 410, func(r Record) bool {
+				seen = append(seen, r.Offset)
+				return true
+			})
+			if len(seen) != 310 || seen[0] != 100 || seen[len(seen)-1] != 409 {
+				t.Fatalf("Scan window: %d records, ends %d..%d", len(seen), seen[0], seen[len(seen)-1])
+			}
+
+			// Template query: exact counts and ascending offsets.
+			offs := s.ByTemplate(2)
+			if len(offs) != 167 {
+				t.Fatalf("ByTemplate(2) = %d offsets", len(offs))
+			}
+			for i := 1; i < len(offs); i++ {
+				if offs[i] <= offs[i-1] {
+					t.Fatal("ByTemplate offsets not ascending")
+				}
+			}
+			counts := s.TemplateCounts()
+			if counts[1]+counts[2]+counts[3] != 500 {
+				t.Fatalf("TemplateCounts = %v", counts)
+			}
+
+			// Token search across sealed + hot.
+			hits := s.Search("job-123")
+			if len(hits) != 1 || hits[0] != 123 {
+				t.Fatalf("Search(job-123) = %v", hits)
+			}
+
+			// Time pushdown.
+			if n := s.CountSince(ts(400)); n != 100 {
+				t.Fatalf("CountSince = %d, want 100", n)
+			}
+		})
+	}
+}
+
+// TestCompactingTemplatePushdown asserts via block-read counters that
+// grouped queries never decompress segments whose dictionary lacks the
+// target template.
+func TestCompactingTemplatePushdown(t *testing.T) {
+	s, err := OpenCompacting("t", CompactConfig{SegmentBytes: 1 << 30, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Three sealed segments with disjoint template IDs: 10, 20, 30.
+	off := 0
+	for seg := 0; seg < 3; seg++ {
+		tmpl := uint64(10 * (seg + 1))
+		for i := 0; i < 200; i++ {
+			if _, err := s.Append(ts(off), fmt.Sprintf("segment %d line %d", seg, i), tmpl); err != nil {
+				t.Fatal(err)
+			}
+			off++
+		}
+		if err := s.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		s.WaitIdle()
+	}
+	if st := s.SegmentStats(); st.Segments != 3 || st.BlockReads != 0 {
+		t.Fatalf("setup: %+v", st)
+	}
+
+	offs := s.ByTemplate(20)
+	if len(offs) != 200 || offs[0] != 200 {
+		t.Fatalf("ByTemplate(20): %d offsets starting %d", len(offs), offs[0])
+	}
+	// Exactly one of three blocks decompressed.
+	if st := s.SegmentStats(); st.BlockReads != 1 {
+		t.Fatalf("ByTemplate read %d blocks, want 1", st.BlockReads)
+	}
+
+	// Absent template: zero additional reads.
+	if offs := s.ByTemplate(77); len(offs) != 0 {
+		t.Fatalf("ByTemplate(77) = %v", offs)
+	}
+	if st := s.SegmentStats(); st.BlockReads != 1 {
+		t.Fatalf("absent-template query read blocks: %d", st.BlockReads)
+	}
+
+	// TemplateCounts is metadata-only.
+	if counts := s.TemplateCounts(); counts[10] != 200 || counts[30] != 200 {
+		t.Fatalf("TemplateCounts = %v", counts)
+	}
+	if st := s.SegmentStats(); st.BlockReads != 1 {
+		t.Fatalf("TemplateCounts read blocks: %d", st.BlockReads)
+	}
+}
+
+func TestCompactingReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 2048, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCompacting(t, s, 400, 0)
+	s.WaitIdle()
+	segsBefore := s.SegmentStats().Segments
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 2048, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 400 {
+		t.Fatalf("recovered %d records, want 400", s2.Len())
+	}
+	// The under-threshold hot tail resumes as the live hot block; a
+	// restart must not mint an undersized segment from it.
+	s2.WaitIdle()
+	st := s2.SegmentStats()
+	if st.Segments != segsBefore {
+		t.Fatalf("restart sealed the hot tail: %d segments, want %d", st.Segments, segsBefore)
+	}
+	if st.HotRecords == 0 {
+		t.Fatal("hot tail not resumed as live block")
+	}
+	r, err := s2.Get(399)
+	if err != nil || r.Raw != "worker 0 finished job job-399 in 12ms" {
+		t.Fatalf("Get(399) = %+v, %v", r, err)
+	}
+	// Appends continue with dense offsets.
+	off, err := s2.Append(ts(400), "after restart", 9)
+	if err != nil || off != 400 {
+		t.Fatalf("Append after reopen: %d, %v", off, err)
+	}
+}
+
+// TestCompactingCrashRecovery simulates a crash: the store is abandoned
+// without Close (only a WAL Flush), then reopened. Sealed segments and
+// flushed WAL records must all survive; a torn WAL tail must be dropped
+// without failing recovery.
+func TestCompactingCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 2048, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCompacting(t, s, 300, 0)
+	s.WaitIdle()
+	fillCompacting(t, s, 37, 300) // stays hot, in WAL only
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. Stop the compactor goroutine only so the test
+	// does not leak it; on a real crash the whole process dies.
+	close(s.doneCh)
+	s.sealWG.Wait()
+
+	// Simulate a torn final append: extend the newest WAL with half a
+	// record header.
+	wals, err := filepath.Glob(filepath.Join(dir, walPrefix+"*"+walSuffix))
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("no wal files: %v", err)
+	}
+	last := wals[len(wals)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// And a torn segment write: an orphan tmp file recovery must remove.
+	orphan := filepath.Join(dir, sealedPrefix+"999999"+sealedSuffix+segment.TmpSuffix)
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 2048, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 337 {
+		t.Fatalf("recovered %d records, want 337", s2.Len())
+	}
+	for _, i := range []int64{0, 299, 300, 336} {
+		r, err := s2.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		want := fmt.Sprintf("worker %d finished job job-%d in 12ms", i%7, i)
+		if r.Raw != want || r.TemplateID != uint64(1+i%3) {
+			t.Fatalf("Get(%d) = %+v", i, r)
+		}
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan tmp segment not removed")
+	}
+	// Recovered pending blocks re-seal; the under-threshold newest WAL
+	// block resumes hot rather than minting an undersized segment.
+	s2.WaitIdle()
+	if err := s2.SealError(); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.SegmentStats()
+	if st.SealedRecords+st.HotRecords != 337 || st.Segments == 0 || st.HotRecords == 0 {
+		t.Fatalf("after recovery re-seal: %+v", st)
+	}
+	// Re-sealed blocks delete their recovered WAL files; only the new
+	// (empty) hot block's WAL remains.
+	wals, err = filepath.Glob(filepath.Join(dir, walPrefix+"*"+walSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wals) != 1 {
+		t.Fatalf("WALs left after recovery re-seal: %v", wals)
+	}
+	if n := s2.CountSince(ts(330)); n != 7 {
+		t.Fatalf("CountSince after recovery = %d, want 7", n)
+	}
+}
+
+// TestCompactingConcurrent hammers appends, queries and seals in
+// parallel; run under -race this exercises the seal/query handoff.
+func TestCompactingConcurrent(t *testing.T) {
+	s, err := OpenCompacting("t", CompactConfig{SegmentBytes: 4096, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3000; i++ {
+			if _, err := s.Append(ts(i), fmt.Sprintf("req %d handled path=/api/%d", i, i%50), uint64(1+i%5)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		s.ByTemplate(3)
+		s.TemplateCounts()
+		s.Search("handled")
+		s.Len()
+		s.Bytes()
+		select {
+		case <-done:
+			s.WaitIdle()
+			if s.Len() != 3000 {
+				t.Fatalf("Len = %d, want 3000", s.Len())
+			}
+			if got := len(s.ByTemplate(2)); got != 600 {
+				t.Fatalf("ByTemplate(2) = %d, want 600", got)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestCompactingBadSegmentFallsBackToWAL: a crash can leave a corrupt
+// sealed segment next to its not-yet-deleted WAL; recovery must prefer
+// the WAL over failing (and must not delete it first).
+func TestCompactingBadSegmentFallsBackToWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 1 << 30, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCompacting(t, s, 100, 0)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	close(s.doneCh) // crash
+	s.sealWG.Wait()
+	// The crash "happened" after the segment file was renamed but it
+	// was torn at the device level: fabricate a corrupt seg-000000.
+	if err := os.WriteFile(filepath.Join(dir, sealedPrefix+"000000"+sealedSuffix), []byte("BBSGcorrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 1 << 30, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 100 {
+		t.Fatalf("recovered %d records, want 100 from WAL", s2.Len())
+	}
+	if r, err := s2.Get(42); err != nil || r.Raw != "worker 0 finished job job-42 in 12ms" {
+		t.Fatalf("Get(42) = %+v, %v", r, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, sealedPrefix+"000000"+sealedSuffix+".bad")); err != nil {
+		t.Fatalf("corrupt segment not moved aside: %v", err)
+	}
+}
+
+// TestStoreFormatMismatchRefused: pointing one store format at the
+// other's directory must fail loudly instead of hiding records.
+func TestStoreFormatMismatchRefused(t *testing.T) {
+	// Plain disk topic dir opened as compacting store.
+	diskDir := t.TempDir()
+	dt, err := OpenDiskTopic(diskDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt.Append(ts(0), "a record", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCompacting("t", CompactConfig{Dir: diskDir}); err == nil {
+		t.Fatal("OpenCompacting on a DiskTopic dir must refuse")
+	}
+
+	// Compacting dir opened as plain disk topic.
+	segDir := t.TempDir()
+	cs, err := OpenCompacting("t", CompactConfig{Dir: segDir, SegmentBytes: 1 << 30, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCompacting(t, cs, 10, 0)
+	if err := cs.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	cs.WaitIdle()
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskTopic(segDir); err == nil {
+		t.Fatal("OpenDiskTopic on a compacting dir must refuse")
+	}
+}
+
+func TestCompactingAppendAfterClose(t *testing.T) {
+	s, err := OpenCompacting("t", CompactConfig{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(time.Now(), "x", 1); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+}

@@ -123,6 +123,14 @@ func (t *DiskTopic) segmentFiles() ([]string, error) {
 	var segs []string
 	for _, e := range entries {
 		name := e.Name()
+		if (strings.HasPrefix(name, sealedPrefix) && strings.HasSuffix(name, sealedSuffix)) ||
+			(strings.HasPrefix(name, walPrefix) && strings.HasSuffix(name, walSuffix)) {
+			// Compacting-store files (sealed segment or write-ahead
+			// log): this topic was persisted with SegmentBytes set.
+			// Opening it as a plain disk topic would hide those
+			// records — refuse instead.
+			return nil, fmt.Errorf("logstore: open %s: found compacting-store file %s; this topic was persisted with the segment store (set SegmentBytes, or use a fresh data dir)", t.dir, name)
+		}
 		if strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix) {
 			segs = append(segs, filepath.Join(t.dir, name))
 		}
@@ -160,6 +168,14 @@ func (t *DiskTopic) replaySegment(path string, tolerateTail bool) error {
 }
 
 var errTornRecord = errors.New("logstore: torn record")
+
+// putRecordHeader fills the length-prefixed record header shared by
+// DiskTopic segments and compacting-store WALs; readRecord inverts it.
+func putRecordHeader(hdr []byte, ts time.Time, templateID uint64, rawLen int) {
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(ts.UnixNano()))
+	binary.LittleEndian.PutUint64(hdr[8:16], templateID)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(rawLen))
+}
 
 // readRecord reads one length-prefixed record: 8-byte unix-nano time,
 // 8-byte template ID, 4-byte raw length, raw bytes.
@@ -219,9 +235,7 @@ func (t *DiskTopic) Append(ts time.Time, raw string, templateID uint64) (int64, 
 	}
 	t.scratch = t.scratch[:0]
 	var hdr [recordOverhead]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(ts.UnixNano()))
-	binary.LittleEndian.PutUint64(hdr[8:16], templateID)
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(raw)))
+	putRecordHeader(hdr[:], ts, templateID, len(raw))
 	t.scratch = append(t.scratch, hdr[:]...)
 	t.scratch = append(t.scratch, raw...)
 	if _, err := t.segW.Write(t.scratch); err != nil {

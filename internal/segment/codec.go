@@ -1,0 +1,117 @@
+package segment
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec selects the payload compression scheme of a segment.
+type Codec uint8
+
+const (
+	// CodecNone stores the payload uncompressed. The columnar encoding
+	// alone (shared templates, interned tokens, varint deltas) already
+	// shrinks typical log data substantially.
+	CodecNone Codec = 0
+	// CodecFlate compresses the payload with DEFLATE (stdlib flate).
+	CodecFlate Codec = 1
+	// CodecZstd is reserved for zstandard. The toolchain here has no zstd
+	// implementation baked in, so the codec is gated: selecting it
+	// returns ErrCodecUnavailable until an implementation is registered.
+	CodecZstd Codec = 2
+)
+
+// ErrCodecUnavailable is returned when a segment requires a codec this
+// build cannot provide (currently zstd).
+var ErrCodecUnavailable = errors.New("segment: codec not available in this build")
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecFlate:
+		return "flate"
+	case CodecZstd:
+		return "zstd"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// ParseCodec maps a config string to a Codec. The empty string selects
+// CodecFlate, the production default.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "flate":
+		return CodecFlate, nil
+	case "none":
+		return CodecNone, nil
+	case "zstd":
+		return CodecZstd, fmt.Errorf("segment: %q: %w (use \"flate\" or \"none\")", s, ErrCodecUnavailable)
+	default:
+		return 0, fmt.Errorf("segment: unknown codec %q (want none, flate or zstd)", s)
+	}
+}
+
+// compress encodes src with the codec.
+func (c Codec) compress(src []byte) ([]byte, error) {
+	switch c {
+	case CodecNone:
+		return src, nil
+	case CodecFlate:
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+		if err != nil {
+			return nil, fmt.Errorf("segment: flate: %w", err)
+		}
+		if _, err := w.Write(src); err != nil {
+			return nil, fmt.Errorf("segment: flate: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return nil, fmt.Errorf("segment: flate: %w", err)
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("segment: compress with %s: %w", c, ErrCodecUnavailable)
+	}
+}
+
+// decompress decodes src, which must expand to exactly rawLen bytes. The
+// length is part of the trusted header, so a payload that inflates to a
+// different size is corruption, and the reader never allocates more than
+// rawLen regardless of what the compressed stream claims.
+func (c Codec) decompress(src []byte, rawLen int) ([]byte, error) {
+	switch c {
+	case CodecNone:
+		if len(src) != rawLen {
+			return nil, corruptf("stored payload length %d, header says %d", len(src), rawLen)
+		}
+		return src, nil
+	case CodecFlate:
+		// DEFLATE expands at most ~1032x (1 bit per symbol run); a
+		// header claiming more is corrupt, and rejecting it here keeps
+		// the allocation below proportional to the actual input size —
+		// a crafted blob cannot force a multi-GiB make().
+		if rawLen > len(src)*1040+64 {
+			return nil, corruptf("claimed payload length %d impossible from %d compressed bytes", rawLen, len(src))
+		}
+		r := flate.NewReader(bytes.NewReader(src))
+		defer r.Close()
+		dst := make([]byte, rawLen)
+		if _, err := io.ReadFull(r, dst); err != nil {
+			return nil, corruptf("flate payload: %v", err)
+		}
+		// One extra read distinguishes "exactly rawLen" from "more data".
+		var one [1]byte
+		if n, _ := r.Read(one[:]); n != 0 {
+			return nil, corruptf("flate payload longer than header length %d", rawLen)
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("segment: decompress with %s: %w", c, ErrCodecUnavailable)
+	}
+}

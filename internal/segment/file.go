@@ -1,0 +1,59 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TmpSuffix marks an in-progress segment write. Files carrying it are
+// never valid segments; recovery deletes them.
+const TmpSuffix = ".tmp"
+
+// WriteFile persists an encoded segment atomically: the blob is written
+// to path+TmpSuffix, fsynced, then renamed into place and the directory
+// fsynced. A crash at any point leaves either no file or a complete,
+// checksummed segment — never a torn one.
+func WriteFile(path string, data []byte) error {
+	tmp := path + TmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("segment: write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: rename %s: %w", path, err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// OpenFile reads and parses a segment file.
+func OpenFile(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open %s: %w", path, err)
+	}
+	r, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open %s: %w", path, err)
+	}
+	return r, nil
+}

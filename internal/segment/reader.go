@@ -1,0 +1,421 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Reader gives query access to one sealed segment. The metadata section
+// (template counts, time range, token bloom filter) is decoded once at
+// Open; the compressed payload is only inflated when a query actually
+// needs record contents, and BlockReads counts how often that happened —
+// tests assert template pushdown by checking the counter stays at zero
+// for non-matching segments.
+//
+// A Reader is immutable after Open and safe for concurrent use; payload
+// decodes are stateless (no cache), so memory stays bounded by the
+// compressed size between queries.
+type Reader struct {
+	data    []byte // full segment blob
+	codec   Codec
+	count   int
+	first   int64
+	base    int64 // unix-nano of record 0
+	minTime int64
+	maxTime int64
+	raw     int64
+	meta    metaIndex
+	payload []byte // still compressed
+	payLen  int    // uncompressed payload length
+
+	blockReads atomic.Int64
+}
+
+type metaIndex struct {
+	tmplIDs    []uint64 // sorted
+	tmplCounts []int
+	bloom      bloom
+}
+
+// Open parses a segment blob. It validates the checksum and metadata but
+// does not decompress the payload.
+func Open(data []byte) (*Reader, error) {
+	if len(data) < headerSize+crcSize {
+		return nil, corruptf("segment too short: %d bytes", len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, corruptf("bad magic %q", data[:4])
+	}
+	if data[4] != formatVersion {
+		return nil, corruptf("unsupported version %d", data[4])
+	}
+	body, crcBytes := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, corruptf("checksum mismatch: %08x != %08x", got, want)
+	}
+	r := &Reader{
+		data:  data,
+		codec: Codec(data[5]),
+	}
+	switch r.codec {
+	case CodecNone, CodecFlate:
+	case CodecZstd:
+		return nil, ErrCodecUnavailable
+	default:
+		return nil, corruptf("unknown codec %d", data[5])
+	}
+	r.count = int(binary.LittleEndian.Uint32(data[8:12]))
+	r.first = int64(binary.LittleEndian.Uint64(data[12:20]))
+	r.base = int64(binary.LittleEndian.Uint64(data[20:28]))
+	r.minTime = int64(binary.LittleEndian.Uint64(data[28:36]))
+	r.maxTime = int64(binary.LittleEndian.Uint64(data[36:44]))
+	r.raw = int64(binary.LittleEndian.Uint64(data[44:52]))
+	metaLen := int(binary.LittleEndian.Uint32(data[52:56]))
+	r.payLen = int(binary.LittleEndian.Uint32(data[56:60]))
+	payLen := int(binary.LittleEndian.Uint32(data[60:64]))
+	if r.count <= 0 || r.count > maxRecords {
+		return nil, corruptf("record count %d", r.count)
+	}
+	if metaLen < 0 || payLen < 0 || headerSize+metaLen+payLen+crcSize != len(data) {
+		return nil, corruptf("section lengths %d+%d do not fit %d bytes", metaLen, payLen, len(data))
+	}
+	meta := data[headerSize : headerSize+metaLen]
+	r.payload = data[headerSize+metaLen : headerSize+metaLen+payLen]
+	if err := r.parseMeta(meta); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) parseMeta(meta []byte) error {
+	c := &cursor{buf: meta}
+	n, err := c.count(2) // template entries are ≥ 2 bytes each
+	if err != nil {
+		return err
+	}
+	r.meta.tmplIDs = make([]uint64, n)
+	r.meta.tmplCounts = make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		if r.meta.tmplIDs[i], err = c.uvarint(); err != nil {
+			return err
+		}
+		if i > 0 && r.meta.tmplIDs[i] <= r.meta.tmplIDs[i-1] {
+			return corruptf("template IDs not strictly ascending")
+		}
+		cnt, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if cnt == 0 || cnt > uint64(r.count) {
+			return corruptf("template count %d of %d records", cnt, r.count)
+		}
+		r.meta.tmplCounts[i] = int(cnt)
+		total += int(cnt)
+	}
+	if total != r.count {
+		return corruptf("template counts sum %d, want %d", total, r.count)
+	}
+	k, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if k == 0 || k > 16 {
+		return corruptf("bloom k %d", k)
+	}
+	blen, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if blen > maxBloomBytes || blen > uint64(c.remaining()) {
+		return corruptf("bloom length %d", blen)
+	}
+	bits, err := c.bytes(int(blen))
+	if err != nil {
+		return err
+	}
+	r.meta.bloom = bloom{bits: bits, k: int(k)}
+	if c.remaining() != 0 {
+		return corruptf("%d trailing metadata bytes", c.remaining())
+	}
+	return nil
+}
+
+// Count returns the number of records.
+func (r *Reader) Count() int { return r.count }
+
+// FirstOffset returns the topic offset of the first record.
+func (r *Reader) FirstOffset() int64 { return r.first }
+
+// LastOffset returns the topic offset of the last record.
+func (r *Reader) LastOffset() int64 { return r.first + int64(r.count) - 1 }
+
+// RawBytes returns the total raw line bytes the segment represents.
+func (r *Reader) RawBytes() int64 { return r.raw }
+
+// EncodedBytes returns the full encoded segment size.
+func (r *Reader) EncodedBytes() int64 { return int64(len(r.data)) }
+
+// Codec returns the payload codec.
+func (r *Reader) Codec() Codec { return r.codec }
+
+// MinTime and MaxTime bound the record timestamps.
+func (r *Reader) MinTime() time.Time { return time.Unix(0, r.minTime) }
+func (r *Reader) MaxTime() time.Time { return time.Unix(0, r.maxTime) }
+
+// BlockReads returns how many times the payload has been decompressed.
+// Pushdown-aware queries keep this at zero on segments whose metadata
+// rules them out.
+func (r *Reader) BlockReads() int64 { return r.blockReads.Load() }
+
+// HasTemplate reports from metadata alone whether any record carries id.
+func (r *Reader) HasTemplate(id uint64) bool {
+	i := sort.Search(len(r.meta.tmplIDs), func(i int) bool { return r.meta.tmplIDs[i] >= id })
+	return i < len(r.meta.tmplIDs) && r.meta.tmplIDs[i] == id
+}
+
+// TemplateCounts returns the per-template record counts from metadata.
+func (r *Reader) TemplateCounts() map[uint64]int {
+	out := make(map[uint64]int, len(r.meta.tmplIDs))
+	for i, id := range r.meta.tmplIDs {
+		out[id] = r.meta.tmplCounts[i]
+	}
+	return out
+}
+
+// MayContainToken consults the bloom filter: false means no record's
+// whitespace-delimited tokens include token.
+func (r *Reader) MayContainToken(token string) bool {
+	return r.meta.bloom.mayContain(token)
+}
+
+// Records decodes and returns every record. Each call inflates the
+// payload (counted in BlockReads); callers that can push their predicate
+// into metadata should do so first.
+func (r *Reader) Records() ([]Record, error) {
+	r.blockReads.Add(1)
+	payload, err := r.codec.decompress(r.payload, r.payLen)
+	if err != nil {
+		return nil, err
+	}
+	c := &cursor{buf: payload}
+
+	nTokens, err := c.count(1)
+	if err != nil {
+		return nil, err
+	}
+	tokens := make([]string, nTokens)
+	for i := range tokens {
+		if tokens[i], err = c.str(); err != nil {
+			return nil, err
+		}
+	}
+
+	type entry struct {
+		tmpl    uint64
+		cols    int
+		literal []bool
+		litToks []string
+	}
+	nEntries, err := c.count(2)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]entry, nEntries)
+	for i := range entries {
+		e := &entries[i]
+		if e.tmpl, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		nc, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc == 0 || nc > uint64(c.remaining())*8+8 {
+			return nil, corruptf("entry with %d columns", nc)
+		}
+		e.cols = int(nc)
+		mask, err := c.bytes((e.cols + 7) / 8)
+		if err != nil {
+			return nil, err
+		}
+		e.literal = make([]bool, e.cols)
+		for ci := 0; ci < e.cols; ci++ {
+			e.literal[ci] = mask[ci/8]&(1<<(ci%8)) != 0
+		}
+		for ci := 0; ci < e.cols; ci++ {
+			if !e.literal[ci] {
+				continue
+			}
+			id, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(len(tokens)) {
+				return nil, corruptf("literal token ID %d of %d", id, len(tokens))
+			}
+			e.litToks = append(e.litToks, tokens[id])
+		}
+	}
+
+	nRecs, err := c.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if nRecs != r.count {
+		return nil, corruptf("payload has %d records, header says %d", nRecs, r.count)
+	}
+	out := make([]Record, nRecs)
+	prev := r.base
+	cols := make([]string, 0, 64)
+	for i := range out {
+		ei, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ei >= uint64(len(entries)) {
+			return nil, corruptf("record entry %d of %d", ei, len(entries))
+		}
+		e := &entries[ei]
+		delta, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += delta
+		cols = cols[:0]
+		lit := 0
+		for ci := 0; ci < e.cols; ci++ {
+			if e.literal[ci] {
+				cols = append(cols, e.litToks[lit])
+				lit++
+				continue
+			}
+			id, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(len(tokens)) {
+				return nil, corruptf("variable token ID %d of %d", id, len(tokens))
+			}
+			cols = append(cols, tokens[id])
+		}
+		out[i] = Record{
+			Offset:     r.first + int64(i),
+			Time:       time.Unix(0, prev),
+			Raw:        joinColumns(cols),
+			TemplateID: e.tmpl,
+		}
+	}
+	if c.remaining() != 0 {
+		return nil, corruptf("%d trailing payload bytes", c.remaining())
+	}
+	return out, nil
+}
+
+// Scan decodes the payload and visits records in order until fn returns
+// false.
+func (r *Reader) Scan(fn func(Record) bool) error {
+	recs, err := r.Records()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ByTemplate returns the topic offsets of records whose template is any
+// of ids. When the metadata rules every id out the payload is never
+// decompressed — the template-pushdown fast path.
+func (r *Reader) ByTemplate(ids ...uint64) ([]int64, error) {
+	any := false
+	for _, id := range ids {
+		if r.HasTemplate(id) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	recs, err := r.Records()
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, rec := range recs {
+		if want[rec.TemplateID] {
+			out = append(out, rec.Offset)
+		}
+	}
+	return out, nil
+}
+
+// Search returns the topic offsets of records containing the exact
+// whitespace-delimited token. The bloom filter screens out definite
+// misses without decompressing.
+func (r *Reader) Search(token string) ([]int64, error) {
+	if !r.MayContainToken(token) {
+		return nil, nil
+	}
+	recs, err := r.Records()
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, rec := range recs {
+		for _, tok := range strings.Fields(rec.Raw) {
+			if tok == token {
+				out = append(out, rec.Offset)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountSince counts records with Time >= cut. The metadata time range
+// answers the all-or-nothing cases without decompressing.
+func (r *Reader) CountSince(cut time.Time) (int, error) {
+	if !r.MinTime().Before(cut) {
+		return r.count, nil
+	}
+	if r.MaxTime().Before(cut) {
+		return 0, nil
+	}
+	recs, err := r.Records()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, rec := range recs {
+		if !rec.Time.Before(cut) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Get returns the record at topic offset off.
+func (r *Reader) Get(off int64) (Record, error) {
+	if off < r.first || off > r.LastOffset() {
+		return Record{}, fmt.Errorf("segment: offset %d outside [%d,%d]", off, r.first, r.LastOffset())
+	}
+	recs, err := r.Records()
+	if err != nil {
+		return Record{}, err
+	}
+	return recs[off-r.first], nil
+}

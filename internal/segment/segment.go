@@ -1,0 +1,96 @@
+// Package segment implements the sealed-segment storage format of the log
+// service: a template-aware, columnar, optionally compressed on-disk block
+// of log records.
+//
+// The paper requires every record to carry its template ID "computed along
+// with other traditional text indices before logs can be written" to the
+// append-only topic. Because parsing already factors each line into a
+// (template, variables) pair, a sealed block does not need to store raw
+// lines verbatim: records with the same structure share one dictionary
+// entry holding the literal tokens, and each record stores only its
+// (dictionary-entry, timestamp-delta, variable-token) tuple, CLP-style.
+// Variable tokens are interned in a per-segment token table and referenced
+// by varint IDs; the whole payload is then optionally DEFLATE-compressed.
+//
+// A small uncompressed metadata section — per-template record counts, the
+// time range, and a bloom filter over the token hashes of internal/encode —
+// stays readable without touching the payload, so grouped queries
+// (ByTemplate), token search, and time-range counts push their predicate
+// down to segment metadata and never decompress non-matching blocks.
+package segment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Record is one log record inside a segment. It mirrors the logstore
+// record shape without importing it, so the storage layer can depend on
+// this package.
+type Record struct {
+	// Offset is the topic-global offset of the record.
+	Offset int64
+	// Time is the ingestion timestamp (stored at nanosecond precision).
+	Time time.Time
+	// Raw is the original log line, recovered bit-exact on read.
+	Raw string
+	// TemplateID is the template matched at ingestion.
+	TemplateID uint64
+}
+
+const (
+	// magic identifies a segment file.
+	magic = "BBSG"
+	// formatVersion is bumped on any incompatible layout change.
+	formatVersion = 1
+	// headerSize is the fixed-size portion before meta and payload:
+	// magic(4) version(1) codec(1) reserved(2) count(4) firstOffset(8)
+	// baseTime(8) minTime(8) maxTime(8) rawBytes(8) metaLen(4)
+	// payloadRawLen(4) payloadLen(4).
+	headerSize = 4 + 1 + 1 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4
+	// crcSize is the trailing IEEE CRC-32 over everything before it.
+	crcSize = 4
+	// maxRecords bounds a single segment; sealing happens far earlier.
+	maxRecords = 1 << 28
+)
+
+// splitColumns splits a raw line into its space-separated columns. The
+// split is lossless for every string: joining the columns with single
+// spaces reproduces the input byte-for-byte (empty columns preserve runs
+// of spaces).
+func splitColumns(raw string) []string { return strings.Split(raw, " ") }
+
+// joinColumns inverts splitColumns.
+func joinColumns(cols []string) string { return strings.Join(cols, " ") }
+
+// Stats summarizes one encoded segment.
+type Stats struct {
+	// Records is the record count.
+	Records int
+	// RawBytes is the sum of raw line lengths stored in the segment.
+	RawBytes int64
+	// EncodedBytes is the full encoded segment size (header + metadata +
+	// payload + checksum).
+	EncodedBytes int64
+	// DictEntries is the number of template-dictionary entries.
+	DictEntries int
+	// Tokens is the size of the interned token table.
+	Tokens int
+}
+
+// Ratio returns EncodedBytes / RawBytes, the compression ratio (lower is
+// better; 0 when the segment stored no raw bytes).
+func (s Stats) Ratio() float64 {
+	if s.RawBytes == 0 {
+		return 0
+	}
+	return float64(s.EncodedBytes) / float64(s.RawBytes)
+}
+
+// corruptf returns a decoding error; every malformed-input path funnels
+// through it so the fuzz target can tell corruption (an error) from a
+// decoder bug (a panic).
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("segment: corrupt: "+format, args...)
+}

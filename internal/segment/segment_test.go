@@ -1,0 +1,302 @@
+package segment
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bytebrain/internal/datagen"
+)
+
+func ts(i int) time.Time { return time.Unix(1700000000, 0).Add(time.Duration(i) * time.Millisecond) }
+
+func sampleRecords(n int, firstOffset int64) []Record {
+	templates := []struct {
+		id  uint64
+		gen func(i int) string
+	}{
+		{101, func(i int) string { return fmt.Sprintf("Receiving block blk_%d src: /10.0.0.%d:50010", i, i%256) }},
+		{102, func(i int) string { return fmt.Sprintf("PacketResponder %d for block blk_%d terminating", i%3, i) }},
+		{103, func(i int) string { return "Verification succeeded for blk_-99" }},
+	}
+	recs := make([]Record, n)
+	for i := range recs {
+		t := templates[i%len(templates)]
+		recs[i] = Record{
+			Offset:     firstOffset + int64(i),
+			Time:       ts(i),
+			Raw:        t.gen(i),
+			TemplateID: t.id,
+		}
+	}
+	return recs
+}
+
+func roundTrip(t *testing.T, recs []Record, codec Codec) *Reader {
+	t.Helper()
+	blob, stats, err := Encode(recs, codec)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if stats.Records != len(recs) {
+		t.Fatalf("stats.Records = %d, want %d", stats.Records, len(recs))
+	}
+	r, err := Open(blob)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := r.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Raw != recs[i].Raw {
+			t.Fatalf("record %d raw %q, want %q", i, got[i].Raw, recs[i].Raw)
+		}
+		if got[i].TemplateID != recs[i].TemplateID {
+			t.Fatalf("record %d template %d, want %d", i, got[i].TemplateID, recs[i].TemplateID)
+		}
+		if got[i].Offset != recs[i].Offset {
+			t.Fatalf("record %d offset %d, want %d", i, got[i].Offset, recs[i].Offset)
+		}
+		if got[i].Time.UnixNano() != recs[i].Time.UnixNano() {
+			t.Fatalf("record %d time %v, want %v", i, got[i].Time, recs[i].Time)
+		}
+	}
+	return r
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	for _, codec := range []Codec{CodecNone, CodecFlate} {
+		t.Run(codec.String(), func(t *testing.T) {
+			roundTrip(t, sampleRecords(500, 1234), codec)
+		})
+	}
+}
+
+// TestRoundTripProperty is the acceptance property test: segments built
+// from randomized records — adversarial whitespace, empty lines, unicode,
+// out-of-order timestamps, arbitrary template IDs — decode every record
+// bit-exact.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []string{
+		"alpha", "beta", "", " ", "  double", "tab\there", "血", "x=1,y=2",
+		"<*>", "blk_123", "/var/log/app.log", "9.9.9.9:80", "a b", "\t",
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		first := rng.Int63n(1 << 30)
+		base := time.Unix(rng.Int63n(1e9), rng.Int63n(1e9))
+		recs := make([]Record, n)
+		for i := range recs {
+			nTok := rng.Intn(12)
+			parts := make([]string, nTok)
+			for j := range parts {
+				parts[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			recs[i] = Record{
+				Offset: first + int64(i),
+				// Deltas may be negative: timestamps need not be monotone.
+				Time:       base.Add(time.Duration(rng.Int63n(2e9) - 1e9)),
+				Raw:        strings.Join(parts, " "),
+				TemplateID: rng.Uint64() >> uint(rng.Intn(64)),
+			}
+		}
+		codec := CodecNone
+		if trial%2 == 1 {
+			codec = CodecFlate
+		}
+		roundTrip(t, recs, codec)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	if _, _, err := Encode(nil, CodecFlate); err == nil {
+		t.Fatal("Encode(nil) should fail")
+	}
+	recs := sampleRecords(3, 0)
+	recs[2].Offset = 99 // not dense
+	if _, _, err := Encode(recs, CodecFlate); err == nil {
+		t.Fatal("Encode with non-dense offsets should fail")
+	}
+	if _, _, err := Encode(sampleRecords(3, 0), CodecZstd); err == nil {
+		t.Fatal("Encode with gated zstd codec should fail")
+	}
+}
+
+func TestTemplatePushdown(t *testing.T) {
+	r := roundTrip(t, sampleRecords(300, 0), CodecFlate)
+	reads := r.BlockReads() // roundTrip decoded once
+
+	// Absent template: metadata answers, payload untouched.
+	offs, err := r.ByTemplate(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offs != nil {
+		t.Fatalf("ByTemplate(999) = %v, want nil", offs)
+	}
+	if r.BlockReads() != reads {
+		t.Fatalf("ByTemplate on absent template decompressed the block (%d -> %d reads)", reads, r.BlockReads())
+	}
+
+	// Present template: decompresses once, returns exact offsets.
+	offs, err = r.ByTemplate(101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 100 {
+		t.Fatalf("ByTemplate(101) returned %d offsets, want 100", len(offs))
+	}
+	if r.BlockReads() != reads+1 {
+		t.Fatalf("ByTemplate on present template: %d reads, want %d", r.BlockReads(), reads+1)
+	}
+	if !r.HasTemplate(102) || r.HasTemplate(7) {
+		t.Fatal("HasTemplate metadata wrong")
+	}
+	counts := r.TemplateCounts()
+	if counts[101] != 100 || counts[102] != 100 || counts[103] != 100 {
+		t.Fatalf("TemplateCounts = %v", counts)
+	}
+}
+
+func TestTokenSearchBloom(t *testing.T) {
+	r := roundTrip(t, sampleRecords(300, 50), CodecFlate)
+	reads := r.BlockReads()
+	offs, err := r.Search("terminating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 100 {
+		t.Fatalf("Search(terminating) = %d offsets, want 100", len(offs))
+	}
+	// A token that cannot be present: bloom must usually skip the decode.
+	// (Bloom filters allow false positives, so assert correctness of the
+	// result, and only note the common fast path.)
+	offs, err = r.Search("definitely-not-a-token-xyzzy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 0 {
+		t.Fatalf("Search(absent) = %v, want none", offs)
+	}
+	_ = reads
+}
+
+func TestCountSincePushdown(t *testing.T) {
+	r := roundTrip(t, sampleRecords(100, 0), CodecFlate)
+	reads := r.BlockReads()
+	if n, _ := r.CountSince(ts(0)); n != 100 {
+		t.Fatalf("CountSince(min) = %d, want 100", n)
+	}
+	if n, _ := r.CountSince(ts(1000)); n != 0 {
+		t.Fatalf("CountSince(beyond max) = %d, want 0", n)
+	}
+	if r.BlockReads() != reads {
+		t.Fatal("all-or-nothing CountSince should not decompress")
+	}
+	if n, _ := r.CountSince(ts(60)); n != 40 {
+		t.Fatalf("CountSince(mid) = %d, want 40", n)
+	}
+	if r.BlockReads() != reads+1 {
+		t.Fatal("mid-range CountSince should decompress exactly once")
+	}
+}
+
+// TestCompressionRatioSyntheticDatasets is the acceptance bound: on the
+// bundled synthetic LogHub datasets, a flate segment must encode to at
+// most 40% of the raw bytes.
+func TestCompressionRatioSyntheticDatasets(t *testing.T) {
+	for _, name := range []string{"HDFS", "Apache", "Linux", "Zookeeper", "Spark"} {
+		ds, err := datagen.LogHub(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := make([]Record, len(ds.Lines))
+		for i, line := range ds.Lines {
+			recs[i] = Record{
+				Offset:     int64(i),
+				Time:       ts(i),
+				Raw:        line,
+				TemplateID: uint64(ds.Truth[i]) + 1,
+			}
+		}
+		blob, stats, err := Encode(recs, CodecFlate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(len(blob)) / float64(stats.RawBytes)
+		t.Logf("%s: %d raw -> %d encoded (%.1f%%), %d dict entries, %d tokens",
+			name, stats.RawBytes, len(blob), 100*ratio, stats.DictEntries, stats.Tokens)
+		if ratio > 0.40 {
+			t.Errorf("%s: compression ratio %.1f%% exceeds 40%% bound", name, 100*ratio)
+		}
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	blob, _, err := Encode(sampleRecords(50, 0), CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(blob[:10]); err == nil {
+		t.Fatal("Open(truncated) should fail")
+	}
+	for _, pos := range []int{0, 5, 9, 30, headerSize + 3, len(blob) - 2} {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 0xFF
+		if _, err := Open(bad); err == nil {
+			t.Fatalf("Open with byte %d flipped should fail (checksum)", pos)
+		}
+	}
+}
+
+func TestWriteOpenFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000000.bbsg")
+	recs := sampleRecords(120, 7)
+	blob, _, err := Encode(recs, CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + TmpSuffix); !os.IsNotExist(err) {
+		t.Fatal("tmp file left behind")
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 120 || r.FirstOffset() != 7 {
+		t.Fatalf("reopened segment count=%d first=%d", r.Count(), r.FirstOffset())
+	}
+	rec, err := r.Get(7 + 64)
+	if err != nil || rec.Raw != recs[64].Raw {
+		t.Fatalf("Get = %+v, %v", rec, err)
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	for s, want := range map[string]Codec{"": CodecFlate, "flate": CodecFlate, "none": CodecNone} {
+		c, err := ParseCodec(s)
+		if err != nil || c != want {
+			t.Fatalf("ParseCodec(%q) = %v, %v", s, c, err)
+		}
+	}
+	if _, err := ParseCodec("zstd"); err == nil {
+		t.Fatal("zstd must be gated in this build")
+	}
+	if _, err := ParseCodec("lz77"); err == nil {
+		t.Fatal("unknown codec must error")
+	}
+}

@@ -16,6 +16,8 @@ import (
 //	GET  /topics                       list topics
 //	POST /topics/{name}/logs           ingest newline-separated raw logs
 //	POST /topics/{name}/train          force a training cycle
+//	POST /topics/{name}/compact        seal the hot block into a
+//	                                   compressed segment (segment store)
 //	GET  /topics/{name}/query?threshold=0.7
 //	                                   records grouped by template at the
 //	                                   given precision (the web UI slider)
@@ -76,11 +78,19 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	case action == "compact" && r.Method == http.MethodPost:
+		if err := s.Compact(name); err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	case action == "query" && r.Method == http.MethodGet:
 		threshold := 0.0
 		if v := r.URL.Query().Get("threshold"); v != "" {
 			f, err := strconv.ParseFloat(v, 64)
-			if err != nil || f < 0 || f > 1 {
+			// The comparison form rejects NaN, which would sail
+			// through `f < 0 || f > 1`.
+			if err != nil || !(f >= 0 && f <= 1) {
 				http.Error(w, "threshold must be a number in [0,1]", http.StatusBadRequest)
 				return
 			}
@@ -116,6 +126,8 @@ func httpTopicError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	} else if strings.Contains(err.Error(), "no trained model") {
 		status = http.StatusConflict
+	} else if strings.Contains(err.Error(), "no segment store") {
+		status = http.StatusBadRequest
 	}
 	http.Error(w, err.Error(), status)
 }

@@ -16,6 +16,7 @@ import (
 
 	"bytebrain/internal/core"
 	"bytebrain/internal/logstore"
+	"bytebrain/internal/segment"
 	"bytebrain/internal/template"
 )
 
@@ -41,6 +42,16 @@ type Config struct {
 	// segments plus model snapshots) under DataDir/<topic>; topics
 	// recover on restart. Empty keeps everything in memory.
 	DataDir string
+	// SegmentBytes > 0 enables the template-aware compacting segment
+	// store: hot writes stay in memory and a background compactor seals
+	// blocks of this raw size into compressed columnar segments
+	// (on disk under DataDir when set, otherwise as in-memory blobs).
+	// Grouped queries push template IDs down to segment metadata and
+	// skip non-matching blocks entirely.
+	SegmentBytes int64
+	// SegmentCodec selects the sealed-payload compression: "flate"
+	// (default), "none", or "zstd" (gated — unavailable in this build).
+	SegmentCodec string
 	// Now supplies timestamps; tests override it. Defaults to time.Now.
 	Now func() time.Time
 }
@@ -116,10 +127,41 @@ func (s *Service) CreateTopic(name string) error {
 		lastTrain: s.cfg.Now(),
 		rng:       rand.New(rand.NewSource(int64(len(name)) + 17)),
 	}
-	if s.cfg.DataDir == "" {
+	switch {
+	case s.cfg.SegmentBytes > 0:
+		// Compacting segment store: hot in-memory block plus sealed
+		// compressed segments, persistent when DataDir is set.
+		codec, err := segment.ParseCodec(s.cfg.SegmentCodec)
+		if err != nil {
+			return fmt.Errorf("service: topic %q: %w", name, err)
+		}
+		ccfg := logstore.CompactConfig{SegmentBytes: s.cfg.SegmentBytes, Codec: codec}
+		if s.cfg.DataDir != "" {
+			ccfg.Dir = filepath.Join(s.cfg.DataDir, name, "records")
+		}
+		store, err := logstore.OpenCompacting(name, ccfg)
+		if err != nil {
+			return err
+		}
+		st.store = store
+		if s.cfg.DataDir == "" {
+			st.internal = logstore.NewInternal()
+		} else {
+			internal, err := logstore.OpenDiskInternal(filepath.Join(s.cfg.DataDir, name, "models"))
+			if err != nil {
+				store.Close()
+				return err
+			}
+			st.internal = internal
+		}
+		if err := st.recoverLocked(); err != nil {
+			store.Close()
+			return err
+		}
+	case s.cfg.DataDir == "":
 		st.store = logstore.NewStore(name)
 		st.internal = logstore.NewInternal()
-	} else {
+	default:
 		dir := filepath.Join(s.cfg.DataDir, name)
 		store, err := logstore.OpenDiskTopic(filepath.Join(dir, "records"))
 		if err != nil {
@@ -300,6 +342,15 @@ type Stats struct {
 	Trainings  int
 	ModelBytes int
 	Snapshots  int
+	// Segment-store compression counters, zero unless Config.SegmentBytes
+	// enabled the compacting store for this topic.
+	Segments               int     `json:",omitempty"`
+	SegmentRecords         int     `json:",omitempty"`
+	SegmentRawBytes        int64   `json:",omitempty"`
+	SegmentCompressedBytes int64   `json:",omitempty"`
+	SegmentRatio           float64 `json:",omitempty"`
+	SegmentBlockReads      int64   `json:",omitempty"`
+	SegmentCodec           string  `json:",omitempty"`
 }
 
 // TopicStats returns counters for one topic.
@@ -322,7 +373,36 @@ func (s *Service) TopicStats(topicName string) (Stats, error) {
 			stats.ModelBytes = len(b)
 		}
 	}
+	if cs, ok := st.store.(*logstore.CompactingStore); ok {
+		sst := cs.SegmentStats()
+		stats.Segments = sst.Segments
+		stats.SegmentRecords = sst.SealedRecords
+		stats.SegmentRawBytes = sst.RawBytes
+		stats.SegmentCompressedBytes = sst.CompressedBytes
+		stats.SegmentRatio = sst.Ratio()
+		stats.SegmentBlockReads = sst.BlockReads
+		stats.SegmentCodec = sst.Codec
+	}
 	return stats, nil
+}
+
+// Compact forces the topic's current hot block to seal into a compressed
+// segment and waits for the compactor to drain. It errors when the topic
+// does not use the segment store (Config.SegmentBytes unset).
+func (s *Service) Compact(topicName string) error {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return err
+	}
+	cs, ok := st.store.(*logstore.CompactingStore)
+	if !ok {
+		return fmt.Errorf("service: topic %q has no segment store (set SegmentBytes)", topicName)
+	}
+	if err := cs.Seal(); err != nil {
+		return err
+	}
+	cs.WaitIdle()
+	return cs.SealError()
 }
 
 // TemplateRow is one line of a grouped query result.
