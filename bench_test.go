@@ -9,6 +9,8 @@
 package bytebrain_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -176,6 +178,158 @@ func BenchmarkServiceIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+}
+
+// BenchmarkConcurrentIngest measures the service ingestion path under
+// goroutine contention on ONE topic. Matching runs lock-free against the
+// atomically published snapshot and appends serialize only inside the
+// store, so throughput should scale with goroutines instead of
+// flat-lining on a topic mutex (the pre-refactor behavior).
+func BenchmarkConcurrentIngest(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("Zookeeper", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
+			svc := bytebrain.NewService(bytebrain.ServiceConfig{
+				Parser:      bytebrain.Options{Seed: 1},
+				TrainVolume: 1 << 30,
+			})
+			defer svc.Close()
+			if err := svc.CreateTopic("bench"); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Ingest("bench", ds.Lines); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Train("bench"); err != nil {
+				b.Fatal(err)
+			}
+			batch := ds.Lines[:200]
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				iters := b.N / workers
+				if w < b.N%workers {
+					iters++
+				}
+				wg.Add(1)
+				go func(iters int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						if err := svc.Ingest("bench", batch); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(iters)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+		})
+	}
+}
+
+// BenchmarkQueryPushdown compares grouped queries over sealed segments:
+// the metadata pushdown path (Service.Query via Store.GroupedCounts) vs a
+// full record scan that decompresses every block per query. The pushdown
+// sub-benchmark also asserts the segment block-read counter does not move
+// — grouped queries are metadata-only.
+func BenchmarkQueryPushdown(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("HDFS", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newSealedService := func(b *testing.B) *bytebrain.Service {
+		svc := bytebrain.NewService(bytebrain.ServiceConfig{
+			Parser:       bytebrain.Options{Seed: 1},
+			TrainVolume:  1 << 30,
+			SegmentBytes: 64 << 10,
+			SegmentCodec: "flate",
+		})
+		if err := svc.CreateTopic("bench"); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Ingest("bench", ds.Lines); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Train("bench"); err != nil {
+			b.Fatal(err)
+		}
+		// Re-ingest so records carry trained template IDs, then seal.
+		if err := svc.Ingest("bench", ds.Lines); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Compact("bench"); err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
+
+	b.Run("pushdown", func(b *testing.B) {
+		svc := newSealedService(b)
+		defer svc.Close()
+		before, err := svc.TopicStats("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := svc.Query("bench", 0.7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		after, err := svc.TopicStats("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if after.SegmentBlockReads != before.SegmentBlockReads {
+			b.Fatalf("pushdown query decompressed %d blocks (reads %d -> %d), want 0",
+				after.SegmentBlockReads-before.SegmentBlockReads, before.SegmentBlockReads, after.SegmentBlockReads)
+		}
+	})
+
+	b.Run("fullscan", func(b *testing.B) {
+		svc := newSealedService(b)
+		defer svc.Close()
+		model, err := svc.Model("bench")
+		if err != nil || model == nil {
+			b.Fatalf("model: %v", err)
+		}
+		store, err := svc.Store("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pre-pushdown Query: visit every record, roll each up.
+			counts := map[uint64]int{}
+			store.Scan(0, -1, func(r logstore.Record) bool {
+				id := r.TemplateID
+				if id != 0 {
+					if n, err := model.TemplateAt(id, 0.7); err == nil {
+						id = n.ID
+					}
+				}
+				counts[id]++
+				return true
+			})
+			if len(counts) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }
 
 // segmentBenchRecords builds template-tagged records from a synthetic

@@ -128,7 +128,7 @@ func cmdMatch(args []string) {
 	defer w.Flush()
 	for _, line := range readLines(*in) {
 		m := matcher.Match(line)
-		n, err := model.TemplateAt(m.NodeID, *threshold)
+		n, err := matcher.TemplateAt(m.NodeID, *threshold)
 		if err != nil {
 			log.Fatal(err)
 		}

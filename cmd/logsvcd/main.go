@@ -37,6 +37,8 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "persist topics (records + model snapshots) under this directory; empty = in-memory")
 		segmentBytes = flag.Int64("segment-bytes", 0, "enable the compacting segment store: seal hot blocks of this raw size into compressed columnar segments (0 = disabled)")
 		segmentCodec = flag.String("segment-codec", "flate", "sealed-segment payload codec: flate or none")
+		ingestQueues = flag.Int("ingest-queues", 4, "worker queues per async ingestion pipeline (POST /topics/{name}/logs?async=1)")
+		ingestDepth  = flag.Int("ingest-queue-depth", 1024, "per-queue depth of the async ingestion pipeline (backpressure beyond it)")
 	)
 	flag.Parse()
 	if *segmentBytes > 0 {
@@ -56,6 +58,8 @@ func main() {
 		DataDir:          *dataDir,
 		SegmentBytes:     *segmentBytes,
 		SegmentCodec:     *segmentCodec,
+		IngestQueues:     *ingestQueues,
+		IngestQueueDepth: *ingestDepth,
 	})
 
 	// On SIGINT/SIGTERM: drain in-flight HTTP requests, then flush and

@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	before := countWindow(matcher, res.Model, healthy)
+	before := countWindow(matcher, healthy)
 
 	// Window 2: an incident — OOM kills and worker restarts appear. The
 	// next training cycle merges the new structures into the model
@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	after := countWindow(matcher2, res2.Model, incident)
+	after := countWindow(matcher2, incident)
 
 	fmt.Printf("divergence between windows: %.3f (0 = identical)\n\n",
 		bytebrain.DistributionDivergence(before, after))
@@ -100,11 +100,11 @@ func genWindow(r *rand.Rand, n int, incident bool) []string {
 	return out
 }
 
-func countWindow(matcher *bytebrain.Matcher, model *bytebrain.Model, lines []string) bytebrain.TemplateCounts {
+func countWindow(matcher *bytebrain.Matcher, lines []string) bytebrain.TemplateCounts {
 	counts := bytebrain.TemplateCounts{}
 	for _, l := range lines {
 		m := matcher.Match(l)
-		if n, err := model.TemplateAt(m.NodeID, 0.7); err == nil {
+		if n, err := matcher.TemplateAt(m.NodeID, 0.7); err == nil {
 			counts[n.ID]++
 		}
 	}

@@ -43,6 +43,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Volume-triggered cycles run in the background trainer; force one
+	// final synchronous cycle so the tail of the stream is learned before
+	// we query.
+	if err := svc.Train(topic); err != nil {
+		log.Fatal(err)
+	}
 	stats, err := svc.TopicStats(topic)
 	if err != nil {
 		log.Fatal(err)

@@ -41,7 +41,7 @@ func main() {
 	m := matcher.Match(newLog)
 	fmt.Printf("log:   %s\n", newLog)
 	for _, threshold := range []float64{0.3, 0.95} {
-		n, err := res.Model.TemplateAt(m.NodeID, threshold)
+		n, err := matcher.TemplateAt(m.NodeID, threshold)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -43,9 +43,10 @@ func FuzzTrainAndMatch(f *testing.F) {
 			if r.NodeID == 0 {
 				t.Fatalf("line %q unassigned", l)
 			}
-			// Rollup at any threshold succeeds for a matched node.
+			// Rollup at any threshold succeeds for a matched node —
+			// including temporaries, which the matcher resolves itself.
 			for _, th := range []float64{0, 0.5, 1} {
-				if _, err := res.Model.TemplateAt(r.NodeID, th); err != nil {
+				if _, err := matcher.TemplateAt(r.NodeID, th); err != nil {
 					t.Fatalf("TemplateAt(%q, %v): %v", l, th, err)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -18,17 +19,62 @@ type MatchResult struct {
 
 // Matcher performs online matching (§4.8): logs are matched directly
 // against template text in descending saturation order, never by
-// re-running distance computations over the tree. A Matcher is safe for
-// concurrent use; temporary-template insertion is serialized internally.
+// re-running distance computations over the tree.
+//
+// The trained index is immutable after NewMatcher and the model passed in
+// is never mutated — matching against trained templates is lock-free, so
+// any number of goroutines can share one Matcher at full parallelism.
+// Logs that no trained template covers become temporary templates in a
+// small internally-synchronized overlay (its lock is only ever taken on
+// the miss path). The service publishes (model, matcher) pairs through an
+// atomic pointer and swaps them wholesale after retraining; this split is
+// what lets it do that without any ingestion-side locking.
 type Matcher struct {
 	parser *Parser
-	model  *Model
+	model  *Model // trained model; read-only while the Matcher serves it
 
-	mu      sync.RWMutex
-	order   map[uint64]int // node ID → global match priority (lower first)
-	nextOrd int
-	index   map[int]*lenBucket // token count → candidates
-	linear  []*Node            // LinearMatch: all candidates in order
+	// Immutable trained index, built once by NewMatcher.
+	order  map[uint64]int // node ID → global match priority (lower first)
+	index  map[int]*lenBucket
+	linear []*Node // LinearMatch: all trained candidates in order
+
+	// Temporary-template overlay. Trained templates always outrank
+	// temporaries (they were inserted first), so the overlay is only
+	// consulted after a trained miss. NewMatcherFrom hands the SAME
+	// overlay to the successor matcher during a model swap, so matches
+	// in flight against the old matcher stay visible to the new one.
+	tmp *tempOverlay
+}
+
+// tempOverlay is the synchronized temporary-template side of a matcher.
+// It is shared across matcher generations: a model swap prunes entries
+// the new model absorbed but keeps the object (and its ID counter), so
+// no temporary — however racily inserted — ever becomes unresolvable or
+// collides with a trained ID.
+type tempOverlay struct {
+	mu     sync.RWMutex
+	order  map[uint64]int
+	next   int
+	index  map[int]*lenBucket
+	linear []*Node
+	byID   map[uint64]*Node
+	nextID uint64 // temporary IDs continue the model's ID space
+}
+
+// snapshotIDHeadroom is added to NextID when SnapshotModel hands the
+// model to a training cycle. Training allocates new node IDs from that
+// offset while the live overlay keeps allocating temporary IDs below it,
+// so IDs minted concurrently on the two sides can never collide. The
+// headroom consumes ~2^32 of the uint64 ID space per training cycle.
+const snapshotIDHeadroom = 1 << 32
+
+func newTempOverlay(nextID uint64) *tempOverlay {
+	return &tempOverlay{
+		order:  make(map[uint64]int),
+		index:  make(map[int]*lenBucket),
+		byID:   make(map[uint64]*Node),
+		nextID: nextID,
+	}
 }
 
 // lenBucket indexes the candidates of one token count by first token.
@@ -37,10 +83,37 @@ type lenBucket struct {
 	wildFirst []*Node            // first token is the wildcard
 }
 
+// insert appends n to the bucket for its token count.
+func insertBucket(index map[int]*lenBucket, n *Node) {
+	lb := index[len(n.Template)]
+	if lb == nil {
+		lb = &lenBucket{byFirst: make(map[string][]*Node)}
+		index[len(n.Template)] = lb
+	}
+	// Empty templates and wildcard-first templates have no usable first
+	// token; both live in the always-scanned list.
+	if len(n.Template) == 0 || n.Template[0] == Wildcard {
+		lb.wildFirst = append(lb.wildFirst, n)
+	} else {
+		lb.byFirst[n.Template[0]] = append(lb.byFirst[n.Template[0]], n)
+	}
+}
+
 // NewMatcher builds a matcher over model using the parser's preprocessing
-// and options. The model is retained by reference: temporary templates are
-// inserted into it.
+// and options. The model is retained by reference but never modified:
+// temporary templates live in the matcher's own overlay (use
+// SnapshotModel to obtain a model that includes them).
 func (p *Parser) NewMatcher(model *Model) (*Matcher, error) {
+	return p.NewMatcherFrom(model, nil)
+}
+
+// NewMatcherFrom builds a matcher over model that INHERITS prev's
+// temporary overlay (prev may be nil). This is the model-swap path: the
+// overlay object — including its ID counter — is shared, then pruned of
+// templates the new model absorbed, so a Match racing the swap on the
+// old matcher still registers a temporary the new matcher resolves, and
+// every stored temporary ID keeps resolving through NodeByID/TemplateAt.
+func (p *Parser) NewMatcherFrom(model *Model, prev *Matcher) (*Matcher, error) {
 	if model == nil || model.Len() == 0 {
 		return nil, ErrEmptyModel
 	}
@@ -49,6 +122,12 @@ func (p *Parser) NewMatcher(model *Model) (*Matcher, error) {
 		model:  model,
 		order:  make(map[uint64]int, model.Len()),
 		index:  make(map[int]*lenBucket),
+	}
+	if prev != nil {
+		m.tmp = prev.tmp
+		m.tmp.pruneAbsorbed(model)
+	} else {
+		m.tmp = newTempOverlay(model.NextID)
 	}
 	// Candidate order: saturation descending, then depth descending
 	// (more precise first among equals), then ID for determinism.
@@ -65,34 +144,17 @@ func (p *Parser) NewMatcher(model *Model) (*Matcher, error) {
 		}
 		return nodes[i].ID < nodes[j].ID
 	})
-	for _, n := range nodes {
-		m.insertLocked(n)
+	for i, n := range nodes {
+		m.order[n.ID] = i
+		m.linear = append(m.linear, n)
+		insertBucket(m.index, n)
 	}
 	return m, nil
 }
 
-// Model returns the underlying model (including temporary insertions).
+// Model returns the trained model the matcher was built over. It does not
+// include temporary templates; see SnapshotModel.
 func (m *Matcher) Model() *Model { return m.model }
-
-// insertLocked appends n at the current end of the priority order. Callers
-// must hold mu (or be the constructor).
-func (m *Matcher) insertLocked(n *Node) {
-	m.order[n.ID] = m.nextOrd
-	m.nextOrd++
-	m.linear = append(m.linear, n)
-	lb := m.index[len(n.Template)]
-	if lb == nil {
-		lb = &lenBucket{byFirst: make(map[string][]*Node)}
-		m.index[len(n.Template)] = lb
-	}
-	// Empty templates and wildcard-first templates have no usable first
-	// token; both live in the always-scanned list.
-	if len(n.Template) == 0 || n.Template[0] == Wildcard {
-		lb.wildFirst = append(lb.wildFirst, n)
-	} else {
-		lb.byFirst[n.Template[0]] = append(lb.byFirst[n.Template[0]], n)
-	}
-}
 
 // Match parses one raw line: preprocess, match against templates, and — on
 // a miss — insert the log itself as a temporary template (§3, Online
@@ -104,35 +166,42 @@ func (m *Matcher) Match(line string) MatchResult {
 
 // MatchTokens matches an already-preprocessed token sequence.
 func (m *Matcher) MatchTokens(tokens []string) MatchResult {
-	m.mu.RLock()
-	n := m.lookup(tokens)
-	m.mu.RUnlock()
+	// Trained index first: immutable, so no lock at all.
+	if n := lookupIn(m.index, m.order, m.linear, tokens, m.parser.opts.LinearMatch); n != nil {
+		return MatchResult{NodeID: n.ID, Template: n.Text()}
+	}
+
+	o := m.tmp
+	o.mu.RLock()
+	n := lookupIn(o.index, o.order, o.linear, tokens, m.parser.opts.LinearMatch)
+	o.mu.RUnlock()
 	if n != nil {
 		return MatchResult{NodeID: n.ID, Template: n.Text()}
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	// Re-check: another goroutine may have inserted the same template.
-	if n := m.lookup(tokens); n != nil {
+	if n := lookupIn(o.index, o.order, o.linear, tokens, m.parser.opts.LinearMatch); n != nil {
 		return MatchResult{NodeID: n.ID, Template: n.Text()}
 	}
-	node := m.insertTemporaryLocked(tokens)
+	node := o.insertLocked(tokens)
 	return MatchResult{NodeID: node.ID, Template: node.Text(), New: true}
 }
 
-// lookup returns the highest-priority matching node, or nil. Callers must
-// hold mu (read or write).
-func (m *Matcher) lookup(tokens []string) *Node {
-	if m.parser.opts.LinearMatch {
-		for _, n := range m.linear {
+// lookupIn returns the highest-priority matching node from one index, or
+// nil. Safe without a lock when the index is immutable; overlay callers
+// must hold mu (read or write).
+func lookupIn(index map[int]*lenBucket, order map[uint64]int, linear []*Node, tokens []string, linearMatch bool) *Node {
+	if linearMatch {
+		for _, n := range linear {
 			if len(n.Template) == len(tokens) && templateMatches(n.Template, tokens) {
 				return n
 			}
 		}
 		return nil
 	}
-	lb := m.index[len(tokens)]
+	lb := index[len(tokens)]
 	if lb == nil {
 		return nil
 	}
@@ -150,7 +219,7 @@ func (m *Matcher) lookup(tokens []string) *Node {
 			n, j = wild[j], j+1
 		case j >= len(wild):
 			n, i = exact[i], i+1
-		case m.order[exact[i].ID] < m.order[wild[j].ID]:
+		case order[exact[i].ID] < order[wild[j].ID]:
 			n, i = exact[i], i+1
 		default:
 			n, j = wild[j], j+1
@@ -162,17 +231,20 @@ func (m *Matcher) lookup(tokens []string) *Node {
 	return nil
 }
 
-// insertTemporaryLocked adds tokens as a temporary singleton template. The
-// lookup that precedes insertion already tried every node — roots included
-// — so no existing subtree covers this log and the temporary becomes an
-// individual root node, exactly the paper's "insert it into the clustering
-// tree as an individual node". The next training cycle re-learns it
-// properly (TrainMerge drops temporaries and forwards their IDs).
-func (m *Matcher) insertTemporaryLocked(tokens []string) *Node {
+// insertLocked adds tokens as a temporary singleton template. The lookups
+// that precede insertion already tried every node — roots included — so
+// no existing subtree covers this log and the temporary stands alone,
+// exactly the paper's "insert it into the clustering tree as an
+// individual node". The next training cycle re-learns it properly
+// (TrainMerge drops temporaries and forwards their IDs). The trained
+// model is NOT touched; temporary IDs continue the model's ID space and
+// stay below the snapshotIDHeadroom band a concurrent training cycle
+// allocates from, so the two sides never mint the same ID.
+func (o *tempOverlay) insertLocked(tokens []string) *Node {
 	tmpl := make([]string, len(tokens))
 	copy(tmpl, tokens)
 	n := &Node{
-		ID:         m.model.newID(),
+		ID:         o.nextID,
 		Parent:     NoParent,
 		Template:   tmpl,
 		Saturation: 1,
@@ -180,9 +252,117 @@ func (m *Matcher) insertTemporaryLocked(tokens []string) *Node {
 		Weight:     1,
 		Temporary:  true,
 	}
-	m.model.addNode(n)
-	m.insertLocked(n)
+	o.nextID++
+	o.order[n.ID] = o.next
+	o.next++
+	o.linear = append(o.linear, n)
+	o.byID[n.ID] = n
+	insertBucket(o.index, n)
 	return n
+}
+
+// pruneAbsorbed drops overlay entries the new model now covers (as live
+// nodes or alias-forwarded temporaries) and lifts the ID counter past the
+// model's, keeping survivors resolvable and future IDs collision-free.
+func (o *tempOverlay) pruneAbsorbed(model *Model) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	kept := o.linear[:0]
+	for _, n := range o.linear {
+		if _, ok := model.Nodes[model.Resolve(n.ID)]; ok {
+			continue
+		}
+		kept = append(kept, n)
+	}
+	o.linear = kept
+	o.order = make(map[uint64]int, len(kept))
+	o.byID = make(map[uint64]*Node, len(kept))
+	o.index = make(map[int]*lenBucket)
+	o.next = 0
+	for _, n := range kept {
+		o.order[n.ID] = o.next
+		o.next++
+		o.byID[n.ID] = n
+		insertBucket(o.index, n)
+	}
+	if model.NextID > o.nextID {
+		o.nextID = model.NextID
+	}
+}
+
+// NodeByID returns the node for id — trained or temporary, following
+// alias forwarding — or nil when the matcher has never seen it.
+func (m *Matcher) NodeByID(id uint64) *Node {
+	if n, ok := m.model.Nodes[m.model.Resolve(id)]; ok {
+		return n
+	}
+	m.tmp.mu.RLock()
+	defer m.tmp.mu.RUnlock()
+	return m.tmp.byID[id]
+}
+
+// TemplateAt is Model.TemplateAt extended over temporary templates: for a
+// trained (or aliased) ID it walks toward the root for the coarsest
+// ancestor still meeting threshold; a temporary ID resolves to the
+// temporary node itself (temporaries are roots with saturation 1).
+func (m *Matcher) TemplateAt(id uint64, threshold float64) (*Node, error) {
+	if _, ok := m.model.Nodes[m.model.Resolve(id)]; ok {
+		return m.model.TemplateAt(id, threshold)
+	}
+	m.tmp.mu.RLock()
+	n, ok := m.tmp.byID[id]
+	m.tmp.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: node %d not in model", id)
+	}
+	return n, nil
+}
+
+// TemporaryCount returns how many temporary templates the overlay holds.
+func (m *Matcher) TemporaryCount() int {
+	m.tmp.mu.RLock()
+	defer m.tmp.mu.RUnlock()
+	return len(m.tmp.linear)
+}
+
+// Temporaries returns the temporary nodes in insertion order. The nodes
+// are immutable once inserted; the slice is a copy.
+func (m *Matcher) Temporaries() []*Node {
+	m.tmp.mu.RLock()
+	defer m.tmp.mu.RUnlock()
+	out := make([]*Node, len(m.tmp.linear))
+	copy(out, m.tmp.linear)
+	return out
+}
+
+// SnapshotModel returns a model combining the trained nodes with every
+// temporary inserted so far — the "prev" input for the next TrainMerge
+// cycle, which drops the temporaries and forwards their IDs. Trained
+// nodes are shared by pointer (both sides treat them as read-only;
+// MergeModels clones before mutating).
+//
+// The returned NextID is lifted by snapshotIDHeadroom: node IDs the
+// training cycle allocates start that far above anything the overlay has
+// issued, while the overlay keeps issuing IDs below the band for logs
+// that arrive during training. Without the headroom a temporary inserted
+// after the snapshot could receive the same ID as a freshly trained
+// node, silently misattributing its records after the model swap.
+func (m *Matcher) SnapshotModel() *Model {
+	m.tmp.mu.RLock()
+	defer m.tmp.mu.RUnlock()
+	out := NewModel()
+	out.NextID = m.tmp.nextID + snapshotIDHeadroom
+	for id, to := range m.model.Aliases {
+		out.Aliases[id] = to
+	}
+	for id, n := range m.model.Nodes {
+		out.Nodes[id] = n
+	}
+	for _, n := range m.tmp.linear {
+		out.Nodes[n.ID] = n
+	}
+	out.reindex()
+	return out
 }
 
 // MatchBatch matches lines on up to the parser's Parallelism workers and

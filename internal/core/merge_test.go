@@ -91,7 +91,9 @@ func TestMergeAliasForwardsTemporaries(t *testing.T) {
 		t.Fatal("expected temporary")
 	}
 	tempID := r.NodeID
-	res2, err := p.TrainMerge(res.Model, []string{novel, "queue depth exceeded for shard 9"})
+	// SnapshotModel folds the matcher's temporaries into the prev model,
+	// as the service's training cycle does.
+	res2, err := p.TrainMerge(m.SnapshotModel(), []string{novel, "queue depth exceeded for shard 9"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +127,7 @@ func TestMergeKeepsUnretrainedTemporaries(t *testing.T) {
 		t.Fatal("expected temporary")
 	}
 	// Retrain WITHOUT the novel line.
-	res2, err := p.TrainMerge(res.Model, []string{"alpha one 7"})
+	res2, err := p.TrainMerge(m.SnapshotModel(), []string{"alpha one 7"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -219,12 +219,29 @@ func TestMatcherInsertsTemporaryForUnseen(t *testing.T) {
 	if !r1.New {
 		t.Fatal("unseen log did not create a temporary template")
 	}
-	if res.Model.Len() != before+1 {
-		t.Errorf("model grew by %d, want 1", res.Model.Len()-before)
+	// The trained model is immutable: the temporary lives in the
+	// matcher's overlay, not in res.Model.
+	if res.Model.Len() != before {
+		t.Errorf("trained model mutated: %d nodes, want %d", res.Model.Len(), before)
 	}
-	n := res.Model.Nodes[r1.NodeID]
-	if !n.Temporary || n.Saturation != 1.0 {
+	if got := m.TemporaryCount(); got != 1 {
+		t.Errorf("TemporaryCount = %d, want 1", got)
+	}
+	n := m.NodeByID(r1.NodeID)
+	if n == nil || !n.Temporary || n.Saturation != 1.0 {
 		t.Errorf("temporary node wrong: %+v", n)
+	}
+	// SnapshotModel folds the overlay back in for the next training
+	// cycle, collision-free with trained IDs.
+	snap := m.SnapshotModel()
+	if snap.Len() != before+1 {
+		t.Errorf("snapshot has %d nodes, want %d", snap.Len(), before+1)
+	}
+	if sn := snap.Nodes[r1.NodeID]; sn == nil || !sn.Temporary {
+		t.Errorf("snapshot lost the temporary: %+v", sn)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Errorf("snapshot model invalid: %v", err)
 	}
 	// Second occurrence matches the temporary template without another
 	// insertion.
@@ -262,6 +279,9 @@ func TestMatcherConcurrentSafe(t *testing.T) {
 	wg.Wait()
 	if err := res.Model.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	if err := m.SnapshotModel().Validate(); err != nil {
+		t.Fatalf("snapshot with temporaries invalid: %v", err)
 	}
 }
 
@@ -814,5 +834,63 @@ func TestTrainRawDedupPreservesAssignments(t *testing.T) {
 	}
 	if total != len(lines) {
 		t.Errorf("leaf weights sum to %d, want %d raw lines", total, len(lines))
+	}
+}
+
+func TestSnapshotHeadroomAndOverlayInheritance(t *testing.T) {
+	p := New(Options{Seed: 5})
+	res, err := p.Train(sampleLogs(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMatcher(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A training cycle snapshots the model, then — while it "runs" — a
+	// concurrent ingest inserts a temporary the snapshot never saw.
+	prev := m.SnapshotModel()
+	late := m.Match("surprise subsystem failure during retraining window")
+	if !late.New {
+		t.Fatal("expected a temporary for the mid-training log")
+	}
+	res2, err := p.TrainMerge(prev, sampleLogs(80, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headroom: IDs minted by the training cycle must not collide with
+	// the temporary minted concurrently.
+	if n, ok := res2.Model.Nodes[late.NodeID]; ok {
+		t.Fatalf("trained model reused concurrent temporary ID %d: %+v", late.NodeID, n)
+	}
+	// Overlay inheritance: the swapped-in matcher still resolves the
+	// mid-training temporary by ID and by content.
+	m2, err := p.NewMatcherFrom(res2.Model, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m2.NodeByID(late.NodeID)
+	if n == nil || !n.Temporary {
+		t.Fatalf("mid-training temporary lost across swap: %v", n)
+	}
+	if got := m2.Match("surprise subsystem failure during retraining window"); got.NodeID != late.NodeID || got.New {
+		t.Errorf("re-match of mid-training log: %+v, want reuse of %d", got, late.NodeID)
+	}
+	// Temporaries that WERE in the snapshot are absorbed (aliased) by
+	// the merge and pruned from the inherited overlay.
+	preSnap := m.SnapshotModel() // fresh snapshot now including `late`
+	res3, err := p.TrainMerge(preSnap, []string{"surprise subsystem failure during retraining window"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := p.NewMatcherFrom(res3.Model, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.TemporaryCount() != 0 {
+		t.Errorf("absorbed temporaries not pruned: %d left", m3.TemporaryCount())
+	}
+	if _, err := m3.TemplateAt(late.NodeID, 0.7); err != nil {
+		t.Errorf("absorbed temporary ID stopped resolving: %v", err)
 	}
 }

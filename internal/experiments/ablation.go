@@ -103,7 +103,7 @@ func variantGA(ds *datagen.Dataset, opts core.Options, threshold float64, naive 
 			return 0, err
 		}
 		for i, r := range matcher.MatchBatch(ds.Lines) {
-			n, err := res.Model.TemplateAt(r.NodeID, threshold)
+			n, err := matcher.TemplateAt(r.NodeID, threshold)
 			if err != nil {
 				return 0, err
 			}
@@ -235,7 +235,7 @@ func Fig11(cfg Config) (*Table, error) {
 		for _, th := range thresholds {
 			pred := make([]int, len(ds.Lines))
 			for i, r := range matched {
-				n, err := res.Model.TemplateAt(r.NodeID, th)
+				n, err := matcher.TemplateAt(r.NodeID, th)
 				if err != nil {
 					return nil, err
 				}

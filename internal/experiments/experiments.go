@@ -154,7 +154,7 @@ func runByteBrain(ds *datagen.Dataset, opts core.Options, threshold float64) (by
 	elapsed := time.Since(start)
 	pred := make([]int, len(ds.Lines))
 	for i, r := range results {
-		n, err := res.Model.TemplateAt(r.NodeID, threshold)
+		n, err := matcher.TemplateAt(r.NodeID, threshold)
 		if err != nil {
 			return byteBrainResult{}, err
 		}

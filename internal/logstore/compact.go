@@ -65,8 +65,8 @@ type CompactingStore struct {
 	doneCh  chan struct{}
 	sealWG  sync.WaitGroup
 	idleCh  chan struct{} // closed and replaced whenever seal work finishes
-	sealErr error // most recent seal/rotation failure; cleared by Seal
-	readErr error // most recent sealed-segment read failure on a query path
+	sealErr error         // most recent seal/rotation failure; cleared by Seal
+	readErr error         // most recent sealed-segment read failure on a query path
 }
 
 // compactBlock is one contiguous offset range of the topic, either still
@@ -615,6 +615,42 @@ func (s *CompactingStore) ByTemplate(ids ...uint64) []int64 {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GroupedCounts implements Store, answered entirely from sealed-segment
+// metadata (per-template counts and sample offsets persisted at seal
+// time) plus the hot template index — the payload is never decompressed,
+// so grouped queries cost metadata reads regardless of how much sealed
+// data the topic holds. Blocks are visited in offset order, so samples
+// accumulate ascending and the earliest offsets win.
+func (s *CompactingStore) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+	out := make(map[uint64]TemplateGroup)
+	merge := func(id uint64, count int, samples []int64) {
+		g := out[id]
+		g.Count += count
+		for _, off := range samples {
+			if len(g.Samples) >= maxSamples {
+				break
+			}
+			g.Samples = append(g.Samples, off)
+		}
+		out[id] = g
+	}
+	for _, b := range s.snapshot() {
+		if b.seg != nil {
+			for _, tm := range b.seg.TemplateMetas() {
+				merge(tm.ID, tm.Count, tm.Samples)
+			}
+			continue
+		}
+		for id, g := range b.hot.GroupedCounts(maxSamples) {
+			for i := range g.Samples {
+				g.Samples[i] += b.first
+			}
+			merge(id, g.Count, g.Samples)
+		}
+	}
 	return out
 }
 

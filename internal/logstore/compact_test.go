@@ -420,3 +420,68 @@ func TestCompactingAppendAfterClose(t *testing.T) {
 		t.Fatal("double Close should be a no-op")
 	}
 }
+
+func TestCompactingGroupedCounts(t *testing.T) {
+	s, err := OpenCompacting("t", CompactConfig{SegmentBytes: 1 << 30, Codec: segment.CodecFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Two sealed segments plus a hot tail, all sharing templates 1..3.
+	fillCompacting(t, s, 300, 0)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	s.WaitIdle()
+	fillCompacting(t, s, 300, 300)
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	s.WaitIdle()
+	fillCompacting(t, s, 90, 600)
+	if st := s.SegmentStats(); st.Segments != 2 || st.BlockReads != 0 {
+		t.Fatalf("setup: %+v", st)
+	}
+
+	groups := s.GroupedCounts(5)
+	if len(groups) != 3 {
+		t.Fatalf("GroupedCounts = %d templates, want 3", len(groups))
+	}
+	total := 0
+	for id, g := range groups {
+		total += g.Count
+		if g.Count != 230 { // 690 records over 3 round-robin templates
+			t.Errorf("template %d count %d, want 230", id, g.Count)
+		}
+		if len(g.Samples) != 5 {
+			t.Errorf("template %d has %d samples, want 5", id, len(g.Samples))
+		}
+		for i := 1; i < len(g.Samples); i++ {
+			if g.Samples[i] <= g.Samples[i-1] {
+				t.Errorf("template %d samples not ascending: %v", id, g.Samples)
+			}
+		}
+	}
+	if total != 690 {
+		t.Fatalf("grouped counts cover %d records, want 690", total)
+	}
+	// fillCompacting assigns template 1+i%3, so template 1's earliest
+	// records sit at offsets 0, 3, 6, ... — all inside the first sealed
+	// segment, proving sealed-metadata samples surface ahead of hot ones.
+	if g := groups[1]; len(g.Samples) > 0 && g.Samples[0] != 0 {
+		t.Errorf("template 1 first sample %d, want 0", g.Samples[0])
+	}
+
+	// The whole grouped query ran off metadata: nothing was decompressed.
+	if st := s.SegmentStats(); st.BlockReads != 0 {
+		t.Fatalf("GroupedCounts paid %d block reads, want 0", st.BlockReads)
+	}
+
+	// Agreement with the scan-side truth.
+	counts := s.TemplateCounts()
+	for id, g := range groups {
+		if counts[id] != g.Count {
+			t.Errorf("template %d grouped count %d != TemplateCounts %d", id, g.Count, counts[id])
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Store interface {
 	ByTemplate(ids ...uint64) []int64
 	// TemplateCounts returns record counts per template ID.
 	TemplateCounts() map[uint64]int
+	// GroupedCounts returns per-template record counts plus up to
+	// maxSamples example offsets each, served from indexes and sealed
+	// metadata without reading record payloads — the grouped-query
+	// pushdown path.
+	GroupedCounts(maxSamples int) map[uint64]TemplateGroup
 	// Search returns offsets of records containing the exact token.
 	Search(token string) []int64
 	// CountSince counts records at or after cut.
@@ -302,6 +307,11 @@ func (t *DiskTopic) ByTemplate(ids ...uint64) []int64 { return t.mem.ByTemplate(
 
 // TemplateCounts implements Store.
 func (t *DiskTopic) TemplateCounts() map[uint64]int { return t.mem.TemplateCounts() }
+
+// GroupedCounts implements Store.
+func (t *DiskTopic) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+	return t.mem.GroupedCounts(maxSamples)
+}
 
 // Search implements Store.
 func (t *DiskTopic) Search(token string) []int64 { return t.mem.Search(token) }

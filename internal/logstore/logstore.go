@@ -135,6 +135,37 @@ func (t *Topic) TemplateCounts() map[uint64]int {
 	return out
 }
 
+// TemplateGroup aggregates one template's records for grouped queries:
+// the record count plus a few example offsets, everything the query layer
+// needs to build a result row without scanning record payloads.
+type TemplateGroup struct {
+	// Count is the number of records carrying the template ID.
+	Count int
+	// Samples holds up to the requested number of example record
+	// offsets, ascending.
+	Samples []int64
+}
+
+// GroupedCounts returns every template's record count plus up to
+// maxSamples example offsets, straight from the template index.
+func (t *Topic) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint64]TemplateGroup, len(t.byTmpl))
+	for id, offs := range t.byTmpl {
+		g := TemplateGroup{Count: len(offs)}
+		n := maxSamples
+		if n > len(offs) {
+			n = len(offs)
+		}
+		if n > 0 {
+			g.Samples = append([]int64(nil), offs[:n]...)
+		}
+		out[id] = g
+	}
+	return out
+}
+
 // Search returns the offsets of records containing token (exact
 // whitespace-delimited match), ascending.
 func (t *Topic) Search(token string) []int64 {

@@ -157,13 +157,18 @@ func Encode(records []Record, codec Codec) ([]byte, Stats, error) {
 		return nil, Stats{}, err
 	}
 
-	// Metadata: per-template counts, min/max time, token bloom — the
-	// pushdown surface queries read without decompressing the payload.
+	// Metadata: per-template counts and sample offsets, min/max time,
+	// token bloom — the pushdown surface queries read without
+	// decompressing the payload.
 	tmplCounts := make(map[uint64]int)
+	tmplSamples := make(map[uint64][]int64)
 	minT, maxT := records[0].Time.UnixNano(), records[0].Time.UnixNano()
 	var fieldTokens int
 	for _, r := range records {
 		tmplCounts[r.TemplateID]++
+		if s := tmplSamples[r.TemplateID]; len(s) < maxMetaSamples {
+			tmplSamples[r.TemplateID] = append(s, r.Offset)
+		}
 		if ns := r.Time.UnixNano(); ns < minT {
 			minT = ns
 		} else if ns > maxT {
@@ -187,6 +192,15 @@ func Encode(records []Record, codec Codec) ([]byte, Stats, error) {
 	for _, id := range tmplIDs {
 		meta = appendUvarint(meta, id)
 		meta = appendUvarint(meta, uint64(tmplCounts[id]))
+		// Sample offsets (v2): ascending, delta-encoded against the
+		// segment's first offset so they stay small varints.
+		samples := tmplSamples[id]
+		meta = appendUvarint(meta, uint64(len(samples)))
+		prevOff := first
+		for _, off := range samples {
+			meta = appendUvarint(meta, uint64(off-prevOff))
+			prevOff = off
+		}
 	}
 	meta = appendUvarint(meta, uint64(bf.k))
 	meta = appendUvarint(meta, uint64(len(bf.bits)))

@@ -37,9 +37,10 @@ type Reader struct {
 }
 
 type metaIndex struct {
-	tmplIDs    []uint64 // sorted
-	tmplCounts []int
-	bloom      bloom
+	tmplIDs     []uint64 // sorted
+	tmplCounts  []int
+	tmplSamples [][]int64 // up to maxMetaSamples offsets each; empty for v1
+	bloom       bloom
 }
 
 // Open parses a segment blob. It validates the checksum and metadata but
@@ -51,8 +52,9 @@ func Open(data []byte) (*Reader, error) {
 	if string(data[:4]) != magic {
 		return nil, corruptf("bad magic %q", data[:4])
 	}
-	if data[4] != formatVersion {
-		return nil, corruptf("unsupported version %d", data[4])
+	version := int(data[4])
+	if version < minFormatVersion || version > formatVersion {
+		return nil, corruptf("unsupported version %d", version)
 	}
 	body, crcBytes := data[:len(data)-crcSize], data[len(data)-crcSize:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
@@ -86,13 +88,13 @@ func Open(data []byte) (*Reader, error) {
 	}
 	meta := data[headerSize : headerSize+metaLen]
 	r.payload = data[headerSize+metaLen : headerSize+metaLen+payLen]
-	if err := r.parseMeta(meta); err != nil {
+	if err := r.parseMeta(meta, version); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-func (r *Reader) parseMeta(meta []byte) error {
+func (r *Reader) parseMeta(meta []byte, version int) error {
 	c := &cursor{buf: meta}
 	n, err := c.count(2) // template entries are ≥ 2 bytes each
 	if err != nil {
@@ -100,6 +102,7 @@ func (r *Reader) parseMeta(meta []byte) error {
 	}
 	r.meta.tmplIDs = make([]uint64, n)
 	r.meta.tmplCounts = make([]int, n)
+	r.meta.tmplSamples = make([][]int64, n)
 	total := 0
 	for i := 0; i < n; i++ {
 		if r.meta.tmplIDs[i], err = c.uvarint(); err != nil {
@@ -117,6 +120,34 @@ func (r *Reader) parseMeta(meta []byte) error {
 		}
 		r.meta.tmplCounts[i] = int(cnt)
 		total += int(cnt)
+		if version < 2 {
+			continue
+		}
+		ns, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if ns > maxMetaSamples || ns > cnt {
+			return corruptf("template %d has %d samples of %d records", r.meta.tmplIDs[i], ns, cnt)
+		}
+		samples := make([]int64, ns)
+		prevOff := r.first
+		for j := range samples {
+			d, err := c.uvarint()
+			if err != nil {
+				return err
+			}
+			if j > 0 && d == 0 {
+				return corruptf("duplicate sample offset for template %d", r.meta.tmplIDs[i])
+			}
+			off := prevOff + int64(d)
+			if off < r.first || off >= r.first+int64(r.count) {
+				return corruptf("sample offset %d outside [%d,%d)", off, r.first, r.first+int64(r.count))
+			}
+			samples[j] = off
+			prevOff = off
+		}
+		r.meta.tmplSamples[i] = samples
 	}
 	if total != r.count {
 		return corruptf("template counts sum %d, want %d", total, r.count)
@@ -184,6 +215,26 @@ func (r *Reader) TemplateCounts() map[uint64]int {
 	out := make(map[uint64]int, len(r.meta.tmplIDs))
 	for i, id := range r.meta.tmplIDs {
 		out[id] = r.meta.tmplCounts[i]
+	}
+	return out
+}
+
+// TemplateMeta is the metadata the segment stores for one template: its
+// record count plus the first few record offsets as grouped-query samples.
+type TemplateMeta struct {
+	ID      uint64
+	Count   int
+	Samples []int64 // ascending topic offsets, up to 5; empty for v1 segments
+}
+
+// TemplateMetas returns every template's metadata entry, ID-ascending —
+// the full grouped-query pushdown surface, answered without touching the
+// payload. The sample slices alias the reader's immutable state; callers
+// must not modify them.
+func (r *Reader) TemplateMetas() []TemplateMeta {
+	out := make([]TemplateMeta, len(r.meta.tmplIDs))
+	for i, id := range r.meta.tmplIDs {
+		out[i] = TemplateMeta{ID: id, Count: r.meta.tmplCounts[i], Samples: r.meta.tmplSamples[i]}
 	}
 	return out
 }

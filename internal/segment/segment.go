@@ -43,7 +43,17 @@ const (
 	// magic identifies a segment file.
 	magic = "BBSG"
 	// formatVersion is bumped on any incompatible layout change.
-	formatVersion = 1
+	// Version 2 added per-template sample offsets to the metadata
+	// section so grouped queries return example offsets without
+	// decompressing the payload; version-1 segments are still readable
+	// (they simply report no samples).
+	formatVersion = 2
+	// minFormatVersion is the oldest version Open still accepts.
+	minFormatVersion = 1
+	// maxMetaSamples is how many example record offsets the metadata
+	// stores per template — matching the query layer's per-row sample
+	// budget.
+	maxMetaSamples = 5
 	// headerSize is the fixed-size portion before meta and payload:
 	// magic(4) version(1) codec(1) reserved(2) count(4) firstOffset(8)
 	// baseTime(8) minTime(8) maxTime(8) rawBytes(8) metaLen(4)

@@ -1,7 +1,9 @@
 package segment
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -298,5 +300,50 @@ func TestParseCodec(t *testing.T) {
 	}
 	if _, err := ParseCodec("lz77"); err == nil {
 		t.Fatal("unknown codec must error")
+	}
+}
+
+func TestTemplateMetaSamples(t *testing.T) {
+	recs := sampleRecords(64, 1000)
+	r := roundTrip(t, recs, CodecFlate)
+	baseReads := r.BlockReads() // roundTrip decoded once to verify
+	// Expected: first 5 offsets per template, computed independently.
+	want := map[uint64][]int64{}
+	for _, rec := range recs {
+		if len(want[rec.TemplateID]) < 5 {
+			want[rec.TemplateID] = append(want[rec.TemplateID], rec.Offset)
+		}
+	}
+	metas := r.TemplateMetas()
+	if len(metas) != len(want) {
+		t.Fatalf("TemplateMetas returned %d entries, want %d", len(metas), len(want))
+	}
+	counts := r.TemplateCounts()
+	for _, tm := range metas {
+		if tm.Count != counts[tm.ID] {
+			t.Errorf("template %d count %d != TemplateCounts %d", tm.ID, tm.Count, counts[tm.ID])
+		}
+		if fmt.Sprint(tm.Samples) != fmt.Sprint(want[tm.ID]) {
+			t.Errorf("template %d samples %v, want %v", tm.ID, tm.Samples, want[tm.ID])
+		}
+	}
+	// Reading metadata must not decompress the payload.
+	if got := r.BlockReads() - baseReads; got != 0 {
+		t.Errorf("TemplateMetas paid %d block reads", got)
+	}
+}
+
+func TestOpenRejectsUnknownVersion(t *testing.T) {
+	recs := sampleRecords(8, 0)
+	blob, _, err := Encode(recs, CodecNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[4] = formatVersion + 1
+	// Recompute the CRC so only the version check can reject it.
+	body := blob[:len(blob)-crcSize]
+	binary.LittleEndian.PutUint32(blob[len(blob)-crcSize:], crc32.ChecksumIEEE(body))
+	if _, err := Open(blob); err == nil {
+		t.Fatal("future format version accepted")
 	}
 }

@@ -15,6 +15,9 @@ import (
 //	PUT  /topics/{name}                create a topic
 //	GET  /topics                       list topics
 //	POST /topics/{name}/logs           ingest newline-separated raw logs
+//	                                   (?async=1 enqueues them on the
+//	                                   topic's multi-queue pipeline and
+//	                                   returns 202 immediately)
 //	POST /topics/{name}/train          force a training cycle
 //	POST /topics/{name}/compact        seal the hot block into a
 //	                                   compressed segment (segment store)
@@ -65,6 +68,27 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := sc.Err(); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("async") == "1" {
+			// Enqueue on the topic's shared multi-queue pipeline: the
+			// request returns as soon as the lines are queued, and the
+			// workers match+append them in parallel batches. Submit
+			// blocks only when every queue is full (backpressure).
+			ing, err := s.sharedIngester(name)
+			if err != nil {
+				httpTopicError(w, err)
+				return
+			}
+			for _, line := range lines {
+				if err := ing.Submit(line); err != nil {
+					httpTopicError(w, err)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]int{"queued": len(lines)})
 			return
 		}
 		if err := s.Ingest(name, lines); err != nil {
@@ -128,6 +152,8 @@ func httpTopicError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	} else if strings.Contains(err.Error(), "no segment store") {
 		status = http.StatusBadRequest
+	} else if strings.Contains(err.Error(), "service: closed") {
+		status = http.StatusServiceUnavailable
 	}
 	http.Error(w, err.Error(), status)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Ingester is the asynchronous ingestion pipeline of §3 ("the system
@@ -13,16 +14,20 @@ import (
 // and append to storage. Submit applies backpressure when every queue is
 // full. Records from different queues interleave; per-queue order is
 // preserved.
+//
+// Submit and Close are safe to call concurrently: closed is an
+// atomic.Bool (late Submits fail fast), and an RWMutex excludes in-flight
+// queue sends from the channel close.
 type Ingester struct {
 	svc   *Service
 	topic string
 
 	queues []chan string
-	next   int
-	nextMu sync.Mutex
+	next   atomic.Uint64
 
-	wg     sync.WaitGroup
-	closed bool
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	closeMu sync.RWMutex // held (R) across queue sends, (W) across close
 
 	errMu    sync.Mutex
 	firstErr error
@@ -35,17 +40,17 @@ const (
 )
 
 // NewIngester creates an ingestion pipeline for topic with the given
-// number of worker queues (≤ 0 uses 4) and per-queue depth (≤ 0 uses
-// 1024).
+// number of worker queues and per-queue depth (values ≤ 0 use the
+// service's Config.IngestQueues / Config.IngestQueueDepth defaults).
 func (s *Service) NewIngester(topic string, queues, depth int) (*Ingester, error) {
 	if _, err := s.topic(topic); err != nil {
 		return nil, err
 	}
 	if queues <= 0 {
-		queues = defaultQueues
+		queues = s.cfg.IngestQueues
 	}
 	if depth <= 0 {
-		depth = defaultQueueDepth
+		depth = s.cfg.IngestQueueDepth
 	}
 	ing := &Ingester{svc: s, topic: topic, queues: make([]chan string, queues)}
 	for i := range ing.queues {
@@ -53,6 +58,25 @@ func (s *Service) NewIngester(topic string, queues, depth int) (*Ingester, error
 		ing.wg.Add(1)
 		go ing.worker(ing.queues[i])
 	}
+	return ing, nil
+}
+
+// sharedIngester returns the service-owned pipeline for topic (the HTTP
+// async ingest path), creating it on first use from the Config knobs.
+func (s *Service) sharedIngester(topic string) (*Ingester, error) {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	if s.closed {
+		return nil, errors.New("service: closed")
+	}
+	if ing, ok := s.ingesters[topic]; ok {
+		return ing, nil
+	}
+	ing, err := s.NewIngester(topic, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.ingesters[topic] = ing
 	return ing, nil
 }
 
@@ -103,30 +127,48 @@ func (ing *Ingester) recordErr(err error) {
 	}
 }
 
+// Err returns the first ingestion error recorded so far (nil while
+// healthy). Close also returns it.
+func (ing *Ingester) Err() error {
+	ing.errMu.Lock()
+	defer ing.errMu.Unlock()
+	return ing.firstErr
+}
+
 // Submit enqueues one line, blocking when the chosen queue is full
-// (backpressure). Submit must not be called after Close.
+// (backpressure). Submitting after Close returns an error.
 func (ing *Ingester) Submit(line string) error {
-	if ing.closed {
+	if ing.closed.Load() {
 		return errors.New("service: ingester closed")
 	}
-	ing.nextMu.Lock()
-	q := ing.queues[ing.next%len(ing.queues)]
-	ing.next++
-	ing.nextMu.Unlock()
+	ing.closeMu.RLock()
+	defer ing.closeMu.RUnlock()
+	// Re-check under the lock: Close sets the flag before it can take
+	// the write side, so a false here guarantees the queues are open for
+	// the duration of the send.
+	if ing.closed.Load() {
+		return errors.New("service: ingester closed")
+	}
+	q := ing.queues[ing.next.Add(1)%uint64(len(ing.queues))]
 	q <- line
 	return nil
 }
 
 // Close drains the queues, waits for the workers, and returns the first
-// ingestion error, if any.
+// ingestion error, if any. Close is idempotent and safe to race with
+// Submit: late submitters see an error instead of a panic.
 func (ing *Ingester) Close() error {
-	if ing.closed {
-		return nil
+	if ing.closed.Swap(true) {
+		// Another closer won; wait for the drain so both callers
+		// observe a fully stopped pipeline.
+		ing.wg.Wait()
+		return ing.Err()
 	}
-	ing.closed = true
+	ing.closeMu.Lock()
 	for _, q := range ing.queues {
 		close(q)
 	}
+	ing.closeMu.Unlock()
 	ing.wg.Wait()
 	ing.errMu.Lock()
 	defer ing.errMu.Unlock()

@@ -32,7 +32,7 @@ func TestIngesterDeliversEverything(t *testing.T) {
 	if stats.Records != len(lines) {
 		t.Fatalf("delivered %d of %d records", stats.Records, len(lines))
 	}
-	if stats.Trainings == 0 {
+	if stats := waitTrainings(t, s, "app", 1); stats.Trainings == 0 {
 		t.Error("volume-triggered training never fired through the pipeline")
 	}
 }

@@ -87,6 +87,9 @@ func TestServicePersistedFilesOnDisk(t *testing.T) {
 	if err := s.Ingest("app", genLines(80, 1)); err != nil {
 		t.Fatal(err)
 	}
+	// Training is asynchronous; wait for the volume-triggered cycle to
+	// persist its model snapshot before shutting down.
+	waitTrainings(t, s, "app", 1)
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

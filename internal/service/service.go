@@ -3,15 +3,25 @@
 // before appending to storage, volume- and time-triggered periodic
 // retraining with model merging, reservoir sampling against OOM on huge
 // volumes, and query-time precision control.
+//
+// The ingestion hot path is lock-free: the current (model, matcher) pair
+// is published through an atomic pointer, matching runs against that
+// immutable snapshot with no topic lock, appends go straight to the
+// store (which serializes internally), and the only critical section is
+// a short reservoir offer behind its own small mutex. Retraining runs in
+// a per-topic background goroutine and swaps the snapshot in atomically
+// when it finishes, so training never stalls ingestion.
 package service
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bytebrain/internal/core"
@@ -52,6 +62,13 @@ type Config struct {
 	// SegmentCodec selects the sealed-payload compression: "flate"
 	// (default), "none", or "zstd" (gated — unavailable in this build).
 	SegmentCodec string
+	// IngestQueues is the default worker-queue count for ingestion
+	// pipelines created with NewIngester(topic, 0, _) and for the HTTP
+	// async ingest path (default 4).
+	IngestQueues int
+	// IngestQueueDepth is the default per-queue depth for those
+	// pipelines (default 1024).
+	IngestQueueDepth int
 	// Now supplies timestamps; tests override it. Defaults to time.Now.
 	Now func() time.Time
 }
@@ -69,11 +86,20 @@ func (c Config) withDefaults() Config {
 	if c.DefaultThreshold <= 0 {
 		c.DefaultThreshold = 0.7
 	}
+	if c.IngestQueues <= 0 {
+		c.IngestQueues = defaultQueues
+	}
+	if c.IngestQueueDepth <= 0 {
+		c.IngestQueueDepth = defaultQueueDepth
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
 	return c
 }
+
+// maxSampleOffsets is how many example record offsets a query row carries.
+const maxSampleOffsets = 5
 
 // Service manages log topics. All methods are safe for concurrent use.
 type Service struct {
@@ -81,28 +107,78 @@ type Service struct {
 
 	mu     sync.RWMutex
 	topics map[string]*topicState
+
+	// Shared per-topic async pipelines for the HTTP ingest path, built
+	// lazily from the Config knobs. closed (under ingMu) stops new
+	// pipelines from being minted once Close has drained the map.
+	ingMu     sync.Mutex
+	ingesters map[string]*Ingester
+	closed    bool
+
+	// trainHook, when set by tests, runs inside every training cycle
+	// after the reservoir hand-off — while ingestion must stay live.
+	trainHook func(topic string)
+}
+
+// modelSnapshot is the atomically published read side of a topic: the
+// trained model, its matcher, and the serialized model bytes (cached at
+// train/recover time so stats never re-marshal under load).
+type modelSnapshot struct {
+	model      *core.Model
+	matcher    *core.Matcher
+	modelBytes []byte
 }
 
 type topicState struct {
-	mu       sync.Mutex
 	name     string
+	parser   *core.Parser
 	store    logstore.Store
 	internal logstore.SnapshotStore
-	parser   *core.Parser
-	model    *core.Model
-	matcher  *core.Matcher
 
-	buffer    []string // training reservoir
-	bufSeen   int      // lines offered to the reservoir since last train
-	sinceLast int      // records since last training
-	lastTrain time.Time
-	trainings int
-	rng       *rand.Rand
+	// snap is nil until the first training completes. Matching and
+	// queries Load it; only a finished training cycle Stores it.
+	snap atomic.Pointer[modelSnapshot]
+
+	// Training reservoir behind its own small mutex — the one brief
+	// critical section on the ingestion path.
+	resMu   sync.Mutex
+	buffer  []string
+	bufSeen int // lines offered since the last hand-off
+	rng     *rand.Rand
+
+	// Training triggers, updated lock-free by Ingest.
+	sinceLast atomic.Int64 // records since the last cycle
+	lastTrain atomic.Int64 // unix nanos of the last cycle
+	trainings atomic.Int64
+
+	// Background trainer.
+	trainMu   sync.Mutex // serializes training cycles (goroutine + forced Train)
+	training  atomic.Bool
+	trainCh   chan struct{}
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	errMu     sync.Mutex
+	lastErr   error
+	sampleCap int
 }
 
 // New creates a Service.
 func New(cfg Config) *Service {
-	return &Service{cfg: cfg.withDefaults(), topics: make(map[string]*topicState)}
+	return &Service{
+		cfg:       cfg.withDefaults(),
+		topics:    make(map[string]*topicState),
+		ingesters: make(map[string]*Ingester),
+	}
+}
+
+// topicSeed derives the reservoir RNG seed from a hash of the topic name,
+// so distinct topics sample independently (a plain len(name)-based seed
+// made every same-length topic share one sequence).
+func topicSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
 }
 
 // CreateTopic registers a topic. With DataDir configured the topic is
@@ -124,9 +200,12 @@ func (s *Service) CreateTopic(name string) error {
 	st := &topicState{
 		name:      name,
 		parser:    core.New(s.cfg.Parser),
-		lastTrain: s.cfg.Now(),
-		rng:       rand.New(rand.NewSource(int64(len(name)) + 17)),
+		rng:       rand.New(rand.NewSource(topicSeed(name))),
+		trainCh:   make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		sampleCap: s.cfg.SampleCap,
 	}
+	st.lastTrain.Store(s.cfg.Now().UnixNano())
 	switch {
 	case s.cfg.SegmentBytes > 0:
 		// Compacting segment store: hot in-memory block plus sealed
@@ -154,7 +233,7 @@ func (s *Service) CreateTopic(name string) error {
 			}
 			st.internal = internal
 		}
-		if err := st.recoverLocked(); err != nil {
+		if err := st.recover(); err != nil {
 			store.Close()
 			return err
 		}
@@ -174,17 +253,21 @@ func (s *Service) CreateTopic(name string) error {
 		}
 		st.store = store
 		st.internal = internal
-		if err := st.recoverLocked(); err != nil {
+		if err := st.recover(); err != nil {
 			store.Close()
 			return err
 		}
 	}
+	st.wg.Add(1)
+	go s.trainLoop(st)
 	s.topics[name] = st
 	return nil
 }
 
-// recoverLocked reloads the latest persisted model after a restart.
-func (st *topicState) recoverLocked() error {
+// recover reloads the latest persisted model after a restart and
+// publishes it as the initial snapshot. Runs before the topic is visible,
+// so no synchronization is needed.
+func (st *topicState) recover() error {
 	data, err := st.internal.LatestSnapshot()
 	if err != nil {
 		if err == logstore.ErrNoSnapshot {
@@ -200,23 +283,32 @@ func (st *topicState) recoverLocked() error {
 	if err != nil {
 		return fmt.Errorf("service: recover %s: %w", st.name, err)
 	}
-	st.model = model
-	st.matcher = matcher
-	st.trainings = st.internal.Snapshots()
+	st.snap.Store(&modelSnapshot{model: model, matcher: matcher, modelBytes: data})
+	st.trainings.Store(int64(st.internal.Snapshots()))
 	return nil
 }
 
-// Close flushes and closes every topic store.
+// Close stops the background trainers, drains shared ingestion pipelines,
+// and flushes and closes every topic store.
 func (s *Service) Close() error {
+	var firstErr error
+	s.ingMu.Lock()
+	s.closed = true
+	for name, ing := range s.ingesters {
+		if err := ing.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.ingesters, name)
+	}
+	s.ingMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var firstErr error
 	for _, st := range s.topics {
-		st.mu.Lock()
+		st.stopOnce.Do(func() { close(st.stopCh) })
+		st.wg.Wait()
 		if err := st.store.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		st.mu.Unlock()
 	}
 	return firstErr
 }
@@ -243,95 +335,66 @@ func (s *Service) topic(name string) (*topicState, error) {
 	return st, nil
 }
 
-// Ingest appends lines to the topic: each line is matched against the
-// current model (template IDs are computed before the record is written,
-// as the indexing pipeline requires), then stored. Unmatched logs become
-// temporary templates via the matcher. Training triggers lazily on volume
-// or elapsed-interval.
+// Ingest appends lines to the topic: the batch is matched against the
+// current model snapshot (template IDs are computed before the record is
+// written, as the indexing pipeline requires) without taking any topic
+// lock, then stored. Unmatched logs become temporary templates inside the
+// matcher. Training triggers lazily on volume or elapsed-interval and
+// runs in the topic's background trainer, never blocking the caller.
 func (s *Service) Ingest(topicName string, lines []string) error {
 	st, err := s.topic(topicName)
 	if err != nil {
 		return err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	now := s.cfg.Now()
-	for _, line := range lines {
+	// Lock-free read side: match the whole batch against the published
+	// snapshot (deduplicated and parallel across the parser's workers).
+	var ids []uint64
+	if snap := st.snap.Load(); snap != nil {
+		results := snap.matcher.MatchBatch(lines)
+		ids = make([]uint64, len(results))
+		for i, r := range results {
+			ids[i] = r.NodeID
+		}
+	}
+	for i, line := range lines {
 		var tmplID uint64
-		if st.matcher != nil {
-			tmplID = st.matcher.Match(line).NodeID
+		if ids != nil {
+			tmplID = ids[i]
 		}
 		if _, err := st.store.Append(now, line, tmplID); err != nil {
 			return fmt.Errorf("service: ingest %s: %w", topicName, err)
 		}
-		st.offerLocked(line)
 	}
-	st.sinceLast += len(lines)
-	if st.sinceLast >= s.cfg.TrainVolume || now.Sub(st.lastTrain) >= s.cfg.TrainInterval {
-		return s.trainLocked(st, now)
+	// The one brief critical section: feed the training reservoir.
+	st.offer(lines)
+	if st.sinceLast.Add(int64(len(lines))) >= int64(s.cfg.TrainVolume) ||
+		now.Sub(time.Unix(0, st.lastTrain.Load())) >= s.cfg.TrainInterval {
+		st.kickTrainer()
 	}
 	return nil
 }
 
-// offerLocked feeds one line into the training reservoir.
+// offer feeds lines into the training reservoir: append until SampleCap,
+// then uniform reservoir replacement.
+func (st *topicState) offer(lines []string) {
+	st.resMu.Lock()
+	defer st.resMu.Unlock()
+	for _, line := range lines {
+		st.offerLocked(line)
+	}
+}
+
+// offerLocked feeds one line into the reservoir; callers hold resMu.
 func (st *topicState) offerLocked(line string) {
 	st.bufSeen++
-	if len(st.buffer) < cap(st.buffer) || cap(st.buffer) == 0 {
-		if cap(st.buffer) == 0 {
-			st.buffer = make([]string, 0, 1024)
-		}
+	if len(st.buffer) < st.sampleCap {
 		st.buffer = append(st.buffer, line)
 		return
 	}
-	// Reservoir replacement.
 	if j := st.rng.Intn(st.bufSeen); j < len(st.buffer) {
 		st.buffer[j] = line
 	}
-}
-
-// Train forces a training cycle for the topic.
-func (s *Service) Train(topicName string) error {
-	st, err := s.topic(topicName)
-	if err != nil {
-		return err
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return s.trainLocked(st, s.cfg.Now())
-}
-
-func (s *Service) trainLocked(st *topicState, now time.Time) error {
-	if len(st.buffer) == 0 {
-		st.lastTrain = now
-		st.sinceLast = 0
-		return nil
-	}
-	res, err := st.parser.TrainMerge(st.model, st.buffer)
-	if err != nil {
-		return fmt.Errorf("service: train %s: %w", st.name, err)
-	}
-	if err := res.Model.Validate(); err != nil {
-		return fmt.Errorf("service: train %s produced invalid model: %w", st.name, err)
-	}
-	matcher, err := st.parser.NewMatcher(res.Model)
-	if err != nil {
-		return fmt.Errorf("service: train %s: %w", st.name, err)
-	}
-	st.model = res.Model
-	st.matcher = matcher
-	st.trainings++
-	st.lastTrain = now
-	st.sinceLast = 0
-	st.buffer = st.buffer[:0]
-	st.bufSeen = 0
-	data, err := res.Model.MarshalBinary()
-	if err != nil {
-		return fmt.Errorf("service: snapshot %s: %w", st.name, err)
-	}
-	if err := st.internal.AppendSnapshot(now, data); err != nil {
-		return fmt.Errorf("service: snapshot %s: %w", st.name, err)
-	}
-	return nil
 }
 
 // Stats reports operational counters for a topic.
@@ -342,6 +405,12 @@ type Stats struct {
 	Trainings  int
 	ModelBytes int
 	Snapshots  int
+	// Background-trainer state.
+	Training       bool      // a training cycle is running right now
+	SinceTrain     int       // records ingested since the last cycle
+	ReservoirLines int       // lines buffered for the next cycle
+	LastTrainAt    time.Time // when the last cycle ran (topic creation before any)
+	LastTrainError string    `json:",omitempty"`
 	// Segment-store compression counters, zero unless Config.SegmentBytes
 	// enabled the compacting store for this topic.
 	Segments               int     `json:",omitempty"`
@@ -353,25 +422,33 @@ type Stats struct {
 	SegmentCodec           string  `json:",omitempty"`
 }
 
-// TopicStats returns counters for one topic.
+// TopicStats returns counters for one topic. It takes no topic-wide lock:
+// every field reads from atomics, the store's own counters, or the
+// published snapshot (whose serialized bytes were cached at train time —
+// stats never re-marshal the model).
 func (s *Service) TopicStats(topicName string) (Stats, error) {
 	st, err := s.topic(topicName)
 	if err != nil {
 		return Stats{}, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	stats := Stats{
-		Records:   st.store.Len(),
-		Bytes:     st.store.Bytes(),
-		Trainings: st.trainings,
-		Snapshots: st.internal.Snapshots(),
+		Records:     st.store.Len(),
+		Bytes:       st.store.Bytes(),
+		Trainings:   int(st.trainings.Load()),
+		Snapshots:   st.internal.Snapshots(),
+		Training:    st.training.Load(),
+		SinceTrain:  int(st.sinceLast.Load()),
+		LastTrainAt: time.Unix(0, st.lastTrain.Load()),
 	}
-	if st.model != nil {
-		stats.Templates = st.model.Len()
-		if b, err := st.model.MarshalBinary(); err == nil {
-			stats.ModelBytes = len(b)
-		}
+	st.resMu.Lock()
+	stats.ReservoirLines = len(st.buffer)
+	st.resMu.Unlock()
+	if err := st.trainErr(); err != nil {
+		stats.LastTrainError = err.Error()
+	}
+	if snap := st.snap.Load(); snap != nil {
+		stats.Templates = snap.model.Len() + snap.matcher.TemporaryCount()
+		stats.ModelBytes = len(snap.modelBytes)
 	}
 	if cs, ok := st.store.(*logstore.CompactingStore); ok {
 		sst := cs.SegmentStats()
@@ -424,50 +501,57 @@ type TemplateRow struct {
 // threshold (≤ 0 uses the default). It is the §3 "Query" path: records
 // carry their most precise template ID; ancestors are traversed per
 // threshold without reprocessing any log.
+//
+// The grouping is metadata-driven: the store answers GroupedCounts from
+// its template indexes and sealed-segment metadata (counts plus sample
+// offsets persisted at seal time), so no record payload is read — over
+// the segment store, sealed blocks stay compressed. Only the distinct
+// template IDs are rolled up through the model, not every record.
 func (s *Service) Query(topicName string, threshold float64) ([]TemplateRow, error) {
 	st, err := s.topic(topicName)
 	if err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
-	model := st.model
-	st.mu.Unlock()
-	if model == nil {
+	snap := st.snap.Load()
+	if snap == nil {
 		return nil, fmt.Errorf("service: topic %q has no trained model yet", topicName)
 	}
 	if threshold <= 0 {
 		threshold = s.cfg.DefaultThreshold
 	}
+	groups := st.store.GroupedCounts(maxSampleOffsets)
 	rows := map[uint64]*TemplateRow{}
-	st.store.Scan(0, -1, func(r logstore.Record) bool {
-		id := r.TemplateID
+	samples := map[uint64][][]int64{}
+	for id, g := range groups {
+		rowID := id
+		var node *core.Node
 		if id != 0 {
-			if n, err := model.TemplateAt(id, threshold); err == nil {
-				id = n.ID
+			if n, err := snap.matcher.TemplateAt(id, threshold); err == nil {
+				rowID, node = n.ID, n
 			}
 		}
-		row, ok := rows[id]
+		row, ok := rows[rowID]
 		if !ok {
-			row = &TemplateRow{TemplateID: id}
-			if n := model.Nodes[model.Resolve(id)]; n != nil {
-				row.Template = template.MergeConsecutiveWildcards(n.Template)
-				row.Saturation = n.Saturation
+			row = &TemplateRow{TemplateID: rowID}
+			if node != nil {
+				row.Template = template.MergeConsecutiveWildcards(node.Template)
+				row.Saturation = node.Saturation
 			} else {
 				// Records ingested before the first training carry no
 				// template (§3: "templates are unavailable for logs
 				// before first training completes").
 				row.Template = "(unparsed: ingested before first training)"
 			}
-			rows[id] = row
+			rows[rowID] = row
 		}
-		row.Count++
-		if len(row.SampleOffsets) < 5 {
-			row.SampleOffsets = append(row.SampleOffsets, r.Offset)
+		row.Count += g.Count
+		if len(g.Samples) > 0 {
+			samples[rowID] = append(samples[rowID], g.Samples)
 		}
-		return true
-	})
+	}
 	out := make([]TemplateRow, 0, len(rows))
-	for _, r := range rows {
+	for id, r := range rows {
+		r.SampleOffsets = mergeSamples(samples[id], maxSampleOffsets)
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -477,6 +561,29 @@ func (s *Service) Query(topicName string, threshold float64) ([]TemplateRow, err
 		return out[i].TemplateID < out[j].TemplateID
 	})
 	return out, nil
+}
+
+// mergeSamples merges ascending offset lists and keeps the max smallest —
+// the same first-seen samples a full scan would have produced.
+func mergeSamples(lists [][]int64, max int) []int64 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		if len(lists[0]) > max {
+			return lists[0][:max]
+		}
+		return lists[0]
+	}
+	var all []int64
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > max {
+		all = all[:max]
+	}
+	return all
 }
 
 // QueryMerged is Query followed by the §7 response-layer optimization:
@@ -506,7 +613,7 @@ func (s *Service) QueryMerged(topicName string, threshold float64) ([]TemplateRo
 			agg.Saturation = r.Saturation
 		}
 		for _, off := range r.SampleOffsets {
-			if len(agg.SampleOffsets) < 5 {
+			if len(agg.SampleOffsets) < maxSampleOffsets {
 				agg.SampleOffsets = append(agg.SampleOffsets, off)
 			}
 		}
@@ -530,9 +637,10 @@ func (s *Service) Model(topicName string) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.model, nil
+	if snap := st.snap.Load(); snap != nil {
+		return snap.model, nil
+	}
+	return nil, nil
 }
 
 // Store exposes the topic's record store (read-only use).

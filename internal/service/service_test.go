@@ -24,6 +24,26 @@ func testConfig() Config {
 	}
 }
 
+// waitTrainings polls until the topic's background trainer has completed
+// at least want cycles (training is asynchronous — Ingest only triggers).
+func waitTrainings(t *testing.T, s *Service, topic string, want int) Stats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, err := s.TopicStats(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Trainings >= want && !stats.Training {
+			return stats
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background training did not reach %d cycles: %+v", want, stats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func genLines(n int, seed int64) []string {
 	r := rand.New(rand.NewSource(seed))
 	out := make([]string, n)
@@ -78,21 +98,31 @@ func TestVolumeTriggeredTraining(t *testing.T) {
 	if err := s.Ingest("app", genLines(60, 2)); err != nil {
 		t.Fatal(err)
 	}
-	stats, _ = s.TopicStats("app")
+	stats = waitTrainings(t, s, "app", 1)
 	if stats.Trainings != 1 {
 		t.Fatalf("training did not fire at volume threshold: %+v", stats)
 	}
 	if stats.Templates == 0 || stats.ModelBytes == 0 || stats.Snapshots != 1 {
 		t.Errorf("post-training stats incomplete: %+v", stats)
 	}
+	if stats.SinceTrain != 0 || stats.LastTrainError != "" {
+		t.Errorf("trainer state not reset after cycle: %+v", stats)
+	}
 }
 
 func TestTimeTriggeredTraining(t *testing.T) {
+	// The clock is read concurrently by the background trainer, so the
+	// fake time lives behind a mutex.
+	var clockMu sync.Mutex
 	now := time.Unix(1700000000, 0)
 	cfg := testConfig()
 	cfg.TrainVolume = 1 << 30
 	cfg.TrainInterval = 5 * time.Minute
-	cfg.Now = func() time.Time { return now }
+	cfg.Now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
 	s := New(cfg)
 	if err := s.CreateTopic("app"); err != nil {
 		t.Fatal(err)
@@ -104,12 +134,13 @@ func TestTimeTriggeredTraining(t *testing.T) {
 	if stats.Trainings != 0 {
 		t.Fatal("trained too early")
 	}
+	clockMu.Lock()
 	now = now.Add(6 * time.Minute)
+	clockMu.Unlock()
 	if err := s.Ingest("app", genLines(10, 2)); err != nil {
 		t.Fatal(err)
 	}
-	stats, _ = s.TopicStats("app")
-	if stats.Trainings != 1 {
+	if stats := waitTrainings(t, s, "app", 1); stats.Trainings != 1 {
 		t.Fatalf("interval training did not fire: %+v", stats)
 	}
 }
@@ -223,13 +254,17 @@ func TestReservoirSamplingBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.mu.Lock()
+	st.resMu.Lock()
 	bufLen := len(st.buffer)
-	st.mu.Unlock()
-	if bufLen > 1024 {
-		// The reservoir grows by doubling up to its initial capacity;
-		// what matters is that it stays far below the ingested volume.
-		t.Errorf("training buffer grew to %d for 5000 lines", bufLen)
+	st.resMu.Unlock()
+	if bufLen != 100 {
+		// The reservoir honors SampleCap exactly: append up to the cap,
+		// uniform replacement beyond it.
+		t.Errorf("training buffer holds %d lines, want SampleCap=100", bufLen)
+	}
+	stats, _ := s.TopicStats("app")
+	if stats.ReservoirLines != bufLen {
+		t.Errorf("stats.ReservoirLines = %d, want %d", stats.ReservoirLines, bufLen)
 	}
 }
 
