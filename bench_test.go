@@ -10,6 +10,7 @@ package bytebrain_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -228,6 +229,64 @@ func BenchmarkConcurrentIngest(b *testing.B) {
 			}
 			wg.Wait()
 			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+		})
+	}
+}
+
+// BenchmarkShardedIngest measures raw append throughput into a sharded
+// topic store with queue→shard affinity — the write-side counterpart of
+// BenchmarkConcurrentIngest, which plateaus on the single store mutex.
+// A fixed worker pool appends in parallel; with shards=1 every worker
+// contends on one mutex, with more shards each mutex serves
+// workers/shards writers, so throughput should scale with shard count on
+// a multi-core runner (~2x or better at 4 shards vs 1).
+func BenchmarkShardedIngest(b *testing.B) {
+	recs := segmentBenchRecords(b, "Zookeeper")
+	// At least 4 workers even on small runners so the shards=1 case is
+	// genuinely contended; capped at 8 so the comparison stays stable on
+	// very wide machines.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			if shards > workers {
+				// With fewer writers than shards the run would silently
+				// measure only `workers` shards under an 8-shard label.
+				b.Skipf("only %d workers; a %d-shard run would not use them all", workers, shards)
+			}
+			store, err := logstore.OpenSharded("bench", logstore.ShardConfig{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				iters := b.N / workers
+				if w < b.N%workers {
+					iters++
+				}
+				wg.Add(1)
+				go func(w, iters int) {
+					defer wg.Done()
+					shard := w % shards
+					for i := 0; i < iters; i++ {
+						r := recs[i%len(recs)]
+						if _, err := store.AppendShard(shard, r.Time, r.Raw, r.TemplateID); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, iters)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "logs/s")
 		})
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "persist topics (records + model snapshots) under this directory; empty = in-memory")
 		segmentBytes = flag.Int64("segment-bytes", 0, "enable the compacting segment store: seal hot blocks of this raw size into compressed columnar segments (0 = disabled)")
 		segmentCodec = flag.String("segment-codec", "flate", "sealed-segment payload codec: flate or none")
+		topicShards  = flag.Int("topic-shards", 1, "fan each topic's store out over this many shards with queue affinity so appends scale with cores (1 = single store; a persisted topic's shard count must not shrink)")
 		ingestQueues = flag.Int("ingest-queues", 4, "worker queues per async ingestion pipeline (POST /topics/{name}/logs?async=1)")
 		ingestDepth  = flag.Int("ingest-queue-depth", 1024, "per-queue depth of the async ingestion pipeline (backpressure beyond it)")
 	)
@@ -58,6 +59,7 @@ func main() {
 		DataDir:          *dataDir,
 		SegmentBytes:     *segmentBytes,
 		SegmentCodec:     *segmentCodec,
+		TopicShards:      *topicShards,
 		IngestQueues:     *ingestQueues,
 		IngestQueueDepth: *ingestDepth,
 	})
@@ -76,7 +78,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("logsvcd listening on %s (data-dir=%q segment-bytes=%d)", *addr, *dataDir, *segmentBytes)
+	log.Printf("logsvcd listening on %s (data-dir=%q segment-bytes=%d topic-shards=%d)", *addr, *dataDir, *segmentBytes, *topicShards)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -132,6 +132,15 @@ func (s *CompactingStore) recover() error {
 	walIdx := map[int]string{}
 	for _, e := range entries {
 		n := e.Name()
+		if e.IsDir() {
+			if strings.HasPrefix(n, shardDirPrefix) {
+				// Shard subdirectories: this topic was persisted sharded
+				// (TopicShards > 1). Opening it unsharded would hide every
+				// sharded record — refuse instead of losing data.
+				return fmt.Errorf("logstore: compacting open %s: found shard directory %s; this topic was persisted sharded (restore the shard count, or use a fresh data dir)", s.cfg.Dir, n)
+			}
+			continue
+		}
 		switch {
 		case strings.HasPrefix(n, segmentPrefix) && strings.HasSuffix(n, segmentSuffix):
 			// A DiskTopic record file: this directory was persisted by
@@ -141,7 +150,9 @@ func (s *CompactingStore) recover() error {
 			return fmt.Errorf("logstore: compacting open %s: found plain disk-topic file %s; this topic was persisted without the segment store (unset SegmentBytes, or use a fresh data dir)", s.cfg.Dir, n)
 		case strings.HasSuffix(n, segment.TmpSuffix):
 			// Torn segment write from a crash; the WAL still has the data.
-			os.Remove(filepath.Join(s.cfg.Dir, n))
+			if err := os.Remove(filepath.Join(s.cfg.Dir, n)); err != nil {
+				return fmt.Errorf("logstore: compacting recover: remove torn segment %s: %w", n, err)
+			}
 		case strings.HasPrefix(n, sealedPrefix) && strings.HasSuffix(n, sealedSuffix):
 			var i int
 			if _, err := fmt.Sscanf(n, sealedPrefix+"%06d"+sealedSuffix, &i); err == nil {
@@ -171,8 +182,12 @@ func (s *CompactingStore) recover() error {
 			if err != nil && walIdx[i] != "" {
 				// Unreadable segment but its WAL survived (crash hit
 				// between segment rename and WAL delete): move the bad
-				// file aside and recover the block from the WAL below.
-				os.Rename(path, path+".bad")
+				// file aside and recover the block from the WAL below. A
+				// failed quarantine must abort recovery — the bad file
+				// would shadow the WAL again on the next open.
+				if rerr := os.Rename(path, path+".bad"); rerr != nil {
+					return fmt.Errorf("logstore: compacting recover: quarantine %s: %w", filepath.Base(path), rerr)
+				}
 			} else if err != nil {
 				return fmt.Errorf("logstore: compacting recover: %w", err)
 			} else {
@@ -183,7 +198,9 @@ func (s *CompactingStore) recover() error {
 				// The segment is good; its same-index WAL (if the crash
 				// left one) is now redundant.
 				if wal := walIdx[i]; wal != "" {
-					os.Remove(wal)
+					if err := os.Remove(wal); err != nil {
+						return fmt.Errorf("logstore: compacting recover: remove redundant wal %s: %w", filepath.Base(wal), err)
+					}
 				}
 				s.blocks = append(s.blocks, &compactBlock{idx: i, first: next, seg: r})
 				next += int64(r.Count())
@@ -198,7 +215,9 @@ func (s *CompactingStore) recover() error {
 			return err
 		}
 		if hot.Len() == 0 {
-			os.Remove(walIdx[i])
+			if err := os.Remove(walIdx[i]); err != nil {
+				return fmt.Errorf("logstore: compacting recover: remove empty wal %s: %w", filepath.Base(walIdx[i]), err)
+			}
 			continue
 		}
 		s.blocks = append(s.blocks, &compactBlock{idx: i, first: next, hot: hot, sealing: true, walPath: walIdx[i]})
@@ -252,12 +271,25 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 		return 0, errors.New("logstore: compacting store closed")
 	}
 	b := s.blocks[len(s.blocks)-1]
+	if b.hot == nil || b.sealing {
+		// A failed rotation path can leave the tail block without a live
+		// hot target; restore the invariant instead of panicking.
+		if err := s.startHotLocked(); err != nil {
+			return 0, err
+		}
+		b = s.blocks[len(s.blocks)-1]
+	}
 	// WAL first: if the durability write fails, the record is not
 	// admitted to the in-memory index either, so a caller retry cannot
-	// create a phantom duplicate. (A torn WAL tail from the failed
-	// write is truncated on recovery, like any crash.)
+	// create a phantom duplicate. The failure leaves a torn record at
+	// the WAL tail, and replay truncates everything from the tear on —
+	// so the block must never write another byte to this WAL, or later
+	// admitted records would be silently discarded on recovery.
+	// poisonRotateLocked retires the block (sealing rebuilds durability
+	// from memory) and subsequent appends land in a fresh WAL.
 	if b.wal != nil {
 		if err := b.wal.append(ts, raw, templateID); err != nil {
+			s.poisonRotateLocked(b)
 			return 0, fmt.Errorf("logstore: wal append: %w", err)
 		}
 	}
@@ -277,6 +309,41 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 	return off, nil
 }
 
+// poisonRotateLocked retires a block whose WAL append just failed: the
+// WAL now ends in a torn record, so the block must stop writing to it. A
+// block holding admitted records is handed to the sealer — a successful
+// seal persists them as a segment built from the in-memory index, after
+// which the poisoned WAL is deleted; until then (or after a crash) replay
+// recovers every admitted record, truncating only the torn tail. An empty
+// block is dropped outright together with its torn WAL. Either way a
+// fresh hot block with a fresh WAL takes over. If rotation itself fails,
+// the poisoned block stays hot and every append fails fast (retrying the
+// rotation) rather than risking silent data loss.
+func (s *CompactingStore) poisonRotateLocked(b *compactBlock) {
+	if err := s.startHotLocked(); err != nil {
+		s.sealErr = err
+		return
+	}
+	if b.hot.Len() > 0 {
+		b.sealing = true
+		s.kickSealer()
+		return
+	}
+	// Nothing was admitted to the block: discard it and its torn WAL.
+	b.wal.close()
+	b.wal = nil
+	if b.walPath != "" {
+		os.Remove(b.walPath)
+		b.walPath = ""
+	}
+	for i, bb := range s.blocks {
+		if bb == b {
+			s.blocks = append(s.blocks[:i:i], s.blocks[i+1:]...)
+			break
+		}
+	}
+}
+
 func (s *CompactingStore) kickSealer() {
 	select {
 	case s.sealCh <- struct{}{}:
@@ -292,6 +359,13 @@ func (s *CompactingStore) sealLoop() {
 	for {
 		select {
 		case <-s.doneCh:
+			// Final drain on clean shutdown: a block already marked for
+			// sealing must not be abandoned — in particular a poisoned-WAL
+			// block, whose admitted records may exist nowhere durable
+			// until its seal completes (the select races Close's doneCh
+			// against the kick the poisoning append sent).
+			for s.sealOne() {
+			}
 			return
 		case <-s.sealCh:
 		}
@@ -377,7 +451,9 @@ func (s *CompactingStore) sealRecords(b *compactBlock, recs []segment.Record) (*
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("logstore: seal empty block %d", b.idx)
 	}
-	if b.wal != nil {
+	if b.wal != nil && !b.wal.poisoned() {
+		// A poisoned WAL cannot (and must not) flush; the segment built
+		// from the in-memory index below becomes the durable copy.
 		if err := b.wal.flush(); err != nil {
 			return nil, err
 		}
@@ -414,7 +490,16 @@ func (s *CompactingStore) Seal() error {
 		}
 	}
 	b := s.blocks[len(s.blocks)-1]
-	if b.hot.Len() > 0 {
+	switch {
+	case b.hot == nil || b.sealing:
+		// Defensive: a failed rotation path can leave the tail block
+		// sealed or seal-pending with no live hot successor; restore the
+		// append invariant instead of dereferencing a nil hot topic.
+		if err := s.startHotLocked(); err != nil {
+			s.kickSealer()
+			return err
+		}
+	case b.hot.Len() > 0:
 		if err := s.startHotLocked(); err != nil {
 			s.kickSealer()
 			return err
@@ -756,18 +841,31 @@ func (s *CompactingStore) SegmentStats() SegmentStats {
 	return st
 }
 
-// Flush forces buffered WAL bytes to the OS (durability checkpoint).
+// Flush forces buffered WAL bytes to the OS (durability checkpoint). A
+// poisoned WAL can take no more bytes, so until its block's pending seal
+// lands that block's admitted records may exist only in memory; Flush
+// still flushes every healthy WAL but then reports the gap instead of
+// claiming a checkpoint it cannot guarantee. The error clears once the
+// sealer persists the block (WaitIdle forces the wait).
 func (s *CompactingStore) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var pending error
 	for _, b := range s.blocks {
-		if b.wal != nil {
-			if err := b.wal.flush(); err != nil {
-				return err
+		if b.wal == nil {
+			continue
+		}
+		if b.wal.poisoned() {
+			if pending == nil {
+				pending = fmt.Errorf("logstore: block %d awaiting seal after wal failure; its records are not yet durable", b.idx)
 			}
+			continue
+		}
+		if err := b.wal.flush(); err != nil {
+			return err
 		}
 	}
-	return nil
+	return pending
 }
 
 // Close implements Store: seals nothing further, stops the compactor,
@@ -787,6 +885,13 @@ func (s *CompactingStore) Close() error {
 	var firstErr error
 	for _, b := range s.blocks {
 		if b.wal != nil {
+			if b.hot != nil && b.wal.poisoned() && firstErr == nil {
+				// The shutdown drain could not seal this poisoned block
+				// (seal failure on top of the WAL failure): its admitted
+				// records die with the process. Report it — a silent nil
+				// here would turn the data loss into a clean shutdown.
+				firstErr = fmt.Errorf("logstore: close: block %d unsealed after wal failure (seal error: %v); its records are not durable", b.idx, s.sealErr)
+			}
 			if err := b.wal.close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -798,14 +903,31 @@ func (s *CompactingStore) Close() error {
 
 var _ Store = (*CompactingStore)(nil)
 
+// walSink is the buffered-writer surface walWriter writes through.
+// Production uses *bufio.Writer; fault-injection tests substitute a
+// failing implementation to simulate torn mid-record writes.
+type walSink interface {
+	io.Writer
+	io.StringWriter
+	Flush() error
+}
+
 // walWriter appends length-prefixed records (the DiskTopic record format)
 // to one block's write-ahead log. Its own mutex serializes the sealer's
 // flush against appends/flushes made under the store lock.
+//
+// A failed append leaves a torn record at the logical tail of the stream
+// (header without payload, or a partial payload). Any byte written after
+// it would be silently discarded by replay's torn-tail truncation, so the
+// writer poisons itself on the first error: every later append fails fast
+// and no further bytes ever reach the file. The store reacts by rotating
+// to a fresh WAL and sealing this block from memory (see Append).
 type walWriter struct {
 	path string
 	mu   sync.Mutex
 	f    *os.File
-	w    *bufio.Writer
+	w    walSink
+	err  error // poisoned: first append failure, sticky
 }
 
 func openWAL(path string) (*walWriter, error) {
@@ -819,19 +941,41 @@ func openWAL(path string) (*walWriter, error) {
 func (w *walWriter) append(ts time.Time, raw string, templateID uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return fmt.Errorf("logstore: wal %s poisoned by earlier failure: %w", filepath.Base(w.path), w.err)
+	}
 	var hdr [recordOverhead]byte
 	putRecordHeader(hdr[:], ts, templateID, len(raw))
 	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
 		return err
 	}
-	_, err := w.w.WriteString(raw)
-	return err
+	if _, err := w.w.WriteString(raw); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// poisoned reports whether an append failed partway, i.e. the stream tail
+// may hold a torn record and the file must receive no further bytes.
+func (w *walWriter) poisoned() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err != nil
 }
 
 func (w *walWriter) flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		// Durability for this block comes from sealing it out of memory;
+		// flushing could only push torn bytes at the tail, which replay
+		// truncates anyway.
+		return fmt.Errorf("logstore: wal %s poisoned by earlier failure: %w", filepath.Base(w.path), w.err)
+	}
 	if err := w.w.Flush(); err != nil {
+		w.err = err
 		return err
 	}
 	return w.f.Sync()
@@ -840,6 +984,9 @@ func (w *walWriter) flush() error {
 func (w *walWriter) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.f.Close()
+	}
 	if err := w.w.Flush(); err != nil {
 		w.f.Close()
 		return err

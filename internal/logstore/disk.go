@@ -128,6 +128,15 @@ func (t *DiskTopic) segmentFiles() ([]string, error) {
 	var segs []string
 	for _, e := range entries {
 		name := e.Name()
+		if e.IsDir() {
+			if strings.HasPrefix(name, shardDirPrefix) {
+				// Shard subdirectories: this topic was persisted sharded
+				// (TopicShards > 1); opening it unsharded would hide
+				// every sharded record — refuse instead.
+				return nil, fmt.Errorf("logstore: open %s: found shard directory %s; this topic was persisted sharded (restore the shard count, or use a fresh data dir)", t.dir, name)
+			}
+			continue
+		}
 		if (strings.HasPrefix(name, sealedPrefix) && strings.HasSuffix(name, sealedSuffix)) ||
 			(strings.HasPrefix(name, walPrefix) && strings.HasSuffix(name, walSuffix)) {
 			// Compacting-store files (sealed segment or write-ahead

@@ -38,6 +38,13 @@ type Topic struct {
 	byTmpl   map[uint64][]int64
 	tokenIdx map[string][]int64
 	bytes    int64
+	// maxTime is the monotone high-watermark of appended timestamps;
+	// disordered flips once any record arrives with an earlier timestamp
+	// than a predecessor (multiple ingest queues interleave wall-clock
+	// reads non-monotonically), disabling the binary-search fast path of
+	// CountSince, whose sort.Search contract needs ordered times.
+	maxTime    int64
+	disordered bool
 }
 
 // NewTopic creates an empty topic.
@@ -58,6 +65,11 @@ func (t *Topic) Append(ts time.Time, raw string, templateID uint64) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	off := int64(len(t.records))
+	if ns := ts.UnixNano(); off == 0 || ns > t.maxTime {
+		t.maxTime = ns
+	} else if ns < t.maxTime {
+		t.disordered = true
+	}
 	t.records = append(t.records, Record{Offset: off, Time: ts, Raw: raw, TemplateID: templateID})
 	t.byTmpl[templateID] = append(t.byTmpl[templateID], off)
 	for _, tok := range strings.Fields(raw) {
@@ -181,8 +193,22 @@ func (t *Topic) Search(token string) []int64 {
 func (t *Topic) CountSince(cut time.Time) int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	// Records are time-ordered by construction; binary search the
-	// boundary.
+	if len(t.records) == 0 || time.Unix(0, t.maxTime).Before(cut) {
+		return 0
+	}
+	if t.disordered {
+		// Concurrent ingest queues interleaved timestamps out of order;
+		// a binary search over Time would return an arbitrary boundary,
+		// so count linearly.
+		n := 0
+		for i := range t.records {
+			if !t.records[i].Time.Before(cut) {
+				n++
+			}
+		}
+		return n
+	}
+	// Times are monotone so far; binary search the boundary.
 	i := sort.Search(len(t.records), func(i int) bool {
 		return !t.records[i].Time.Before(cut)
 	})

@@ -100,6 +100,66 @@ func TestCountSince(t *testing.T) {
 	}
 }
 
+// TestCountSinceOutOfOrder is the satellite-bug regression: interleaved
+// ingest queues append non-monotonic timestamps, and a binary search over
+// them returns an arbitrary boundary. The count must match the linear
+// truth regardless of arrival order.
+func TestCountSinceOutOfOrder(t *testing.T) {
+	tp := NewTopic("t")
+	// 0, 5, 1, 6, 2, 7, ... — two queues interleaving their clocks.
+	secs := []int{0, 5, 1, 6, 2, 7, 3, 8, 4, 9}
+	for _, s := range secs {
+		tp.Append(ts(s), "x", 0)
+	}
+	for _, cut := range []int{0, 3, 5, 8, 9, 10} {
+		want := 0
+		for _, s := range secs {
+			if s >= cut {
+				want++
+			}
+		}
+		if got := tp.CountSince(ts(cut)); got != want {
+			t.Errorf("CountSince(%d) = %d, want %d", cut, got, want)
+		}
+	}
+}
+
+// TestCountSinceConcurrentIngest drives appends from several goroutines
+// whose timestamps deliberately interleave, then checks CountSince
+// against a full scan — under -race this also covers the watermark
+// bookkeeping.
+func TestCountSinceConcurrentIngest(t *testing.T) {
+	tp := NewTopic("t")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tp.Append(ts(g*1000+i), "line", 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	cut := ts(2000)
+	want := 0
+	tp.Scan(0, -1, func(r Record) bool {
+		if !r.Time.Before(cut) {
+			want++
+		}
+		return true
+	})
+	if want != 500 {
+		t.Fatalf("setup: scan counted %d, want 500", want)
+	}
+	if got := tp.CountSince(cut); got != want {
+		t.Fatalf("CountSince = %d, want %d", got, want)
+	}
+	if got := tp.CountSince(ts(4000)); got != 0 {
+		t.Fatalf("CountSince(beyond watermark) = %d, want 0", got)
+	}
+}
+
 func TestBytesTracked(t *testing.T) {
 	tp := NewTopic("t")
 	tp.Append(ts(1), "12345", 0)

@@ -1,0 +1,457 @@
+package logstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bytebrain/internal/segment"
+)
+
+// Offset namespacing for sharded topics: a global offset packs the shard
+// ID into the high bits above the shard-local dense offset, so every
+// query can route by shard without a lookup table and recovery keeps
+// offsets stable as long as the shard count does not change.
+const (
+	// shardShift is the bit position of the shard ID inside a global
+	// offset: global = shard<<shardShift | local.
+	shardShift = 48
+	// shardLocalMask extracts the shard-local offset.
+	shardLocalMask = int64(1)<<shardShift - 1
+	// MaxShards bounds the shard count so shard IDs fit the bits above
+	// shardShift in a non-negative int64.
+	MaxShards = 1 << (63 - shardShift)
+
+	shardDirPrefix = "shard-"
+)
+
+// ShardConfig tunes OpenSharded.
+type ShardConfig struct {
+	// Shards is the sub-store count, in [1, MaxShards].
+	Shards int
+	// Dir, when set, persists each shard under Dir/shard-<i>.
+	Dir string
+	// SegmentBytes > 0 backs every shard with a CompactingStore sealing
+	// blocks of this raw size; otherwise shards are plain topics
+	// (in-memory, or DiskTopic when Dir is set).
+	SegmentBytes int64
+	// Codec compresses sealed payloads (segment store only).
+	Codec segment.Codec
+}
+
+// ShardedStore fans one topic out over N sub-stores so appends scale
+// with cores: each ingestion queue pins its appends to one shard
+// (AppendShard) and never contends on another shard's store mutex, while
+// plain Append round-robins. Offsets are namespaced shard<<48|local;
+// reads route by the high bits and grouped queries merge per-shard
+// results. Global offset order is shard-major (all of shard 0's offsets
+// sort below shard 1's), and records from different shards interleave in
+// time — callers already tolerate both, exactly as they do for multiple
+// ingest queues.
+type ShardedStore struct {
+	name   string
+	shards []Store
+	next   atomic.Uint64 // round-robin cursor for un-pinned appends
+}
+
+var _ Store = (*ShardedStore)(nil)
+
+// OpenSharded opens a sharded store, building (and with Dir set,
+// recovering) every shard. It refuses directories persisted with a
+// different layout: unsharded store files in Dir, or shard directories
+// at indexes the requested shard count would hide.
+func OpenSharded(name string, cfg ShardConfig) (*ShardedStore, error) {
+	if cfg.Shards < 1 || cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("logstore: sharded open %s: shard count %d outside [1,%d]", name, cfg.Shards, MaxShards)
+	}
+	if cfg.Dir != "" {
+		if err := checkShardLayout(cfg.Dir, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	s := &ShardedStore{name: name, shards: make([]Store, cfg.Shards)}
+	for i := range s.shards {
+		sub, err := openShard(name, i, cfg)
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards[i] = sub
+	}
+	return s, nil
+}
+
+// checkShardLayout guards against silently hiding records behind a
+// layout change: Dir must hold only shard-<i> directories with i below
+// the configured shard count.
+func checkShardLayout(dir string, shards int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("logstore: sharded open %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("logstore: sharded list %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() {
+			if strings.HasSuffix(n, segmentSuffix) || strings.HasSuffix(n, sealedSuffix) || strings.HasSuffix(n, walSuffix) {
+				return fmt.Errorf("logstore: sharded open %s: found unsharded store file %s; this topic was persisted unsharded (set TopicShards back to 1, or use a fresh data dir)", dir, n)
+			}
+			continue
+		}
+		if !strings.HasPrefix(n, shardDirPrefix) {
+			continue
+		}
+		var i int
+		if _, err := fmt.Sscanf(n, shardDirPrefix+"%d", &i); err == nil && i >= shards {
+			return fmt.Errorf("logstore: sharded open %s: found %s but only %d shards configured; a lower shard count would hide its records (restore the shard count, or use a fresh data dir)", dir, n, shards)
+		}
+	}
+	return nil
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%03d", shardDirPrefix, i))
+}
+
+// OpenStore builds one store of the kind the knobs select: a compacting
+// segment store when segmentBytes > 0 (persistent when dir is set), a
+// disk topic when only dir is set, an in-memory topic otherwise. It is
+// the single store-selection point shared by the service layer (one
+// store per topic) and ShardedStore (one store per shard).
+func OpenStore(name, dir string, segmentBytes int64, codec segment.Codec) (Store, error) {
+	switch {
+	case segmentBytes > 0:
+		return OpenCompacting(name, CompactConfig{Dir: dir, SegmentBytes: segmentBytes, Codec: codec})
+	case dir == "":
+		return NewStore(name), nil
+	default:
+		return OpenDiskTopic(dir)
+	}
+}
+
+// openShard builds one sub-store.
+func openShard(name string, i int, cfg ShardConfig) (Store, error) {
+	dir := ""
+	if cfg.Dir != "" {
+		dir = shardDir(cfg.Dir, i)
+	}
+	return OpenStore(name, dir, cfg.SegmentBytes, cfg.Codec)
+}
+
+// Shards returns the shard count.
+func (s *ShardedStore) Shards() int { return len(s.shards) }
+
+// Append implements Store, round-robining across shards. Ingestion
+// pipelines that want zero cross-shard contention use AppendShard with a
+// fixed queue→shard assignment instead.
+func (s *ShardedStore) Append(ts time.Time, raw string, templateID uint64) (int64, error) {
+	shard := int((s.next.Add(1) - 1) % uint64(len(s.shards)))
+	return s.AppendShard(shard, ts, raw, templateID)
+}
+
+// AppendShard appends to one specific shard and returns the namespaced
+// global offset. Each ingestion queue pins itself to a shard so parallel
+// queues never serialize on a shared store mutex.
+func (s *ShardedStore) AppendShard(shard int, ts time.Time, raw string, templateID uint64) (int64, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("logstore: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	local, err := s.shards[shard].Append(ts, raw, templateID)
+	if err != nil {
+		return 0, err
+	}
+	if local > shardLocalMask {
+		return 0, fmt.Errorf("logstore: shard %d local offset %d overflows the %d-bit namespace", shard, local, shardShift)
+	}
+	return int64(shard)<<shardShift | local, nil
+}
+
+// Len implements Store: the total record count across shards.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sub := range s.shards {
+		n += sub.Len()
+	}
+	return n
+}
+
+// Bytes implements Store.
+func (s *ShardedStore) Bytes() int64 {
+	var n int64
+	for _, sub := range s.shards {
+		n += sub.Bytes()
+	}
+	return n
+}
+
+// Get implements Store, routing by the shard bits of the offset.
+func (s *ShardedStore) Get(offset int64) (Record, error) {
+	shard := int(offset >> shardShift)
+	if offset < 0 || shard >= len(s.shards) {
+		return Record{}, fmt.Errorf("logstore: offset %d outside the %d-shard namespace", offset, len(s.shards))
+	}
+	rec, err := s.shards[shard].Get(offset & shardLocalMask)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Offset = offset
+	return rec, nil
+}
+
+// Scan implements Store, visiting shards in ascending namespace order
+// (all of shard i before shard i+1) with offsets rewritten to the global
+// namespace; [from, to) are global offsets.
+func (s *ShardedStore) Scan(from, to int64, fn func(Record) bool) {
+	if from < 0 {
+		from = 0
+	}
+	for i, sub := range s.shards {
+		base := int64(i) << shardShift
+		if to >= 0 && base >= to {
+			return
+		}
+		lo := from - base
+		if lo > shardLocalMask {
+			continue // from is entirely past this shard's namespace
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int64(-1)
+		if to >= 0 && to-base <= shardLocalMask {
+			hi = to - base
+		}
+		stop := false
+		sub.Scan(lo, hi, func(r Record) bool {
+			r.Offset += base
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// ByTemplate implements Store. Per-shard results are ascending and the
+// namespace is shard-major, so concatenation in shard order is globally
+// ascending.
+func (s *ShardedStore) ByTemplate(ids ...uint64) []int64 {
+	var out []int64
+	for i, sub := range s.shards {
+		base := int64(i) << shardShift
+		for _, off := range sub.ByTemplate(ids...) {
+			out = append(out, base+off)
+		}
+	}
+	return out
+}
+
+// TemplateCounts implements Store, merging per-shard counts.
+func (s *ShardedStore) TemplateCounts() map[uint64]int {
+	out := make(map[uint64]int)
+	for _, sub := range s.shards {
+		for id, n := range sub.TemplateCounts() {
+			out[id] += n
+		}
+	}
+	return out
+}
+
+// GroupedCounts implements Store, merging per-shard groups. Shards are
+// visited in namespace order, so the samples kept are the lowest global
+// offsets.
+func (s *ShardedStore) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+	out := make(map[uint64]TemplateGroup)
+	for i, sub := range s.shards {
+		base := int64(i) << shardShift
+		for id, g := range sub.GroupedCounts(maxSamples) {
+			agg := out[id]
+			agg.Count += g.Count
+			for _, off := range g.Samples {
+				if len(agg.Samples) >= maxSamples {
+					break
+				}
+				agg.Samples = append(agg.Samples, base+off)
+			}
+			out[id] = agg
+		}
+	}
+	return out
+}
+
+// Search implements Store; see ByTemplate for the ordering argument.
+func (s *ShardedStore) Search(token string) []int64 {
+	var out []int64
+	for i, sub := range s.shards {
+		base := int64(i) << shardShift
+		for _, off := range sub.Search(token) {
+			out = append(out, base+off)
+		}
+	}
+	return out
+}
+
+// CountSince implements Store, summing per-shard counts. Each queue's
+// timestamps are monotone within its shard, so the per-shard fast path
+// usually survives sharded ingestion.
+func (s *ShardedStore) CountSince(cut time.Time) int {
+	n := 0
+	for _, sub := range s.shards {
+		n += sub.CountSince(cut)
+	}
+	return n
+}
+
+// Close implements Store, closing every shard and returning the first
+// error.
+func (s *ShardedStore) Close() error {
+	var firstErr error
+	for _, sub := range s.shards {
+		if err := sub.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Compactor is the seal-control surface of stores with a background
+// compactor: CompactingStore, and ShardedStore fanning out to compacting
+// shards. The service layer drives forced compaction and compression
+// stats through it without knowing the store topology.
+type Compactor interface {
+	// Seal marks current hot blocks for compaction.
+	Seal() error
+	// WaitIdle blocks until no block is pending compaction.
+	WaitIdle()
+	// SealError returns the most recent background seal failure, if any.
+	SealError() error
+	// SegmentStats reports compression counters.
+	SegmentStats() SegmentStats
+}
+
+var (
+	_ Compactor = (*CompactingStore)(nil)
+	_ Compactor = (*ShardedStore)(nil)
+)
+
+// Seal fans the forced-compaction request out to every compacting shard.
+func (s *ShardedStore) Seal() error {
+	sealed := false
+	for _, sub := range s.shards {
+		cs, ok := sub.(Compactor)
+		if !ok {
+			continue
+		}
+		sealed = true
+		if err := cs.Seal(); err != nil {
+			return err
+		}
+	}
+	if !sealed {
+		return errors.New("logstore: sharded topic has no segment store (set SegmentBytes)")
+	}
+	return nil
+}
+
+// WaitIdle blocks until every compacting shard's sealer drains.
+func (s *ShardedStore) WaitIdle() {
+	for _, sub := range s.shards {
+		if cs, ok := sub.(Compactor); ok {
+			cs.WaitIdle()
+		}
+	}
+}
+
+// SealError returns the first shard's pending seal failure, if any.
+func (s *ShardedStore) SealError() error {
+	for _, sub := range s.shards {
+		if cs, ok := sub.(Compactor); ok {
+			if err := cs.SealError(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentStats merges compression counters across shards.
+func (s *ShardedStore) SegmentStats() SegmentStats {
+	var out SegmentStats
+	for _, sub := range s.shards {
+		cs, ok := sub.(Compactor)
+		if !ok {
+			continue
+		}
+		st := cs.SegmentStats()
+		out.Segments += st.Segments
+		out.SealedRecords += st.SealedRecords
+		out.HotRecords += st.HotRecords
+		out.RawBytes += st.RawBytes
+		out.CompressedBytes += st.CompressedBytes
+		out.BlockReads += st.BlockReads
+		out.Codec = st.Codec
+	}
+	return out
+}
+
+// Flush forces buffered durability writes (WALs, disk-topic buffers) to
+// the OS on every shard that has them.
+func (s *ShardedStore) Flush() error {
+	for _, sub := range s.shards {
+		switch st := sub.(type) {
+		case *CompactingStore:
+			if err := st.Flush(); err != nil {
+				return err
+			}
+		case *DiskTopic:
+			if err := st.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ShardStat is one shard's contribution to a sharded topic, surfaced in
+// the service's /stats breakdown.
+type ShardStat struct {
+	// Shard is the shard index (the high offset bits).
+	Shard int
+	// Records and Bytes count the shard's stored records and raw payload.
+	Records int
+	Bytes   int64
+	// Segment-store counters, zero for non-compacting shards.
+	Segments        int   `json:",omitempty"`
+	SealedRecords   int   `json:",omitempty"`
+	HotRecords      int   `json:",omitempty"`
+	CompressedBytes int64 `json:",omitempty"`
+}
+
+// ShardStats reports per-shard counters, index-ascending.
+func (s *ShardedStore) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sub := range s.shards {
+		st := ShardStat{Shard: i, Records: sub.Len(), Bytes: sub.Bytes()}
+		if cs, ok := sub.(Compactor); ok {
+			sst := cs.SegmentStats()
+			st.Segments = sst.Segments
+			st.SealedRecords = sst.SealedRecords
+			st.HotRecords = sst.HotRecords
+			st.CompressedBytes = sst.CompressedBytes
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -213,6 +213,47 @@ func TestCountSincePushdown(t *testing.T) {
 	}
 }
 
+// TestOutOfOrderTimesWithinBlock: concurrent ingest queues hand the
+// sealer records whose timestamps are not monotone. The time metadata
+// (min/max bounds, delta-encoded payload times) and CountSince must stay
+// exact regardless of intra-block time order.
+func TestOutOfOrderTimesWithinBlock(t *testing.T) {
+	recs := sampleRecords(100, 0)
+	// Interleave two clocks: 50, 0, 51, 1, ... — max appears early, min
+	// in the middle.
+	for i := range recs {
+		if i%2 == 0 {
+			recs[i].Time = ts(50 + i/2)
+		} else {
+			recs[i].Time = ts(i / 2)
+		}
+	}
+	r := roundTrip(t, recs, CodecFlate)
+	if !r.MinTime().Equal(ts(0)) || !r.MaxTime().Equal(ts(99)) {
+		t.Fatalf("time bounds = [%v, %v], want [ts(0), ts(99)]", r.MinTime(), r.MaxTime())
+	}
+	got, err := r.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if !got[i].Time.Equal(recs[i].Time) {
+			t.Fatalf("record %d time %v, want %v", i, got[i].Time, recs[i].Time)
+		}
+	}
+	for _, cut := range []int{0, 25, 50, 75, 100} {
+		want := 0
+		for _, rec := range recs {
+			if !rec.Time.Before(ts(cut)) {
+				want++
+			}
+		}
+		if n, _ := r.CountSince(ts(cut)); n != want {
+			t.Fatalf("CountSince(ts(%d)) = %d, want %d", cut, n, want)
+		}
+	}
+}
+
 // TestCompressionRatioSyntheticDatasets is the acceptance bound: on the
 // bundled synthetic LogHub datasets, a flate segment must encode to at
 // most 40% of the raw bytes.

@@ -13,7 +13,9 @@ import (
 // lines, worker queues batch them, match them against the current model
 // and append to storage. Submit applies backpressure when every queue is
 // full. Records from different queues interleave; per-queue order is
-// preserved.
+// preserved. On a sharded topic store (Config.TopicShards > 1) each
+// queue pins its appends to one shard, so the write side scales with
+// queues the way matching scales with cores.
 //
 // Submit and Close are safe to call concurrently: closed is an
 // atomic.Bool (late Submits fail fast), and an RWMutex excludes in-flight
@@ -56,7 +58,7 @@ func (s *Service) NewIngester(topic string, queues, depth int) (*Ingester, error
 	for i := range ing.queues {
 		ing.queues[i] = make(chan string, depth)
 		ing.wg.Add(1)
-		go ing.worker(ing.queues[i])
+		go ing.worker(i, ing.queues[i])
 	}
 	return ing, nil
 }
@@ -80,15 +82,18 @@ func (s *Service) sharedIngester(topic string) (*Ingester, error) {
 	return ing, nil
 }
 
-// worker drains one queue in batches and ingests them.
-func (ing *Ingester) worker(q chan string) {
+// worker drains one queue in batches and ingests them. Its queue index
+// doubles as the shard pin: on a sharded topic store every batch from
+// queue i appends to shard i mod shards, so parallel queues write
+// disjoint shards with zero cross-shard lock contention.
+func (ing *Ingester) worker(queue int, q chan string) {
 	defer ing.wg.Done()
 	batch := make([]string, 0, ingestBatch)
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		if err := ing.svc.Ingest(ing.topic, batch); err != nil {
+		if err := ing.svc.ingest(ing.topic, batch, queue); err != nil {
 			ing.recordErr(err)
 		}
 		batch = batch[:0]

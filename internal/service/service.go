@@ -62,6 +62,15 @@ type Config struct {
 	// SegmentCodec selects the sealed-payload compression: "flate"
 	// (default), "none", or "zstd" (gated — unavailable in this build).
 	SegmentCodec string
+	// TopicShards > 1 fans every topic's store out over this many
+	// sub-stores (each the kind the knobs above select, persisted under
+	// DataDir/<topic>/records/shard-<i>) with queue→shard append
+	// affinity, so one topic's appends scale with cores instead of
+	// serializing on a single store mutex. Offsets are namespaced
+	// shard<<48|local. Default 1 keeps the single-store layout and
+	// on-disk compatibility; the shard count of a persisted topic must
+	// not shrink between runs.
+	TopicShards int
 	// IngestQueues is the default worker-queue count for ingestion
 	// pipelines created with NewIngester(topic, 0, _) and for the HTTP
 	// async ingest path (default 4).
@@ -85,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultThreshold <= 0 {
 		c.DefaultThreshold = 0.7
+	}
+	if c.TopicShards <= 0 {
+		c.TopicShards = 1
 	}
 	if c.IngestQueues <= 0 {
 		c.IngestQueues = defaultQueues
@@ -206,53 +218,22 @@ func (s *Service) CreateTopic(name string) error {
 		sampleCap: s.cfg.SampleCap,
 	}
 	st.lastTrain.Store(s.cfg.Now().UnixNano())
-	switch {
-	case s.cfg.SegmentBytes > 0:
-		// Compacting segment store: hot in-memory block plus sealed
-		// compressed segments, persistent when DataDir is set.
-		codec, err := segment.ParseCodec(s.cfg.SegmentCodec)
-		if err != nil {
-			return fmt.Errorf("service: topic %q: %w", name, err)
-		}
-		ccfg := logstore.CompactConfig{SegmentBytes: s.cfg.SegmentBytes, Codec: codec}
-		if s.cfg.DataDir != "" {
-			ccfg.Dir = filepath.Join(s.cfg.DataDir, name, "records")
-		}
-		store, err := logstore.OpenCompacting(name, ccfg)
-		if err != nil {
-			return err
-		}
-		st.store = store
-		if s.cfg.DataDir == "" {
-			st.internal = logstore.NewInternal()
-		} else {
-			internal, err := logstore.OpenDiskInternal(filepath.Join(s.cfg.DataDir, name, "models"))
-			if err != nil {
-				store.Close()
-				return err
-			}
-			st.internal = internal
-		}
-		if err := st.recover(); err != nil {
-			store.Close()
-			return err
-		}
-	case s.cfg.DataDir == "":
-		st.store = logstore.NewStore(name)
+	store, err := s.openTopicStore(name)
+	if err != nil {
+		return err
+	}
+	st.store = store
+	if s.cfg.DataDir == "" {
 		st.internal = logstore.NewInternal()
-	default:
-		dir := filepath.Join(s.cfg.DataDir, name)
-		store, err := logstore.OpenDiskTopic(filepath.Join(dir, "records"))
-		if err != nil {
-			return err
-		}
-		internal, err := logstore.OpenDiskInternal(filepath.Join(dir, "models"))
+	} else {
+		internal, err := logstore.OpenDiskInternal(filepath.Join(s.cfg.DataDir, name, "models"))
 		if err != nil {
 			store.Close()
 			return err
 		}
-		st.store = store
 		st.internal = internal
+	}
+	if s.cfg.DataDir != "" || s.cfg.SegmentBytes > 0 {
 		if err := st.recover(); err != nil {
 			store.Close()
 			return err
@@ -262,6 +243,35 @@ func (s *Service) CreateTopic(name string) error {
 	go s.trainLoop(st)
 	s.topics[name] = st
 	return nil
+}
+
+// openTopicStore builds one topic's record store from the config knobs:
+// sharded when TopicShards > 1 (each shard the kind the remaining knobs
+// select), compacting-segment when SegmentBytes > 0, disk-backed when
+// DataDir is set, in-memory otherwise. Persistent stores recover
+// existing on-disk state.
+func (s *Service) openTopicStore(name string) (logstore.Store, error) {
+	dir := ""
+	if s.cfg.DataDir != "" {
+		dir = filepath.Join(s.cfg.DataDir, name, "records")
+	}
+	var codec segment.Codec
+	if s.cfg.SegmentBytes > 0 {
+		c, err := segment.ParseCodec(s.cfg.SegmentCodec)
+		if err != nil {
+			return nil, fmt.Errorf("service: topic %q: %w", name, err)
+		}
+		codec = c
+	}
+	if s.cfg.TopicShards > 1 {
+		return logstore.OpenSharded(name, logstore.ShardConfig{
+			Shards:       s.cfg.TopicShards,
+			Dir:          dir,
+			SegmentBytes: s.cfg.SegmentBytes,
+			Codec:        codec,
+		})
+	}
+	return logstore.OpenStore(name, dir, s.cfg.SegmentBytes, codec)
 }
 
 // recover reloads the latest persisted model after a restart and
@@ -342,6 +352,15 @@ func (s *Service) topic(name string) (*topicState, error) {
 // matcher. Training triggers lazily on volume or elapsed-interval and
 // runs in the topic's background trainer, never blocking the caller.
 func (s *Service) Ingest(topicName string, lines []string) error {
+	return s.ingest(topicName, lines, -1)
+}
+
+// ingest is Ingest with optional shard affinity: queue >= 0 pins every
+// append of the batch to one shard of a sharded store (each Ingester
+// worker passes its queue index, so parallel queues write disjoint
+// shards and never contend on a store mutex); -1 lets the store route.
+// Non-sharded stores ignore the pin.
+func (s *Service) ingest(topicName string, lines []string, queue int) error {
 	st, err := s.topic(topicName)
 	if err != nil {
 		return err
@@ -357,12 +376,21 @@ func (s *Service) Ingest(topicName string, lines []string) error {
 			ids[i] = r.NodeID
 		}
 	}
+	appendOne := st.store.Append
+	if queue >= 0 {
+		if sh, ok := st.store.(*logstore.ShardedStore); ok {
+			shard := queue % sh.Shards()
+			appendOne = func(ts time.Time, raw string, templateID uint64) (int64, error) {
+				return sh.AppendShard(shard, ts, raw, templateID)
+			}
+		}
+	}
 	for i, line := range lines {
 		var tmplID uint64
 		if ids != nil {
 			tmplID = ids[i]
 		}
-		if _, err := st.store.Append(now, line, tmplID); err != nil {
+		if _, err := appendOne(now, line, tmplID); err != nil {
 			return fmt.Errorf("service: ingest %s: %w", topicName, err)
 		}
 	}
@@ -420,6 +448,10 @@ type Stats struct {
 	SegmentRatio           float64 `json:",omitempty"`
 	SegmentBlockReads      int64   `json:",omitempty"`
 	SegmentCodec           string  `json:",omitempty"`
+	// Sharded-store breakdown, present when Config.TopicShards > 1: the
+	// shard count and each shard's record/byte/segment counters.
+	TopicShards int                  `json:",omitempty"`
+	Shards      []logstore.ShardStat `json:",omitempty"`
 }
 
 // TopicStats returns counters for one topic. It takes no topic-wide lock:
@@ -450,7 +482,7 @@ func (s *Service) TopicStats(topicName string) (Stats, error) {
 		stats.Templates = snap.model.Len() + snap.matcher.TemporaryCount()
 		stats.ModelBytes = len(snap.modelBytes)
 	}
-	if cs, ok := st.store.(*logstore.CompactingStore); ok {
+	if cs, ok := st.store.(logstore.Compactor); ok && s.cfg.SegmentBytes > 0 {
 		sst := cs.SegmentStats()
 		stats.Segments = sst.Segments
 		stats.SegmentRecords = sst.SealedRecords
@@ -459,6 +491,10 @@ func (s *Service) TopicStats(topicName string) (Stats, error) {
 		stats.SegmentRatio = sst.Ratio()
 		stats.SegmentBlockReads = sst.BlockReads
 		stats.SegmentCodec = sst.Codec
+	}
+	if sh, ok := st.store.(*logstore.ShardedStore); ok {
+		stats.TopicShards = sh.Shards()
+		stats.Shards = sh.ShardStats()
 	}
 	return stats, nil
 }
@@ -471,8 +507,8 @@ func (s *Service) Compact(topicName string) error {
 	if err != nil {
 		return err
 	}
-	cs, ok := st.store.(*logstore.CompactingStore)
-	if !ok {
+	cs, ok := st.store.(logstore.Compactor)
+	if !ok || s.cfg.SegmentBytes <= 0 {
 		return fmt.Errorf("service: topic %q has no segment store (set SegmentBytes)", topicName)
 	}
 	if err := cs.Seal(); err != nil {
