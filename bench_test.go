@@ -337,7 +337,7 @@ func BenchmarkQueryPushdown(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rows, err := svc.Query("bench", 0.7)
+			rows, err := svc.Query("bench", 0.7, bytebrain.TimeRange{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -373,7 +373,7 @@ func BenchmarkQueryPushdown(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			// The pre-pushdown Query: visit every record, roll each up.
 			counts := map[uint64]int{}
-			store.Scan(0, -1, func(r logstore.Record) bool {
+			store.Scan(0, -1, logstore.TimeRange{}, func(r logstore.Record) bool {
 				id := r.TemplateID
 				if id != 0 {
 					if n, err := model.TemplateAt(id, 0.7); err == nil {
@@ -385,6 +385,180 @@ func BenchmarkQueryPushdown(b *testing.B) {
 			})
 			if len(counts) == 0 {
 				b.Fatal("no groups")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
+// BenchmarkTimeRangeQuery measures time-range pushdown over many sealed
+// segments: 24 sealed blocks on a 10-minute cadence, each spanning the
+// first minute of its window (records at +0m and +1m), queried with a
+// range that straddles exactly one block. The narrow sub-benchmark
+// asserts via the block-read counter that each query decompresses
+// exactly that one block — O(blocks-in-range), not O(all-blocks) — and
+// the aligned sub-benchmark that a range covering whole blocks
+// decompresses nothing at all. The fullscan sub-benchmark is the
+// pre-pushdown cost for comparison: every block, every query.
+func BenchmarkTimeRangeQuery(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("HDFS", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blocks = 24
+	base := time.Date(2026, 7, 26, 0, 0, 0, 0, time.UTC)
+	// The fake clock is mutex-guarded: the per-topic background trainer
+	// reads Now from its own goroutine.
+	var clockMu sync.Mutex
+	now := base
+	setNow := func(t time.Time) {
+		clockMu.Lock()
+		now = t
+		clockMu.Unlock()
+	}
+	newService := func(b *testing.B) *bytebrain.Service {
+		b.Helper()
+		setNow(base)
+		svc := bytebrain.NewService(bytebrain.ServiceConfig{
+			Parser:        bytebrain.Options{Seed: 1},
+			TrainVolume:   1 << 30,
+			TrainInterval: 365 * 24 * time.Hour, // clock jumps must not trigger training
+			SegmentBytes:  1 << 30,              // seal only via Compact
+			SegmentCodec:  "flate",
+			Now: func() time.Time {
+				clockMu.Lock()
+				defer clockMu.Unlock()
+				return now
+			},
+		})
+		if err := svc.CreateTopic("bench"); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Ingest("bench", ds.Lines); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Train("bench"); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Compact("bench"); err != nil {
+			b.Fatal(err)
+		}
+		// One sealed block per 10-minute window, each with records at
+		// +0m and +1m so the block's metadata spans a real interval.
+		per := len(ds.Lines) / blocks
+		for blk := 0; blk < blocks; blk++ {
+			batch := ds.Lines[blk*per : (blk+1)*per]
+			start := base.Add(time.Duration(blk*10) * time.Minute)
+			setNow(start)
+			if err := svc.Ingest("bench", batch[:per/2]); err != nil {
+				b.Fatal(err)
+			}
+			setNow(start.Add(time.Minute))
+			if err := svc.Ingest("bench", batch[per/2:]); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Compact("bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stats, err := svc.TopicStats("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Segments < blocks {
+			b.Fatalf("setup sealed %d segments, want >= %d", stats.Segments, blocks)
+		}
+		return svc
+	}
+	blockReads := func(b *testing.B, svc *bytebrain.Service) int64 {
+		b.Helper()
+		stats, err := svc.TopicStats("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats.SegmentBlockReads
+	}
+	// Covers block 12's first instant (+0m) but cuts off its +1m tail:
+	// the range straddles that one block and overlaps no other, so its
+	// records at +0m answer the query but the block cannot be taken
+	// whole from metadata.
+	narrow := bytebrain.TimeRange{
+		From: base.Add(120 * time.Minute),
+		To:   base.Add(120*time.Minute + 30*time.Second),
+	}
+
+	b.Run("narrow", func(b *testing.B) {
+		svc := newService(b)
+		defer svc.Close()
+		before := blockReads(b, svc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := svc.Query("bench", 0.7, narrow)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows in range")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		// The efficiency contract: each query decompressed exactly the
+		// one block the range straddles, out of 24+ sealed blocks.
+		if delta := blockReads(b, svc) - before; delta != int64(b.N) {
+			b.Fatalf("narrow range read %d blocks over %d queries, want exactly 1 per query", delta, b.N)
+		}
+	})
+
+	b.Run("aligned", func(b *testing.B) {
+		svc := newService(b)
+		defer svc.Close()
+		// Covers blocks 5..15 entirely (each spans [+0m, +1m] of its
+		// 10-minute window): answered from metadata alone.
+		aligned := bytebrain.TimeRange{
+			From: base.Add(50 * time.Minute),
+			To:   base.Add(151 * time.Minute),
+		}
+		before := blockReads(b, svc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := svc.Query("bench", 0.7, aligned)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows in range")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		if delta := blockReads(b, svc) - before; delta != 0 {
+			b.Fatalf("block-aligned range read %d blocks, want 0", delta)
+		}
+	})
+
+	b.Run("fullscan", func(b *testing.B) {
+		svc := newService(b)
+		defer svc.Close()
+		store, err := svc.Store("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pre-pushdown shape: scan everything, filter by time.
+			n := 0
+			store.Scan(0, -1, logstore.TimeRange{}, func(r logstore.Record) bool {
+				if !r.Time.Before(narrow.From) && !r.Time.After(narrow.To) {
+					n++
+				}
+				return true
+			})
+			if n == 0 {
+				b.Fatal("no records in range")
 			}
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")

@@ -81,7 +81,7 @@ func TestPublicAPIServiceAndAnalytics(t *testing.T) {
 	if err := svc.Train("app"); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := svc.Query("app", 0.5)
+	rows, err := svc.Query("app", 0.5, bytebrain.TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}

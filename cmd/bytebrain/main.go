@@ -1,18 +1,28 @@
 // Bytebrain is the command-line interface to the parser: train a model
-// from a log file, match logs against a saved model, and list templates at
-// a chosen precision.
+// from a log file, match logs against a saved model, list templates at a
+// chosen precision, and query a running log service over HTTP.
 //
 //	bytebrain train -in app.log -model app.model
 //	bytebrain match -in new.log -model app.model -threshold 0.7
 //	bytebrain templates -model app.model -threshold 0.9
+//	bytebrain query -addr http://localhost:8080 -topic app -since 15m
+//	bytebrain query -addr http://localhost:8080 -topic app \
+//	    -from 2026-07-26T12:00:00Z -to 2026-07-26T12:15:00Z
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"bytebrain"
 )
@@ -30,6 +40,8 @@ func main() {
 		cmdMatch(os.Args[2:])
 	case "templates":
 		cmdTemplates(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
 	default:
 		usage()
 	}
@@ -39,7 +51,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bytebrain train     -in <log file> -model <out model> [-seed N] [-parallel N]
   bytebrain match     -in <log file> -model <model> [-threshold T]
-  bytebrain templates -model <model> [-threshold T]`)
+  bytebrain templates -model <model> [-threshold T]
+  bytebrain query     -addr <service URL> -topic <name> [-threshold T]
+                      [-from RFC3339] [-to RFC3339] [-since 15m] [-merged]`)
 	os.Exit(2)
 }
 
@@ -133,6 +147,72 @@ func cmdMatch(args []string) {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(w, "%d\t%s\t%s\n", n.ID, bytebrain.DisplayTemplate(n.Template), line)
+	}
+}
+
+// cmdQuery runs a grouped template query against a running log service
+// (cmd/logsvcd) over its HTTP API, with optional time-range bounds that
+// the service pushes down to sealed-segment metadata.
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "log service base URL")
+	topic := fs.String("topic", "", "topic to query")
+	threshold := fs.Float64("threshold", 0, "saturation threshold in (0,1]; 0 uses the service default")
+	from := fs.String("from", "", "inclusive lower time bound, RFC 3339 (e.g. 2026-07-26T12:00:00Z)")
+	to := fs.String("to", "", "inclusive upper time bound, RFC 3339")
+	since := fs.String("since", "", "duration shorthand for -from=now-since (e.g. 15m); excludes -from/-to")
+	merged := fs.Bool("merged", false, "merge display-identical templates into one row")
+	_ = fs.Parse(args)
+	if *topic == "" {
+		usage()
+	}
+	// Validate client-side for a friendly error; the server re-validates.
+	q := url.Values{}
+	if *threshold != 0 {
+		q.Set("threshold", strconv.FormatFloat(*threshold, 'g', -1, 64))
+	}
+	if *since != "" {
+		if *from != "" || *to != "" {
+			log.Fatal("-since excludes -from/-to")
+		}
+		if _, err := time.ParseDuration(*since); err != nil {
+			log.Fatalf("-since: %v", err)
+		}
+		q.Set("since", *since)
+	}
+	for _, bound := range []struct{ flag, val string }{{"from", *from}, {"to", *to}} {
+		if bound.val == "" {
+			continue
+		}
+		if _, err := time.Parse(time.RFC3339, bound.val); err != nil {
+			log.Fatalf("-%s: %v", bound.flag, err)
+		}
+		q.Set(bound.flag, bound.val)
+	}
+	if *merged {
+		q.Set("merged", "1")
+	}
+	u := strings.TrimSuffix(*addr, "/") + "/topics/" + url.PathEscape(*topic) + "/query"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rows []bytebrain.TemplateRow
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d  sat=%.2f  count=%-8d %s\n", r.TemplateID, r.Saturation, r.Count, r.Template)
 	}
 }
 

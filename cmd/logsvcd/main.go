@@ -8,6 +8,8 @@
 //	curl -X POST localhost:8080/topics/app/logs --data-binary @app.log
 //	curl -X POST localhost:8080/topics/app/train
 //	curl 'localhost:8080/topics/app/query?threshold=0.7'
+//	curl 'localhost:8080/topics/app/query?since=15m'
+//	curl 'localhost:8080/topics/app/query?from=2026-07-26T12:00:00Z&to=2026-07-26T12:15:00Z'
 package main
 
 import (
@@ -40,6 +42,8 @@ func main() {
 		topicShards  = flag.Int("topic-shards", 1, "fan each topic's store out over this many shards with queue affinity so appends scale with cores (1 = single store; a persisted topic's shard count must not shrink)")
 		ingestQueues = flag.Int("ingest-queues", 4, "worker queues per async ingestion pipeline (POST /topics/{name}/logs?async=1)")
 		ingestDepth  = flag.Int("ingest-queue-depth", 1024, "per-queue depth of the async ingestion pipeline (backpressure beyond it)")
+		snapRetain   = flag.Int("snapshot-retain", 0, "keep only this many newest model snapshots per topic (0 = keep all)")
+		snapCkpt     = flag.Int("snapshot-checkpoint-every", 0, "with -snapshot-retain, additionally keep every Nth snapshot as a checkpoint (0 = none)")
 	)
 	flag.Parse()
 	if *segmentBytes > 0 {
@@ -51,17 +55,19 @@ func main() {
 	}
 
 	svc := bytebrain.NewService(bytebrain.ServiceConfig{
-		Parser:           bytebrain.Options{Seed: *seed, Parallelism: *parallel},
-		TrainVolume:      *trainVolume,
-		TrainInterval:    *trainEvery,
-		SampleCap:        *sampleCap,
-		DefaultThreshold: *threshold,
-		DataDir:          *dataDir,
-		SegmentBytes:     *segmentBytes,
-		SegmentCodec:     *segmentCodec,
-		TopicShards:      *topicShards,
-		IngestQueues:     *ingestQueues,
-		IngestQueueDepth: *ingestDepth,
+		Parser:                  bytebrain.Options{Seed: *seed, Parallelism: *parallel},
+		TrainVolume:             *trainVolume,
+		TrainInterval:           *trainEvery,
+		SampleCap:               *sampleCap,
+		DefaultThreshold:        *threshold,
+		DataDir:                 *dataDir,
+		SegmentBytes:            *segmentBytes,
+		SegmentCodec:            *segmentCodec,
+		TopicShards:             *topicShards,
+		IngestQueues:            *ingestQueues,
+		IngestQueueDepth:        *ingestDepth,
+		SnapshotRetain:          *snapRetain,
+		SnapshotCheckpointEvery: *snapCkpt,
 	})
 
 	// On SIGINT/SIGTERM: drain in-flight HTTP requests, then flush and

@@ -57,7 +57,7 @@ func main() {
 		topic, stats.Records, stats.Bytes, stats.Trainings, stats.ModelBytes)
 
 	for _, threshold := range []float64{0.3, 0.9} {
-		rows, err := svc.Query(topic, threshold)
+		rows, err := svc.Query(topic, threshold, bytebrain.TimeRange{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -410,7 +410,7 @@ func (s *CompactingStore) sealOne() bool {
 	// The block no longer receives appends; read it without the store
 	// lock so queries and hot writes continue during compression.
 	recs := make([]segment.Record, 0, b.hot.Len())
-	b.hot.Scan(0, -1, func(r Record) bool {
+	b.hot.Scan(0, -1, TimeRange{}, func(r Record) bool {
 		recs = append(recs, segment.Record{
 			Offset:     b.first + r.Offset,
 			Time:       r.Time,
@@ -629,10 +629,14 @@ func (s *CompactingStore) Get(offset int64) (Record, error) {
 	return Record{}, fmt.Errorf("logstore: offset %d out of range [0,%d)", offset, s.Len())
 }
 
-// Scan implements Store.
-func (s *CompactingStore) Scan(from, to int64, fn func(Record) bool) {
+// Scan implements Store. Sealed blocks whose metadata time bounds fall
+// outside tr are skipped without decompression.
+func (s *CompactingStore) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
 	if from < 0 {
 		from = 0
+	}
+	if tr.Empty() {
+		return
 	}
 	stop := false
 	for _, b := range s.snapshot() {
@@ -647,6 +651,9 @@ func (s *CompactingStore) Scan(from, to int64, fn func(Record) bool) {
 			continue
 		}
 		if b.seg != nil {
+			if !b.seg.OverlapsRange(tr.From, tr.To) {
+				continue
+			}
 			err := b.seg.Scan(func(rec segment.Record) bool {
 				if rec.Offset < from {
 					return true
@@ -654,6 +661,9 @@ func (s *CompactingStore) Scan(from, to int64, fn func(Record) bool) {
 				if to >= 0 && rec.Offset >= to {
 					stop = true
 					return false
+				}
+				if !tr.Contains(rec.Time) {
+					return true
 				}
 				if !fn(Record{Offset: rec.Offset, Time: rec.Time, Raw: rec.Raw, TemplateID: rec.TemplateID}) {
 					stop = true
@@ -670,7 +680,7 @@ func (s *CompactingStore) Scan(from, to int64, fn func(Record) bool) {
 		if to >= 0 {
 			hi = to - b.first
 		}
-		b.hot.Scan(lo, hi, func(r Record) bool {
+		b.hot.Scan(lo, hi, tr, func(r Record) bool {
 			r.Offset += b.first
 			if !fn(r) {
 				stop = true
@@ -703,14 +713,19 @@ func (s *CompactingStore) ByTemplate(ids ...uint64) []int64 {
 	return out
 }
 
-// GroupedCounts implements Store, answered entirely from sealed-segment
-// metadata (per-template counts and sample offsets persisted at seal
-// time) plus the hot template index — the payload is never decompressed,
-// so grouped queries cost metadata reads regardless of how much sealed
-// data the topic holds. Blocks are visited in offset order, so samples
-// accumulate ascending and the earliest offsets win.
-func (s *CompactingStore) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+// GroupedCounts implements Store, answered from sealed-segment metadata
+// (per-template counts, sample offsets and time bounds persisted at seal
+// time) plus the hot template index. With the zero TimeRange no payload
+// is ever decompressed; with a bounded range, blocks outside it are
+// pruned by their metadata time bounds and only blocks the range
+// straddles decode — and within those, only templates whose own time
+// bounds straddle the boundary. Blocks are visited in offset order, so
+// samples accumulate ascending and the earliest offsets win.
+func (s *CompactingStore) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateGroup {
 	out := make(map[uint64]TemplateGroup)
+	if tr.Empty() {
+		return out
+	}
 	merge := func(id uint64, count int, samples []int64) {
 		g := out[id]
 		g.Count += count
@@ -724,12 +739,17 @@ func (s *CompactingStore) GroupedCounts(maxSamples int) map[uint64]TemplateGroup
 	}
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
-			for _, tm := range b.seg.TemplateMetas() {
+			metas, err := b.seg.TemplateMetasRange(tr.From, tr.To)
+			if err != nil {
+				s.noteErr(err)
+				continue
+			}
+			for _, tm := range metas {
 				merge(tm.ID, tm.Count, tm.Samples)
 			}
 			continue
 		}
-		for id, g := range b.hot.GroupedCounts(maxSamples) {
+		for id, g := range b.hot.GroupedCounts(maxSamples, tr) {
 			for i := range g.Samples {
 				g.Samples[i] += b.first
 			}
@@ -739,16 +759,24 @@ func (s *CompactingStore) GroupedCounts(maxSamples int) map[uint64]TemplateGroup
 	return out
 }
 
-// TemplateCounts implements Store, answered entirely from sealed-segment
-// metadata plus the hot index — no decompression.
-func (s *CompactingStore) TemplateCounts() map[uint64]int {
+// TemplateCounts implements Store, with the same range pushdown as
+// GroupedCounts.
+func (s *CompactingStore) TemplateCounts(tr TimeRange) map[uint64]int {
 	out := make(map[uint64]int)
+	if tr.Empty() {
+		return out
+	}
 	for _, b := range s.snapshot() {
 		var m map[uint64]int
 		if b.seg != nil {
-			m = b.seg.TemplateCounts()
+			var err error
+			m, err = b.seg.TemplateCountsRange(tr.From, tr.To)
+			if err != nil {
+				s.noteErr(err)
+				continue
+			}
 		} else {
-			m = b.hot.TemplateCounts()
+			m = b.hot.TemplateCounts(tr)
 		}
 		for id, n := range m {
 			out[id] += n

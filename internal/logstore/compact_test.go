@@ -72,7 +72,7 @@ func TestCompactingStoreRoundTrip(t *testing.T) {
 
 			// Scan a window spanning blocks.
 			var seen []int64
-			s.Scan(100, 410, func(r Record) bool {
+			s.Scan(100, 410, TimeRange{}, func(r Record) bool {
 				seen = append(seen, r.Offset)
 				return true
 			})
@@ -90,7 +90,7 @@ func TestCompactingStoreRoundTrip(t *testing.T) {
 					t.Fatal("ByTemplate offsets not ascending")
 				}
 			}
-			counts := s.TemplateCounts()
+			counts := s.TemplateCounts(TimeRange{})
 			if counts[1]+counts[2]+counts[3] != 500 {
 				t.Fatalf("TemplateCounts = %v", counts)
 			}
@@ -155,7 +155,7 @@ func TestCompactingTemplatePushdown(t *testing.T) {
 	}
 
 	// TemplateCounts is metadata-only.
-	if counts := s.TemplateCounts(); counts[10] != 200 || counts[30] != 200 {
+	if counts := s.TemplateCounts(TimeRange{}); counts[10] != 200 || counts[30] != 200 {
 		t.Fatalf("TemplateCounts = %v", counts)
 	}
 	if st := s.SegmentStats(); st.BlockReads != 1 {
@@ -312,7 +312,7 @@ func TestCompactingConcurrent(t *testing.T) {
 	}()
 	for {
 		s.ByTemplate(3)
-		s.TemplateCounts()
+		s.TemplateCounts(TimeRange{})
 		s.Search("handled")
 		s.Len()
 		s.Bytes()
@@ -443,7 +443,7 @@ func TestCompactingGroupedCounts(t *testing.T) {
 		t.Fatalf("setup: %+v", st)
 	}
 
-	groups := s.GroupedCounts(5)
+	groups := s.GroupedCounts(5, TimeRange{})
 	if len(groups) != 3 {
 		t.Fatalf("GroupedCounts = %d templates, want 3", len(groups))
 	}
@@ -478,7 +478,7 @@ func TestCompactingGroupedCounts(t *testing.T) {
 	}
 
 	// Agreement with the scan-side truth.
-	counts := s.TemplateCounts()
+	counts := s.TemplateCounts(TimeRange{})
 	for id, g := range groups {
 		if counts[id] != g.Count {
 			t.Errorf("template %d grouped count %d != TemplateCounts %d", id, g.Count, counts[id])

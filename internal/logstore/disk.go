@@ -25,19 +25,23 @@ type Store interface {
 	Bytes() int64
 	// Get returns the record at offset.
 	Get(offset int64) (Record, error)
-	// Scan visits records in [from, to) until fn returns false; to < 0
-	// means end.
-	Scan(from, to int64, fn func(Record) bool)
+	// Scan visits records in [from, to) whose timestamp lies in tr until
+	// fn returns false; to < 0 means end, the zero TimeRange visits all.
+	Scan(from, to int64, tr TimeRange, fn func(Record) bool)
 	// ByTemplate returns offsets of records with any of the template
 	// IDs, ascending.
 	ByTemplate(ids ...uint64) []int64
-	// TemplateCounts returns record counts per template ID.
-	TemplateCounts() map[uint64]int
+	// TemplateCounts returns record counts per template ID for records
+	// in tr (zero range = everything).
+	TemplateCounts(tr TimeRange) map[uint64]int
 	// GroupedCounts returns per-template record counts plus up to
-	// maxSamples example offsets each, served from indexes and sealed
-	// metadata without reading record payloads — the grouped-query
-	// pushdown path.
-	GroupedCounts(maxSamples int) map[uint64]TemplateGroup
+	// maxSamples example offsets each for records in tr, served from
+	// indexes and sealed metadata without reading record payloads where
+	// the range allows — the grouped-query pushdown path. Sealed blocks
+	// outside tr are pruned by metadata time bounds; only blocks the
+	// range straddles are decompressed, and within them only templates
+	// whose own time bounds straddle the boundary.
+	GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateGroup
 	// Search returns offsets of records containing the exact token.
 	Search(token string) []int64
 	// CountSince counts records at or after cut.
@@ -309,17 +313,19 @@ func (t *DiskTopic) Bytes() int64 { return t.mem.Bytes() }
 func (t *DiskTopic) Get(offset int64) (Record, error) { return t.mem.Get(offset) }
 
 // Scan implements Store.
-func (t *DiskTopic) Scan(from, to int64, fn func(Record) bool) { t.mem.Scan(from, to, fn) }
+func (t *DiskTopic) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
+	t.mem.Scan(from, to, tr, fn)
+}
 
 // ByTemplate implements Store.
 func (t *DiskTopic) ByTemplate(ids ...uint64) []int64 { return t.mem.ByTemplate(ids...) }
 
 // TemplateCounts implements Store.
-func (t *DiskTopic) TemplateCounts() map[uint64]int { return t.mem.TemplateCounts() }
+func (t *DiskTopic) TemplateCounts(tr TimeRange) map[uint64]int { return t.mem.TemplateCounts(tr) }
 
 // GroupedCounts implements Store.
-func (t *DiskTopic) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
-	return t.mem.GroupedCounts(maxSamples)
+func (t *DiskTopic) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateGroup {
+	return t.mem.GroupedCounts(maxSamples, tr)
 }
 
 // Search implements Store.
@@ -329,13 +335,22 @@ func (t *DiskTopic) Search(token string) []int64 { return t.mem.Search(token) }
 func (t *DiskTopic) CountSince(cut time.Time) int { return t.mem.CountSince(cut) }
 
 // DiskInternal persists model snapshots as numbered files in a directory.
+// Write indexes only ever grow — after pruning (SetRetention), the next
+// index continues from the highest ever written, never reusing a number,
+// so a checkpoint can never be silently overwritten by a later snapshot.
 type DiskInternal struct {
-	dir string
-	mu  sync.Mutex
-	n   int
+	dir    string
+	mu     sync.Mutex
+	idxs   []int // write indexes present on disk, ascending
+	next   int   // strictly greater than every index ever written
+	retain Retention
 }
 
-// OpenDiskInternal opens (or creates) the snapshot directory and counts
+func snapshotPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("model-%06d.bin", idx))
+}
+
+// OpenDiskInternal opens (or creates) the snapshot directory and indexes
 // existing snapshots.
 func OpenDiskInternal(dir string) (*DiskInternal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -345,24 +360,56 @@ func OpenDiskInternal(dir string) (*DiskInternal, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := 0
+	in := &DiskInternal{dir: dir}
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "model-") && strings.HasSuffix(e.Name(), ".bin") {
-			n++
+		var idx int
+		if _, err := fmt.Sscanf(e.Name(), "model-%d.bin", &idx); err == nil &&
+			strings.HasPrefix(e.Name(), "model-") && strings.HasSuffix(e.Name(), ".bin") {
+			in.idxs = append(in.idxs, idx)
+			if idx >= in.next {
+				in.next = idx + 1
+			}
 		}
 	}
-	return &DiskInternal{dir: dir, n: n}, nil
+	sort.Ints(in.idxs)
+	return in, nil
 }
 
-// AppendSnapshot writes one model snapshot file.
+// SetRetention implements SnapshotStore: installs the policy and prunes
+// existing on-disk snapshots immediately.
+func (in *DiskInternal) SetRetention(r Retention) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.retain = r
+	in.pruneLocked()
+}
+
+func (in *DiskInternal) pruneLocked() {
+	kept := in.idxs[:0]
+	for _, idx := range in.idxs {
+		if in.retain.keep(idx, in.next) {
+			kept = append(kept, idx)
+			continue
+		}
+		// A failed remove keeps the index tracked; the next prune
+		// retries instead of leaking the file forever.
+		if err := os.Remove(snapshotPath(in.dir, idx)); err != nil && !os.IsNotExist(err) {
+			kept = append(kept, idx)
+		}
+	}
+	in.idxs = kept
+}
+
+// AppendSnapshot writes one model snapshot file, then applies retention.
 func (in *DiskInternal) AppendSnapshot(ts time.Time, data []byte) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	path := filepath.Join(in.dir, fmt.Sprintf("model-%06d.bin", in.n))
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(snapshotPath(in.dir, in.next), data, 0o644); err != nil {
 		return fmt.Errorf("logstore: snapshot: %w", err)
 	}
-	in.n++
+	in.idxs = append(in.idxs, in.next)
+	in.next++
+	in.pruneLocked()
 	return nil
 }
 
@@ -370,10 +417,10 @@ func (in *DiskInternal) AppendSnapshot(ts time.Time, data []byte) error {
 func (in *DiskInternal) LatestSnapshot() ([]byte, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.n == 0 {
+	if len(in.idxs) == 0 {
 		return nil, ErrNoSnapshot
 	}
-	path := filepath.Join(in.dir, fmt.Sprintf("model-%06d.bin", in.n-1))
+	path := snapshotPath(in.dir, in.idxs[len(in.idxs)-1])
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: read snapshot: %w", err)
@@ -381,9 +428,9 @@ func (in *DiskInternal) LatestSnapshot() ([]byte, error) {
 	return data, nil
 }
 
-// Snapshots returns the snapshot count.
+// Snapshots returns the retained snapshot count.
 func (in *DiskInternal) Snapshots() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.n
+	return len(in.idxs)
 }

@@ -11,9 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
+
+	"bytebrain/internal/segment"
 )
 
 // Record is one stored log entry.
@@ -26,6 +27,59 @@ type Record struct {
 	Raw string
 	// TemplateID is the most precise template matched at ingestion.
 	TemplateID uint64
+}
+
+// TimeRange bounds a query to records with From <= Time <= To, both ends
+// inclusive. A zero From or To leaves that side unbounded, so the zero
+// TimeRange matches every record; a range whose From is after its To is
+// empty and matches nothing. Every query path pushes the range down as
+// far as its storage allows: sealed segments prune whole blocks by their
+// metadata time bounds and templates by per-template bounds, hot topics
+// fall back to an index fast path when the range covers everything they
+// hold and a linear filter otherwise.
+type TimeRange struct {
+	From time.Time
+	To   time.Time
+}
+
+// IsZero reports whether both ends are unbounded (the match-all range).
+func (tr TimeRange) IsZero() bool { return tr.From.IsZero() && tr.To.IsZero() }
+
+// Empty reports whether the range can match no record at all.
+func (tr TimeRange) Empty() bool {
+	return !tr.From.IsZero() && !tr.To.IsZero() && tr.From.After(tr.To)
+}
+
+// Contains reports whether t lies inside the range.
+func (tr TimeRange) Contains(t time.Time) bool {
+	if !tr.From.IsZero() && t.Before(tr.From) {
+		return false
+	}
+	if !tr.To.IsZero() && t.After(tr.To) {
+		return false
+	}
+	return true
+}
+
+// Covers reports whether every instant of [min, max] lies inside the
+// range — the "take the whole block from metadata" fast path.
+func (tr TimeRange) Covers(min, max time.Time) bool {
+	return !tr.Empty() && tr.Contains(min) && tr.Contains(max)
+}
+
+// Overlaps reports whether any instant of [min, max] lies inside the
+// range; false prunes the whole block.
+func (tr TimeRange) Overlaps(min, max time.Time) bool {
+	if tr.Empty() {
+		return false
+	}
+	if !tr.From.IsZero() && max.Before(tr.From) {
+		return false
+	}
+	if !tr.To.IsZero() && min.After(tr.To) {
+		return false
+	}
+	return true
 }
 
 // Topic is an append-only record log with a template index and a token
@@ -43,6 +97,11 @@ type Topic struct {
 	// than a predecessor (multiple ingest queues interleave wall-clock
 	// reads non-monotonically), disabling the binary-search fast path of
 	// CountSince, whose sort.Search contract needs ordered times.
+	// minTime is the matching low-watermark; together they let
+	// time-range queries take the index fast path when the range covers
+	// everything the topic holds, and return nothing when it overlaps
+	// none of it.
+	minTime    int64
 	maxTime    int64
 	disordered bool
 }
@@ -65,14 +124,21 @@ func (t *Topic) Append(ts time.Time, raw string, templateID uint64) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	off := int64(len(t.records))
-	if ns := ts.UnixNano(); off == 0 || ns > t.maxTime {
+	ns := ts.UnixNano()
+	if off == 0 || ns > t.maxTime {
 		t.maxTime = ns
 	} else if ns < t.maxTime {
 		t.disordered = true
 	}
+	if off == 0 || ns < t.minTime {
+		t.minTime = ns
+	}
 	t.records = append(t.records, Record{Offset: off, Time: ts, Raw: raw, TemplateID: templateID})
 	t.byTmpl[templateID] = append(t.byTmpl[templateID], off)
-	for _, tok := range strings.Fields(raw) {
+	// The token index shares segment.Tokenize with the sealed-segment
+	// bloom filters: hot and sealed search must agree on what a token is,
+	// or results would change when a block seals.
+	for _, tok := range segment.Tokenize(raw) {
 		if len(t.tokenIdx[tok]) == 0 || t.tokenIdx[tok][len(t.tokenIdx[tok])-1] != off {
 			t.tokenIdx[tok] = append(t.tokenIdx[tok], off)
 		}
@@ -105,9 +171,34 @@ func (t *Topic) Get(offset int64) (Record, error) {
 	return t.records[offset], nil
 }
 
-// Scan calls fn for every record in [from, to) offsets until fn returns
-// false. A negative to means "until the end".
-func (t *Topic) Scan(from, to int64, fn func(Record) bool) {
+// rangeDisposition classifies a time range against the topic's
+// watermarks: every record matches (index fast paths stay valid), none
+// does, or a per-record filter is needed. Callers hold mu.
+type rangeDisposition int
+
+const (
+	rangeAll rangeDisposition = iota
+	rangeNone
+	rangeFilter
+)
+
+func (t *Topic) disposeLocked(tr TimeRange) rangeDisposition {
+	if len(t.records) == 0 || tr.Empty() {
+		return rangeNone
+	}
+	if tr.IsZero() || tr.Covers(time.Unix(0, t.minTime), time.Unix(0, t.maxTime)) {
+		return rangeAll
+	}
+	if !tr.Overlaps(time.Unix(0, t.minTime), time.Unix(0, t.maxTime)) {
+		return rangeNone
+	}
+	return rangeFilter
+}
+
+// Scan calls fn for every record in [from, to) offsets whose timestamp
+// lies in tr, until fn returns false. A negative to means "until the
+// end"; the zero TimeRange visits every record.
+func (t *Topic) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if from < 0 {
@@ -116,9 +207,26 @@ func (t *Topic) Scan(from, to int64, fn func(Record) bool) {
 	if to < 0 || to > int64(len(t.records)) {
 		to = int64(len(t.records))
 	}
-	for _, r := range t.records[from:to] {
-		if !fn(r) {
-			return
+	if from >= to {
+		return
+	}
+	switch t.disposeLocked(tr) {
+	case rangeNone:
+		return
+	case rangeAll:
+		for _, r := range t.records[from:to] {
+			if !fn(r) {
+				return
+			}
+		}
+	default:
+		for _, r := range t.records[from:to] {
+			if !tr.Contains(r.Time) {
+				continue
+			}
+			if !fn(r) {
+				return
+			}
 		}
 	}
 }
@@ -136,13 +244,27 @@ func (t *Topic) ByTemplate(ids ...uint64) []int64 {
 	return out
 }
 
-// TemplateCounts returns the record count per template ID.
-func (t *Topic) TemplateCounts() map[uint64]int {
+// TemplateCounts returns the record count per template ID for records in
+// tr (the zero range counts everything, straight from the index; a
+// partial range filters linearly).
+func (t *Topic) TemplateCounts(tr TimeRange) map[uint64]int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make(map[uint64]int, len(t.byTmpl))
-	for id, offs := range t.byTmpl {
-		out[id] = len(offs)
+	switch t.disposeLocked(tr) {
+	case rangeNone:
+		return map[uint64]int{}
+	case rangeAll:
+		out := make(map[uint64]int, len(t.byTmpl))
+		for id, offs := range t.byTmpl {
+			out[id] = len(offs)
+		}
+		return out
+	}
+	out := make(map[uint64]int)
+	for i := range t.records {
+		if tr.Contains(t.records[i].Time) {
+			out[t.records[i].TemplateID]++
+		}
 	}
 	return out
 }
@@ -159,21 +281,43 @@ type TemplateGroup struct {
 }
 
 // GroupedCounts returns every template's record count plus up to
-// maxSamples example offsets, straight from the template index.
-func (t *Topic) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+// maxSamples example offsets for records in tr — straight from the
+// template index when the range covers the whole topic, via a linear
+// filter otherwise (the hot block is small; sealed history answers from
+// segment metadata instead).
+func (t *Topic) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateGroup {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make(map[uint64]TemplateGroup, len(t.byTmpl))
-	for id, offs := range t.byTmpl {
-		g := TemplateGroup{Count: len(offs)}
-		n := maxSamples
-		if n > len(offs) {
-			n = len(offs)
+	switch t.disposeLocked(tr) {
+	case rangeNone:
+		return map[uint64]TemplateGroup{}
+	case rangeAll:
+		out := make(map[uint64]TemplateGroup, len(t.byTmpl))
+		for id, offs := range t.byTmpl {
+			g := TemplateGroup{Count: len(offs)}
+			n := maxSamples
+			if n > len(offs) {
+				n = len(offs)
+			}
+			if n > 0 {
+				g.Samples = append([]int64(nil), offs[:n]...)
+			}
+			out[id] = g
 		}
-		if n > 0 {
-			g.Samples = append([]int64(nil), offs[:n]...)
+		return out
+	}
+	out := make(map[uint64]TemplateGroup)
+	for i := range t.records {
+		r := &t.records[i]
+		if !tr.Contains(r.Time) {
+			continue
 		}
-		out[id] = g
+		g := out[r.TemplateID]
+		g.Count++
+		if len(g.Samples) < maxSamples {
+			g.Samples = append(g.Samples, r.Offset)
+		}
+		out[r.TemplateID] = g
 	}
 	return out
 }
@@ -218,6 +362,30 @@ func (t *Topic) CountSince(cut time.Time) int {
 // ErrNoSnapshot is returned by LatestSnapshot on an empty internal topic.
 var ErrNoSnapshot = errors.New("logstore: no model snapshot")
 
+// Retention bounds how many model snapshots the internal topic keeps.
+// The zero value retains everything (the historical behavior); with
+// Latest set, only the newest Latest snapshots survive each append, plus
+// — when CheckpointEvery > 0 — every CheckpointEvery-th snapshot by
+// write index as a sparse history of periodic checkpoints. Storage after
+// n training cycles is therefore O(Latest + n/CheckpointEvery) instead
+// of O(n).
+type Retention struct {
+	// Latest is how many of the newest snapshots to keep; 0 keeps all.
+	Latest int
+	// CheckpointEvery additionally keeps snapshots whose write index is
+	// a multiple of it; 0 keeps none beyond Latest.
+	CheckpointEvery int
+}
+
+// keep reports whether the snapshot at write index idx survives pruning
+// when nextIdx is the index the next snapshot will get.
+func (r Retention) keep(idx, nextIdx int) bool {
+	if r.Latest <= 0 || idx >= nextIdx-r.Latest {
+		return true
+	}
+	return r.CheckpointEvery > 0 && idx%r.CheckpointEvery == 0
+}
+
 // SnapshotStore persists model snapshots — the "internal topic" of §3.
 // Internal keeps them in memory; DiskInternal on disk.
 type SnapshotStore interface {
@@ -225,8 +393,10 @@ type SnapshotStore interface {
 	AppendSnapshot(ts time.Time, data []byte) error
 	// LatestSnapshot returns the newest snapshot bytes.
 	LatestSnapshot() ([]byte, error)
-	// Snapshots returns the stored snapshot count.
+	// Snapshots returns the retained snapshot count.
 	Snapshots() int
+	// SetRetention installs a pruning policy and applies it immediately.
+	SetRetention(r Retention)
 }
 
 var (
@@ -241,10 +411,40 @@ type Internal struct {
 	mu        sync.RWMutex
 	snapshots [][]byte
 	times     []time.Time
+	idxs      []int // write index of each retained snapshot, ascending
+	next      int   // write index the next snapshot gets
+	retain    Retention
 }
 
 // NewInternal creates an empty internal topic.
 func NewInternal() *Internal { return &Internal{} }
+
+// SetRetention implements SnapshotStore.
+func (in *Internal) SetRetention(r Retention) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.retain = r
+	in.pruneLocked()
+}
+
+func (in *Internal) pruneLocked() {
+	kept := 0
+	for i, idx := range in.idxs {
+		if !in.retain.keep(idx, in.next) {
+			continue
+		}
+		in.snapshots[kept] = in.snapshots[i]
+		in.times[kept] = in.times[i]
+		in.idxs[kept] = idx
+		kept++
+	}
+	for i := kept; i < len(in.snapshots); i++ {
+		in.snapshots[i] = nil
+	}
+	in.snapshots = in.snapshots[:kept]
+	in.times = in.times[:kept]
+	in.idxs = in.idxs[:kept]
+}
 
 // AppendSnapshot implements SnapshotStore.
 func (in *Internal) AppendSnapshot(ts time.Time, data []byte) error {
@@ -254,6 +454,9 @@ func (in *Internal) AppendSnapshot(ts time.Time, data []byte) error {
 	defer in.mu.Unlock()
 	in.snapshots = append(in.snapshots, cp)
 	in.times = append(in.times, ts)
+	in.idxs = append(in.idxs, in.next)
+	in.next++
+	in.pruneLocked()
 	return nil
 }
 

@@ -36,7 +36,7 @@ func TestGetAndScan(t *testing.T) {
 		t.Error("Get(-1) did not error")
 	}
 	var seen []string
-	tp.Scan(0, -1, func(r Record) bool {
+	tp.Scan(0, -1, TimeRange{}, func(r Record) bool {
 		seen = append(seen, r.Raw)
 		return true
 	})
@@ -45,7 +45,7 @@ func TestGetAndScan(t *testing.T) {
 	}
 	// Early stop.
 	n := 0
-	tp.Scan(0, -1, func(Record) bool { n++; return false })
+	tp.Scan(0, -1, TimeRange{}, func(Record) bool { n++; return false })
 	if n != 1 {
 		t.Errorf("scan did not stop early: %d", n)
 	}
@@ -64,7 +64,7 @@ func TestByTemplateAndCounts(t *testing.T) {
 	if len(both) != 3 {
 		t.Errorf("ByTemplate(7,9) = %v", both)
 	}
-	counts := tp.TemplateCounts()
+	counts := tp.TemplateCounts(TimeRange{})
 	if counts[7] != 2 || counts[9] != 1 {
 		t.Errorf("TemplateCounts = %v", counts)
 	}
@@ -143,7 +143,7 @@ func TestCountSinceConcurrentIngest(t *testing.T) {
 	wg.Wait()
 	cut := ts(2000)
 	want := 0
-	tp.Scan(0, -1, func(r Record) bool {
+	tp.Scan(0, -1, TimeRange{}, func(r Record) bool {
 		if !r.Time.Before(cut) {
 			want++
 		}
@@ -184,7 +184,7 @@ func TestConcurrentAppendAndRead(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				tp.Len()
-				tp.TemplateCounts()
+				tp.TemplateCounts(TimeRange{})
 				tp.Search("concurrent")
 			}
 		}()
@@ -195,7 +195,7 @@ func TestConcurrentAppendAndRead(t *testing.T) {
 	}
 	// Offsets dense and ordered.
 	last := int64(-1)
-	tp.Scan(0, -1, func(r Record) bool {
+	tp.Scan(0, -1, TimeRange{}, func(r Record) bool {
 		if r.Offset != last+1 {
 			t.Fatalf("offset gap: %d after %d", r.Offset, last)
 		}

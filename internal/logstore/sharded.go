@@ -208,8 +208,9 @@ func (s *ShardedStore) Get(offset int64) (Record, error) {
 
 // Scan implements Store, visiting shards in ascending namespace order
 // (all of shard i before shard i+1) with offsets rewritten to the global
-// namespace; [from, to) are global offsets.
-func (s *ShardedStore) Scan(from, to int64, fn func(Record) bool) {
+// namespace; [from, to) are global offsets and tr prunes inside each
+// shard.
+func (s *ShardedStore) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
 	if from < 0 {
 		from = 0
 	}
@@ -230,7 +231,7 @@ func (s *ShardedStore) Scan(from, to int64, fn func(Record) bool) {
 			hi = to - base
 		}
 		stop := false
-		sub.Scan(lo, hi, func(r Record) bool {
+		sub.Scan(lo, hi, tr, func(r Record) bool {
 			r.Offset += base
 			if !fn(r) {
 				stop = true
@@ -258,25 +259,26 @@ func (s *ShardedStore) ByTemplate(ids ...uint64) []int64 {
 	return out
 }
 
-// TemplateCounts implements Store, merging per-shard counts.
-func (s *ShardedStore) TemplateCounts() map[uint64]int {
+// TemplateCounts implements Store, merging per-shard counts; tr pushes
+// down into each shard's own pruning.
+func (s *ShardedStore) TemplateCounts(tr TimeRange) map[uint64]int {
 	out := make(map[uint64]int)
 	for _, sub := range s.shards {
-		for id, n := range sub.TemplateCounts() {
+		for id, n := range sub.TemplateCounts(tr) {
 			out[id] += n
 		}
 	}
 	return out
 }
 
-// GroupedCounts implements Store, merging per-shard groups. Shards are
-// visited in namespace order, so the samples kept are the lowest global
-// offsets.
-func (s *ShardedStore) GroupedCounts(maxSamples int) map[uint64]TemplateGroup {
+// GroupedCounts implements Store, merging per-shard groups; tr pushes
+// down into each shard's own pruning. Shards are visited in namespace
+// order, so the samples kept are the lowest global offsets.
+func (s *ShardedStore) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateGroup {
 	out := make(map[uint64]TemplateGroup)
 	for i, sub := range s.shards {
 		base := int64(i) << shardShift
-		for id, g := range sub.GroupedCounts(maxSamples) {
+		for id, g := range sub.GroupedCounts(maxSamples, tr) {
 			agg := out[id]
 			agg.Count += g.Count
 			for _, off := range g.Samples {

@@ -73,7 +73,7 @@ func TestShardedRoundTrip(t *testing.T) {
 
 			// Scan covers everything exactly once, shard-major ascending.
 			var seen []int64
-			s.Scan(0, -1, func(r Record) bool {
+			s.Scan(0, -1, TimeRange{}, func(r Record) bool {
 				seen = append(seen, r.Offset)
 				return true
 			})
@@ -87,7 +87,7 @@ func TestShardedRoundTrip(t *testing.T) {
 			}
 			// A bounded window: everything in shard 1's namespace.
 			var inShard1 int
-			s.Scan(1<<shardShift, 2<<shardShift, func(r Record) bool {
+			s.Scan(1<<shardShift, 2<<shardShift, TimeRange{}, func(r Record) bool {
 				if r.Offset>>shardShift != 1 {
 					t.Fatalf("window scan leaked offset %d", r.Offset)
 				}
@@ -108,11 +108,11 @@ func TestShardedRoundTrip(t *testing.T) {
 					t.Fatal("ByTemplate offsets not ascending")
 				}
 			}
-			counts := s.TemplateCounts()
+			counts := s.TemplateCounts(TimeRange{})
 			if counts[1]+counts[2]+counts[3] != 500 {
 				t.Fatalf("TemplateCounts = %v", counts)
 			}
-			groups := s.GroupedCounts(5)
+			groups := s.GroupedCounts(5, TimeRange{})
 			total := 0
 			for id, g := range groups {
 				total += g.Count
@@ -329,8 +329,8 @@ func TestShardedStress(t *testing.T) {
 		s.Len()
 		s.Bytes()
 		s.ByTemplate(3)
-		s.TemplateCounts()
-		s.GroupedCounts(5)
+		s.TemplateCounts(TimeRange{})
+		s.GroupedCounts(5, TimeRange{})
 		s.Search("handled")
 		s.CountSince(ts(10))
 		s.ShardStats()

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
-	"strings"
 )
 
 // Encode seals records into one immutable segment blob.
@@ -157,28 +156,42 @@ func Encode(records []Record, codec Codec) ([]byte, Stats, error) {
 		return nil, Stats{}, err
 	}
 
-	// Metadata: per-template counts and sample offsets, min/max time,
-	// token bloom — the pushdown surface queries read without
-	// decompressing the payload.
+	// Metadata: per-template counts, sample offsets and time bounds,
+	// min/max time, token bloom — the pushdown surface queries read
+	// without decompressing the payload.
 	tmplCounts := make(map[uint64]int)
 	tmplSamples := make(map[uint64][]int64)
+	tmplMinT := make(map[uint64]int64)
+	tmplMaxT := make(map[uint64]int64)
 	minT, maxT := records[0].Time.UnixNano(), records[0].Time.UnixNano()
 	var fieldTokens int
 	for _, r := range records {
+		ns := r.Time.UnixNano()
+		if tmplCounts[r.TemplateID] == 0 {
+			tmplMinT[r.TemplateID] = ns
+			tmplMaxT[r.TemplateID] = ns
+		} else {
+			if ns < tmplMinT[r.TemplateID] {
+				tmplMinT[r.TemplateID] = ns
+			}
+			if ns > tmplMaxT[r.TemplateID] {
+				tmplMaxT[r.TemplateID] = ns
+			}
+		}
 		tmplCounts[r.TemplateID]++
 		if s := tmplSamples[r.TemplateID]; len(s) < maxMetaSamples {
 			tmplSamples[r.TemplateID] = append(s, r.Offset)
 		}
-		if ns := r.Time.UnixNano(); ns < minT {
+		if ns < minT {
 			minT = ns
 		} else if ns > maxT {
 			maxT = ns
 		}
-		fieldTokens += len(strings.Fields(r.Raw))
+		fieldTokens += len(Tokenize(r.Raw))
 	}
 	bf := newBloom(fieldTokens)
 	for _, r := range records {
-		for _, tok := range strings.Fields(r.Raw) {
+		for _, tok := range Tokenize(r.Raw) {
 			bf.add(tok)
 		}
 	}
@@ -201,6 +214,10 @@ func Encode(records []Record, codec Codec) ([]byte, Stats, error) {
 			meta = appendUvarint(meta, uint64(off-prevOff))
 			prevOff = off
 		}
+		// Per-template time bounds (v3): deltas against the segment
+		// minimum, both non-negative by construction.
+		meta = appendUvarint(meta, uint64(tmplMinT[id]-minT))
+		meta = appendUvarint(meta, uint64(tmplMaxT[id]-tmplMinT[id]))
 	}
 	meta = appendUvarint(meta, uint64(bf.k))
 	meta = appendUvarint(meta, uint64(len(bf.bits)))

@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"sort"
-	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -40,7 +40,11 @@ type metaIndex struct {
 	tmplIDs     []uint64 // sorted
 	tmplCounts  []int
 	tmplSamples [][]int64 // up to maxMetaSamples offsets each; empty for v1
-	bloom       bloom
+	// Per-template time bounds (v3); for older segments both default to
+	// the block-wide bounds, which is conservative but never wrong.
+	tmplMinT []int64
+	tmplMaxT []int64
+	bloom    bloom
 }
 
 // Open parses a segment blob. It validates the checksum and metadata but
@@ -103,8 +107,14 @@ func (r *Reader) parseMeta(meta []byte, version int) error {
 	r.meta.tmplIDs = make([]uint64, n)
 	r.meta.tmplCounts = make([]int, n)
 	r.meta.tmplSamples = make([][]int64, n)
+	r.meta.tmplMinT = make([]int64, n)
+	r.meta.tmplMaxT = make([]int64, n)
 	total := 0
 	for i := 0; i < n; i++ {
+		// Pre-v3 metadata carries no per-template time bounds; the
+		// block bounds are the tightest statement it can make.
+		r.meta.tmplMinT[i] = r.minTime
+		r.meta.tmplMaxT[i] = r.maxTime
 		if r.meta.tmplIDs[i], err = c.uvarint(); err != nil {
 			return err
 		}
@@ -148,6 +158,25 @@ func (r *Reader) parseMeta(meta []byte, version int) error {
 			prevOff = off
 		}
 		r.meta.tmplSamples[i] = samples
+		if version < 3 {
+			continue
+		}
+		dMin, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		dSpan, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		tMin := r.minTime + int64(dMin)
+		tMax := tMin + int64(dSpan)
+		if tMin < r.minTime || tMax > r.maxTime || tMax < tMin {
+			return corruptf("template %d time bounds [%d,%d] outside block [%d,%d]",
+				r.meta.tmplIDs[i], tMin, tMax, r.minTime, r.maxTime)
+		}
+		r.meta.tmplMinT[i] = tMin
+		r.meta.tmplMaxT[i] = tMax
 	}
 	if total != r.count {
 		return corruptf("template counts sum %d, want %d", total, r.count)
@@ -220,11 +249,15 @@ func (r *Reader) TemplateCounts() map[uint64]int {
 }
 
 // TemplateMeta is the metadata the segment stores for one template: its
-// record count plus the first few record offsets as grouped-query samples.
+// record count, the first few record offsets as grouped-query samples,
+// and the time bounds of its records (v3; older segments report the
+// block-wide bounds).
 type TemplateMeta struct {
 	ID      uint64
 	Count   int
 	Samples []int64 // ascending topic offsets, up to 5; empty for v1 segments
+	MinTime time.Time
+	MaxTime time.Time
 }
 
 // TemplateMetas returns every template's metadata entry, ID-ascending —
@@ -234,9 +267,155 @@ type TemplateMeta struct {
 func (r *Reader) TemplateMetas() []TemplateMeta {
 	out := make([]TemplateMeta, len(r.meta.tmplIDs))
 	for i, id := range r.meta.tmplIDs {
-		out[i] = TemplateMeta{ID: id, Count: r.meta.tmplCounts[i], Samples: r.meta.tmplSamples[i]}
+		out[i] = TemplateMeta{
+			ID:      id,
+			Count:   r.meta.tmplCounts[i],
+			Samples: r.meta.tmplSamples[i],
+			MinTime: time.Unix(0, r.meta.tmplMinT[i]),
+			MaxTime: time.Unix(0, r.meta.tmplMaxT[i]),
+		}
 	}
 	return out
+}
+
+// minNanoTime/maxNanoTime bound the int64-nanosecond epoch (years
+// 1678–2262); query bounds outside it saturate instead of letting
+// UnixNano wrap around.
+var (
+	minNanoTime = time.Unix(0, math.MinInt64)
+	maxNanoTime = time.Unix(0, math.MaxInt64)
+)
+
+// clampNanos converts t to UnixNano, saturating for times outside the
+// representable range — a valid RFC 3339 query bound in year 1000 or
+// 3000 must widen or empty the range, never flip it via int64 overflow.
+func clampNanos(t time.Time) int64 {
+	if t.Before(minNanoTime) {
+		return math.MinInt64
+	}
+	if t.After(maxNanoTime) {
+		return math.MaxInt64
+	}
+	return t.UnixNano()
+}
+
+// rangeNanos converts inclusive [from, to] query bounds to nanoseconds;
+// a zero time is unbounded on that side.
+func rangeNanos(from, to time.Time) (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	if !from.IsZero() {
+		lo = clampNanos(from)
+	}
+	if !to.IsZero() {
+		hi = clampNanos(to)
+	}
+	return lo, hi
+}
+
+// OverlapsRange reports from metadata alone whether any record timestamp
+// can lie in [from, to] (inclusive; zero times are unbounded). False
+// means the whole block prunes away without decompression.
+func (r *Reader) OverlapsRange(from, to time.Time) bool {
+	lo, hi := rangeNanos(from, to)
+	return lo <= hi && r.maxTime >= lo && r.minTime <= hi
+}
+
+// TemplateMetasRange returns per-template metadata restricted to records
+// with timestamps in [from, to] (inclusive; zero times are unbounded),
+// ID-ascending. It is the time-range grouped-query pushdown surface:
+//
+//   - a block outside the range returns nothing, metadata-only;
+//   - a block fully inside returns the sealed metadata as-is;
+//   - in a straddling block, templates whose own time bounds fall fully
+//     inside keep their metadata counts/samples, templates fully outside
+//     prune away, and only templates straddling the boundary force one
+//     payload decode (pre-v3 segments lack per-template bounds, so every
+//     surviving template counts as straddling there).
+func (r *Reader) TemplateMetasRange(from, to time.Time) ([]TemplateMeta, error) {
+	lo, hi := rangeNanos(from, to)
+	if lo > hi || r.maxTime < lo || r.minTime > hi {
+		return nil, nil
+	}
+	if r.minTime >= lo && r.maxTime <= hi {
+		return r.TemplateMetas(), nil
+	}
+	out := make([]TemplateMeta, 0, len(r.meta.tmplIDs))
+	straddling := make(map[uint64]*TemplateMeta)
+	for i, id := range r.meta.tmplIDs {
+		tMin, tMax := r.meta.tmplMinT[i], r.meta.tmplMaxT[i]
+		if tMax < lo || tMin > hi {
+			continue
+		}
+		if tMin >= lo && tMax <= hi {
+			out = append(out, TemplateMeta{
+				ID:      id,
+				Count:   r.meta.tmplCounts[i],
+				Samples: r.meta.tmplSamples[i],
+				MinTime: time.Unix(0, tMin),
+				MaxTime: time.Unix(0, tMax),
+			})
+			continue
+		}
+		straddling[id] = nil
+	}
+	if len(straddling) == 0 {
+		return out, nil
+	}
+	// Straddling templates need exact in-range counts: one payload decode
+	// covers them all.
+	recs, err := r.Records()
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		tm, ok := straddling[rec.TemplateID]
+		if !ok {
+			continue
+		}
+		ns := rec.Time.UnixNano()
+		if ns < lo || ns > hi {
+			continue
+		}
+		if tm == nil {
+			tm = &TemplateMeta{
+				ID:      rec.TemplateID,
+				MinTime: rec.Time,
+				MaxTime: rec.Time,
+			}
+			straddling[rec.TemplateID] = tm
+		}
+		tm.Count++
+		if len(tm.Samples) < maxMetaSamples {
+			tm.Samples = append(tm.Samples, rec.Offset)
+		}
+		if rec.Time.Before(tm.MinTime) {
+			tm.MinTime = rec.Time
+		}
+		if rec.Time.After(tm.MaxTime) {
+			tm.MaxTime = rec.Time
+		}
+	}
+	for _, tm := range straddling {
+		if tm != nil && tm.Count > 0 {
+			out = append(out, *tm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// TemplateCountsRange returns per-template record counts restricted to
+// [from, to], with the same pushdown behavior as TemplateMetasRange.
+func (r *Reader) TemplateCountsRange(from, to time.Time) (map[uint64]int, error) {
+	metas, err := r.TemplateMetasRange(from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]int, len(metas))
+	for _, tm := range metas {
+		out[tm.ID] = tm.Count
+	}
+	return out, nil
 }
 
 // MayContainToken consults the bloom filter: false means no record's
@@ -427,7 +606,7 @@ func (r *Reader) Search(token string) ([]int64, error) {
 	}
 	var out []int64
 	for _, rec := range recs {
-		for _, tok := range strings.Fields(rec.Raw) {
+		for _, tok := range Tokenize(rec.Raw) {
 			if tok == token {
 				out = append(out, rec.Offset)
 				break

@@ -12,11 +12,14 @@
 // Variable tokens are interned in a per-segment token table and referenced
 // by varint IDs; the whole payload is then optionally DEFLATE-compressed.
 //
-// A small uncompressed metadata section — per-template record counts, the
-// time range, and a bloom filter over the token hashes of internal/encode —
-// stays readable without touching the payload, so grouped queries
-// (ByTemplate), token search, and time-range counts push their predicate
-// down to segment metadata and never decompress non-matching blocks.
+// A small uncompressed metadata section — per-template record counts,
+// sample offsets and min/max timestamps, the block time range, and a
+// bloom filter over the token hashes of internal/encode — stays readable
+// without touching the payload, so grouped queries (ByTemplate), token
+// search, and time-range queries push their predicate down to segment
+// metadata and never decompress non-matching blocks; in a block a time
+// range straddles, templates whose own bounds fall inside or outside the
+// range are decided without decoding either.
 package segment
 
 import (
@@ -45,9 +48,12 @@ const (
 	// formatVersion is bumped on any incompatible layout change.
 	// Version 2 added per-template sample offsets to the metadata
 	// section so grouped queries return example offsets without
-	// decompressing the payload; version-1 segments are still readable
-	// (they simply report no samples).
-	formatVersion = 2
+	// decompressing the payload. Version 3 added per-template min/max
+	// timestamps so time-range queries prune templates (not just whole
+	// blocks) without decompressing. Version 1 and 2 segments are still
+	// readable: v1 reports no samples, and both fall back to the
+	// block-wide time bounds per template (conservative, never wrong).
+	formatVersion = 3
 	// minFormatVersion is the oldest version Open still accepts.
 	minFormatVersion = 1
 	// maxMetaSamples is how many example record offsets the metadata
@@ -70,6 +76,15 @@ const (
 // spaces reproduces the input byte-for-byte (empty columns preserve runs
 // of spaces).
 func splitColumns(raw string) []string { return strings.Split(raw, " ") }
+
+// Tokenize is the single search tokenization of the segment layer: the
+// whitespace-delimited tokens of a raw line. The bloom filter built at
+// seal time, Reader.Search at query time, and the hot-topic token index
+// in logstore all tokenize through this one function — a divergence
+// between the write and read sides would produce silent false negatives
+// (the bloom filter would screen out blocks that do contain the token
+// under the other tokenization).
+func Tokenize(raw string) []string { return strings.Fields(raw) }
 
 // joinColumns inverts splitColumns.
 func joinColumns(cols []string) string { return strings.Join(cols, " ") }

@@ -211,6 +211,22 @@ func TestCountSincePushdown(t *testing.T) {
 	if r.BlockReads() != reads+1 {
 		t.Fatal("mid-range CountSince should decompress exactly once")
 	}
+	// Exact boundary timestamps: cut == MinTime takes the all-in fast
+	// path (every record has Time >= MinTime), and cut == MaxTime must
+	// NOT take the all-out fast path — the record at MaxTime itself
+	// still counts. Both must agree with the linear scan.
+	if n, _ := r.CountSince(r.MinTime()); n != 100 {
+		t.Fatalf("CountSince(MinTime) = %d, want 100", n)
+	}
+	if n, _ := r.CountSince(r.MaxTime()); n != 1 {
+		t.Fatalf("CountSince(MaxTime) = %d, want 1", n)
+	}
+	if n, _ := r.CountSince(r.MaxTime().Add(time.Nanosecond)); n != 0 {
+		t.Fatalf("CountSince(MaxTime+1ns) = %d, want 0", n)
+	}
+	if n, _ := r.CountSince(r.MinTime().Add(-time.Nanosecond)); n != 100 {
+		t.Fatalf("CountSince(MinTime-1ns) = %d, want 100", n)
+	}
 }
 
 // TestOutOfOrderTimesWithinBlock: concurrent ingest queues hand the
@@ -371,6 +387,272 @@ func TestTemplateMetaSamples(t *testing.T) {
 	// Reading metadata must not decompress the payload.
 	if got := r.BlockReads() - baseReads; got != 0 {
 		t.Errorf("TemplateMetas paid %d block reads", got)
+	}
+}
+
+// downgradeSegment rewrites a current-version blob's metadata to an older
+// version's layout (v2 drops per-template time bounds, v1 additionally
+// drops sample offsets), recomputing the header length and CRC. It stands
+// in for real old segments so reader compatibility stays locked in.
+func downgradeSegment(t *testing.T, blob []byte, version int) []byte {
+	t.Helper()
+	metaLen := int(binary.LittleEndian.Uint32(blob[52:56]))
+	meta := blob[headerSize : headerSize+metaLen]
+	payload := blob[headerSize+metaLen : len(blob)-crcSize]
+	c := &cursor{buf: meta}
+	n, err := c.count(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func() uint64 {
+		v, err := c.uvarint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	var newMeta []byte
+	newMeta = appendUvarint(newMeta, uint64(n))
+	for i := 0; i < n; i++ {
+		id, cnt, ns := read(), read(), read()
+		deltas := make([]uint64, ns)
+		for j := range deltas {
+			deltas[j] = read()
+		}
+		read() // per-template min delta
+		read() // per-template span
+		newMeta = appendUvarint(newMeta, id)
+		newMeta = appendUvarint(newMeta, cnt)
+		if version >= 2 {
+			newMeta = appendUvarint(newMeta, ns)
+			for _, d := range deltas {
+				newMeta = appendUvarint(newMeta, d)
+			}
+		}
+	}
+	newMeta = append(newMeta, meta[c.pos:]...) // bloom section is unchanged
+	out := make([]byte, 0, headerSize+len(newMeta)+len(payload)+crcSize)
+	out = append(out, blob[:headerSize]...)
+	out[4] = byte(version)
+	binary.LittleEndian.PutUint32(out[52:56], uint32(len(newMeta)))
+	out = append(out, newMeta...)
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out
+}
+
+// TestVersionCompat: v1 and v2 segments stay readable next to v3 — full
+// record round-trip, metadata degradation (v1: no samples; v1/v2: template
+// time bounds widen to the block bounds), and range queries stay exact by
+// falling back to payload decodes.
+func TestVersionCompat(t *testing.T) {
+	recs := sampleRecords(120, 500)
+	blob, _, err := Encode(recs, CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []int{1, 2} {
+		t.Run(fmt.Sprintf("v%d", version), func(t *testing.T) {
+			old := downgradeSegment(t, blob, version)
+			r, err := Open(old)
+			if err != nil {
+				t.Fatalf("Open(v%d): %v", version, err)
+			}
+			got, err := r.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range recs {
+				if got[i].Raw != recs[i].Raw || got[i].TemplateID != recs[i].TemplateID ||
+					got[i].Offset != recs[i].Offset || !got[i].Time.Equal(recs[i].Time) {
+					t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+				}
+			}
+			for _, tm := range r.TemplateMetas() {
+				if version < 2 && len(tm.Samples) != 0 {
+					t.Errorf("v1 template %d has samples %v", tm.ID, tm.Samples)
+				}
+				if version >= 2 && len(tm.Samples) == 0 {
+					t.Errorf("v2 template %d lost its samples", tm.ID)
+				}
+				if !tm.MinTime.Equal(r.MinTime()) || !tm.MaxTime.Equal(r.MaxTime()) {
+					t.Errorf("v%d template %d bounds [%v,%v], want block bounds [%v,%v]",
+						version, tm.ID, tm.MinTime, tm.MaxTime, r.MinTime(), r.MaxTime())
+				}
+			}
+			// A mid-block range must still count exactly (via payload
+			// decode, since old metadata cannot prune templates).
+			metas, err := r.TemplateMetasRange(ts(30), ts(89))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[uint64]int{}
+			for _, rec := range recs {
+				if !rec.Time.Before(ts(30)) && !rec.Time.After(ts(89)) {
+					want[rec.TemplateID]++
+				}
+			}
+			for _, tm := range metas {
+				if tm.Count != want[tm.ID] {
+					t.Errorf("v%d range count template %d = %d, want %d", version, tm.ID, tm.Count, want[tm.ID])
+				}
+				delete(want, tm.ID)
+			}
+			if len(want) != 0 {
+				t.Errorf("v%d range missed templates %v", version, want)
+			}
+		})
+	}
+}
+
+// TestTemplateTimeBounds: v3 metadata carries exact per-template min/max
+// timestamps.
+func TestTemplateTimeBounds(t *testing.T) {
+	recs := sampleRecords(90, 0)
+	r := roundTrip(t, recs, CodecFlate)
+	wantMin, wantMax := map[uint64]time.Time{}, map[uint64]time.Time{}
+	for _, rec := range recs {
+		if cur, ok := wantMin[rec.TemplateID]; !ok || rec.Time.Before(cur) {
+			wantMin[rec.TemplateID] = rec.Time
+		}
+		if cur, ok := wantMax[rec.TemplateID]; !ok || rec.Time.After(cur) {
+			wantMax[rec.TemplateID] = rec.Time
+		}
+	}
+	for _, tm := range r.TemplateMetas() {
+		if !tm.MinTime.Equal(wantMin[tm.ID]) || !tm.MaxTime.Equal(wantMax[tm.ID]) {
+			t.Errorf("template %d bounds [%v,%v], want [%v,%v]",
+				tm.ID, tm.MinTime, tm.MaxTime, wantMin[tm.ID], wantMax[tm.ID])
+		}
+	}
+}
+
+// TestTemplateMetasRangePushdown exercises every pruning tier: whole-block
+// prune, whole-block metadata answer, per-template prune inside a
+// straddling block, and the payload decode only when a template itself
+// straddles the boundary.
+func TestTemplateMetasRangePushdown(t *testing.T) {
+	// Two templates with disjoint time ranges inside one block:
+	// template 1 at ts(0..49), template 2 at ts(50..99).
+	recs := make([]Record, 100)
+	for i := range recs {
+		id := uint64(1)
+		if i >= 50 {
+			id = 2
+		}
+		recs[i] = Record{Offset: int64(i), Time: ts(i), Raw: fmt.Sprintf("event %d", i), TemplateID: id}
+	}
+	r := roundTrip(t, recs, CodecFlate)
+	reads := r.BlockReads()
+
+	// Disjoint range: metadata-only, nothing returned.
+	if metas, err := r.TemplateMetasRange(ts(1000), ts(2000)); err != nil || metas != nil {
+		t.Fatalf("disjoint range = %v, %v", metas, err)
+	}
+	if !r.OverlapsRange(ts(0), ts(99)) || r.OverlapsRange(ts(100), ts(200)) {
+		t.Fatal("OverlapsRange metadata answers wrong")
+	}
+	// Covering range: metadata-only, full answer.
+	metas, err := r.TemplateMetasRange(ts(0), ts(99))
+	if err != nil || len(metas) != 2 || metas[0].Count != 50 || metas[1].Count != 50 {
+		t.Fatalf("covering range = %+v, %v", metas, err)
+	}
+	// Straddling block, but both templates decidable from their own
+	// bounds: template 1 prunes away, template 2 is fully inside.
+	metas, err = r.TemplateMetasRange(ts(50), ts(200))
+	if err != nil || len(metas) != 1 || metas[0].ID != 2 || metas[0].Count != 50 {
+		t.Fatalf("per-template prune = %+v, %v", metas, err)
+	}
+	if r.BlockReads() != reads {
+		t.Fatalf("metadata-decidable ranges decompressed the payload (%d -> %d reads)", reads, r.BlockReads())
+	}
+	// A range splitting template 2 itself: one decode, exact counts and
+	// in-range samples.
+	metas, err = r.TemplateMetasRange(ts(60), ts(69))
+	if err != nil || len(metas) != 1 || metas[0].ID != 2 || metas[0].Count != 10 {
+		t.Fatalf("straddling template = %+v, %v", metas, err)
+	}
+	if want := []int64{60, 61, 62, 63, 64}; fmt.Sprint(metas[0].Samples) != fmt.Sprint(want) {
+		t.Fatalf("straddling samples = %v, want %v", metas[0].Samples, want)
+	}
+	if !metas[0].MinTime.Equal(ts(60)) || !metas[0].MaxTime.Equal(ts(69)) {
+		t.Fatalf("straddling bounds = [%v,%v]", metas[0].MinTime, metas[0].MaxTime)
+	}
+	if r.BlockReads() != reads+1 {
+		t.Fatalf("straddling range paid %d reads, want 1", r.BlockReads()-reads)
+	}
+	// Unbounded sides.
+	if metas, _ := r.TemplateMetasRange(time.Time{}, time.Time{}); len(metas) != 2 {
+		t.Fatalf("unbounded range = %+v", metas)
+	}
+	if metas, _ := r.TemplateMetasRange(ts(50), time.Time{}); len(metas) != 1 || metas[0].ID != 2 {
+		t.Fatalf("from-only range = %+v", metas)
+	}
+	// Inverted range is empty, not an error.
+	if metas, err := r.TemplateMetasRange(ts(80), ts(20)); err != nil || metas != nil {
+		t.Fatalf("inverted range = %v, %v", metas, err)
+	}
+	// Bounds outside the int64-nanosecond epoch (years 1678–2262) must
+	// saturate, not wrap: a from in year 3000 matches nothing, a from in
+	// year 1000 matches everything, and a [1000, 3000] range covers all.
+	y1000 := time.Date(1000, 1, 1, 0, 0, 0, 0, time.UTC)
+	y3000 := time.Date(3000, 1, 1, 0, 0, 0, 0, time.UTC)
+	if metas, err := r.TemplateMetasRange(y3000, time.Time{}); err != nil || metas != nil {
+		t.Fatalf("far-future from = %v, %v, want nothing", metas, err)
+	}
+	if r.OverlapsRange(y3000, time.Time{}) {
+		t.Fatal("OverlapsRange(year 3000, ∞) = true")
+	}
+	if metas, _ := r.TemplateMetasRange(y1000, time.Time{}); len(metas) != 2 {
+		t.Fatalf("far-past from = %+v, want both templates", metas)
+	}
+	if metas, _ := r.TemplateMetasRange(y1000, y3000); len(metas) != 2 {
+		t.Fatalf("epoch-spanning range = %+v, want both templates", metas)
+	}
+	if metas, err := r.TemplateMetasRange(time.Time{}, y1000); err != nil || metas != nil {
+		t.Fatalf("far-past to = %v, %v, want nothing", metas, err)
+	}
+}
+
+// TestSearchTokenizationRoundTrip locks write-path (bloom) and read-path
+// (Search) tokenization together: every token the shared tokenizer
+// produces from a stored line must be findable, including lines whose
+// whitespace is not single spaces (tabs, runs of spaces) where a
+// Fields/Split mismatch would silently drop results.
+func TestSearchTokenizationRoundTrip(t *testing.T) {
+	raws := []string{
+		"plain space separated line",
+		"tab\tseparated\ttokens here",
+		"run   of    spaces",
+		" leading and trailing ",
+		"mixed \t whitespace\t kinds",
+		"unicode 血 token",
+	}
+	recs := make([]Record, len(raws))
+	for i, raw := range raws {
+		recs[i] = Record{Offset: int64(i), Time: ts(i), Raw: raw, TemplateID: 7}
+	}
+	r := roundTrip(t, recs, CodecFlate)
+	for i, raw := range raws {
+		for _, tok := range Tokenize(raw) {
+			if !r.MayContainToken(tok) {
+				t.Fatalf("bloom misses token %q of stored line %q", tok, raw)
+			}
+			offs, err := r.Search(tok)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, off := range offs {
+				if off == int64(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("Search(%q) = %v, missing offset %d (line %q)", tok, offs, i, raw)
+			}
+		}
 	}
 }
 

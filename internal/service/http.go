@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Handler returns the HTTP API of the service, mirroring the paper's
@@ -23,7 +26,13 @@ import (
 //	                                   compressed segment (segment store)
 //	GET  /topics/{name}/query?threshold=0.7
 //	                                   records grouped by template at the
-//	                                   given precision (the web UI slider)
+//	                                   given precision (the web UI slider);
+//	                                   &from=<RFC3339>&to=<RFC3339> bound
+//	                                   the query to a time range (pushed
+//	                                   down to sealed-segment metadata so
+//	                                   only overlapping blocks are read),
+//	                                   and &since=15m is shorthand for
+//	                                   from=now-15m
 //	GET  /topics/{name}/stats          operational counters
 //	GET  /healthz                      liveness
 func (s *Service) Handler() http.Handler {
@@ -109,16 +118,10 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case action == "query" && r.Method == http.MethodGet:
-		threshold := 0.0
-		if v := r.URL.Query().Get("threshold"); v != "" {
-			f, err := strconv.ParseFloat(v, 64)
-			// The comparison form rejects NaN, which would sail
-			// through `f < 0 || f > 1`.
-			if err != nil || !(f >= 0 && f <= 1) {
-				http.Error(w, "threshold must be a number in [0,1]", http.StatusBadRequest)
-				return
-			}
-			threshold = f
+		threshold, tr, perr := parseQueryParams(r.URL.Query(), s.cfg.Now)
+		if perr != "" {
+			http.Error(w, perr, http.StatusBadRequest)
+			return
 		}
 		query := s.Query
 		if r.URL.Query().Get("merged") == "1" {
@@ -126,7 +129,7 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 			// group under one display template.
 			query = s.QueryMerged
 		}
-		rows, err := query(name, threshold)
+		rows, err := query(name, threshold, tr)
 		if err != nil {
 			httpTopicError(w, err)
 			return
@@ -142,6 +145,66 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
+}
+
+// parseQueryParams validates the query endpoint's parameters strictly: a
+// malformed value is a 400, never silently ignored. It returns the
+// threshold (0 = service default), the time range, and a non-empty error
+// message on invalid input.
+//
+//	threshold  float in [0,1]; NaN, ±Inf and out-of-range values are
+//	           rejected, negative zero is normalized to zero
+//	from, to   RFC 3339 timestamps (inclusive bounds); from must not be
+//	           after to
+//	since      Go duration (e.g. 15m) — sugar for from=now-since;
+//	           mutually exclusive with from/to
+func parseQueryParams(q url.Values, now func() time.Time) (threshold float64, tr TimeRange, errMsg string) {
+	if q.Has("threshold") {
+		v := q.Get("threshold")
+		f, err := strconv.ParseFloat(v, 64)
+		// Explicitly exclude the IEEE 754 specials: ParseFloat accepts
+		// "NaN" and "Inf" spellings, and overflow (e.g. 1e309) returns
+		// ±Inf alongside ErrRange.
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f > 1 {
+			return 0, tr, "threshold must be a number in [0,1]"
+		}
+		if math.Signbit(f) {
+			// "-0" parses to negative zero; normalize so downstream
+			// comparisons never see a signed zero.
+			f = 0
+		}
+		threshold = f
+	}
+	hasFrom, hasTo, hasSince := q.Has("from"), q.Has("to"), q.Has("since")
+	if hasSince && (hasFrom || hasTo) {
+		return 0, tr, "since is shorthand for from=now-since; do not combine it with from/to"
+	}
+	if hasSince {
+		d, err := time.ParseDuration(q.Get("since"))
+		if err != nil || d <= 0 {
+			return 0, tr, "since must be a positive duration such as 15m or 1h30m"
+		}
+		tr.From = now().Add(-d)
+		return threshold, tr, ""
+	}
+	if hasFrom {
+		t, err := time.Parse(time.RFC3339, q.Get("from"))
+		if err != nil {
+			return 0, tr, "from must be an RFC 3339 timestamp such as 2026-07-26T12:00:00Z"
+		}
+		tr.From = t
+	}
+	if hasTo {
+		t, err := time.Parse(time.RFC3339, q.Get("to"))
+		if err != nil {
+			return 0, tr, "to must be an RFC 3339 timestamp such as 2026-07-26T12:15:00Z"
+		}
+		tr.To = t
+	}
+	if tr.Empty() {
+		return 0, tr, "from must not be after to"
+	}
+	return threshold, tr, ""
 }
 
 func httpTopicError(w http.ResponseWriter, err error) {

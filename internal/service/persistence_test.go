@@ -33,7 +33,7 @@ func TestServicePersistenceAcrossRestart(t *testing.T) {
 	if err := s1.Ingest("app", genLines(100, 2)); err != nil {
 		t.Fatal(err)
 	}
-	rowsBefore, err := s1.Query("app", 0.7)
+	rowsBefore, err := s1.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestServicePersistenceAcrossRestart(t *testing.T) {
 	if stats.Templates == 0 || stats.Snapshots != 1 || stats.Trainings != 1 {
 		t.Fatalf("model not recovered: %+v", stats)
 	}
-	rowsAfter, err := s2.Query("app", 0.7)
+	rowsAfter, err := s2.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,7 +62,7 @@ func TestServiceSegmentStore(t *testing.T) {
 	}
 
 	// Query still groups everything (records live in sealed segments).
-	rows, err := svc.Query("app", 0.7)
+	rows, err := svc.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}

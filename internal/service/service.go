@@ -62,6 +62,14 @@ type Config struct {
 	// SegmentCodec selects the sealed-payload compression: "flate"
 	// (default), "none", or "zstd" (gated — unavailable in this build).
 	SegmentCodec string
+	// SnapshotRetain > 0 bounds the internal topic: only the newest
+	// SnapshotRetain model snapshots are kept per topic (plus periodic
+	// checkpoints, see SnapshotCheckpointEvery). 0 keeps every snapshot.
+	SnapshotRetain int
+	// SnapshotCheckpointEvery > 0 additionally retains every Nth
+	// snapshot as a checkpoint when SnapshotRetain prunes, preserving a
+	// sparse training history. 0 keeps nothing beyond the latest K.
+	SnapshotCheckpointEvery int
 	// TopicShards > 1 fans every topic's store out over this many
 	// sub-stores (each the kind the knobs above select, persisted under
 	// DataDir/<topic>/records/shard-<i>) with queue→shard append
@@ -112,6 +120,12 @@ func (c Config) withDefaults() Config {
 
 // maxSampleOffsets is how many example record offsets a query row carries.
 const maxSampleOffsets = 5
+
+// TimeRange bounds a query to records with From <= Time <= To (both
+// inclusive; zero sides are unbounded). It pushes down through the store
+// to sealed-segment metadata, so a narrow range over a long history reads
+// only the blocks that overlap it.
+type TimeRange = logstore.TimeRange
 
 // Service manages log topics. All methods are safe for concurrent use.
 type Service struct {
@@ -232,6 +246,14 @@ func (s *Service) CreateTopic(name string) error {
 			return err
 		}
 		st.internal = internal
+	}
+	if s.cfg.SnapshotRetain > 0 {
+		// Bound the internal topic: keep the newest K snapshots plus
+		// periodic checkpoints instead of every training cycle's model.
+		st.internal.SetRetention(logstore.Retention{
+			Latest:          s.cfg.SnapshotRetain,
+			CheckpointEvery: s.cfg.SnapshotCheckpointEvery,
+		})
 	}
 	if s.cfg.DataDir != "" || s.cfg.SegmentBytes > 0 {
 		if err := st.recover(); err != nil {
@@ -534,16 +556,19 @@ type TemplateRow struct {
 }
 
 // Query groups a topic's records by template at the given precision
-// threshold (≤ 0 uses the default). It is the §3 "Query" path: records
-// carry their most precise template ID; ancestors are traversed per
-// threshold without reprocessing any log.
+// threshold (≤ 0 uses the default), restricted to records whose
+// timestamp lies in tr (the zero TimeRange spans all time). It is the §3
+// "Query" path: records carry their most precise template ID; ancestors
+// are traversed per threshold without reprocessing any log.
 //
 // The grouping is metadata-driven: the store answers GroupedCounts from
-// its template indexes and sealed-segment metadata (counts plus sample
-// offsets persisted at seal time), so no record payload is read — over
-// the segment store, sealed blocks stay compressed. Only the distinct
-// template IDs are rolled up through the model, not every record.
-func (s *Service) Query(topicName string, threshold float64) ([]TemplateRow, error) {
+// its template indexes and sealed-segment metadata (counts, sample
+// offsets and time bounds persisted at seal time). With the zero range
+// no record payload is read; with a bounded range, sealed blocks outside
+// it are pruned by metadata and only blocks the range straddles are
+// decompressed. Only the distinct template IDs are rolled up through the
+// model, not every record.
+func (s *Service) Query(topicName string, threshold float64, tr TimeRange) ([]TemplateRow, error) {
 	st, err := s.topic(topicName)
 	if err != nil {
 		return nil, err
@@ -555,7 +580,7 @@ func (s *Service) Query(topicName string, threshold float64) ([]TemplateRow, err
 	if threshold <= 0 {
 		threshold = s.cfg.DefaultThreshold
 	}
-	groups := st.store.GroupedCounts(maxSampleOffsets)
+	groups := st.store.GroupedCounts(maxSampleOffsets, tr)
 	rows := map[uint64]*TemplateRow{}
 	samples := map[uint64][][]int64{}
 	for id, g := range groups {
@@ -627,8 +652,8 @@ func mergeSamples(lists [][]int64, max int) []int64 {
 // merging — typically variable-length list output from one print statement
 // — are grouped into a single row. Users see "users <*>" once; the
 // underlying fixed-length templates keep matching fast.
-func (s *Service) QueryMerged(topicName string, threshold float64) ([]TemplateRow, error) {
-	rows, err := s.Query(topicName, threshold)
+func (s *Service) QueryMerged(topicName string, threshold float64, tr TimeRange) ([]TemplateRow, error) {
+	rows, err := s.Query(topicName, threshold, tr)
 	if err != nil {
 		return nil, err
 	}

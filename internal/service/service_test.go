@@ -161,7 +161,7 @@ func TestQueryGroupsAndThreshold(t *testing.T) {
 	if err := s.Ingest("app", genLines(200, 4)); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := s.Query("app", 0.7)
+	rows, err := s.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestQueryGroupsAndThreshold(t *testing.T) {
 		t.Errorf("query covered %d of %d records", total, store.Len())
 	}
 	// Coarser threshold: no more groups than the fine view.
-	coarse, err := s.Query("app", 0.1)
+	coarse, err := s.Query("app", 0.1, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestQueryGroupsAndThreshold(t *testing.T) {
 func TestQueryBeforeTraining(t *testing.T) {
 	s := New(testConfig())
 	_ = s.CreateTopic("app")
-	if _, err := s.Query("app", 0.5); err == nil {
+	if _, err := s.Query("app", 0.5, TimeRange{}); err == nil {
 		t.Error("query before first training should error")
 	}
 }
@@ -228,7 +228,7 @@ func TestModelMergesAcrossCycles(t *testing.T) {
 		}
 	}
 	// Old templates kept working.
-	rows, err := s.Query("app", 0.7)
+	rows, err := s.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				_ = s.Ingest("app", genLines(50, int64(g*100+i)))
-				_, _ = s.Query("app", 0.7)
+				_, _ = s.Query("app", 0.7, TimeRange{})
 			}
 		}(g)
 	}
@@ -407,11 +407,11 @@ func TestQueryMergedGroupsVariableLengthLists(t *testing.T) {
 	if err := s.Ingest("app", lines); err != nil {
 		t.Fatal(err)
 	}
-	perNode, err := s.Query("app", 0.7)
+	perNode, err := s.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := s.QueryMerged("app", 0.7)
+	merged, err := s.QueryMerged("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}

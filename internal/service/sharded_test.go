@@ -77,7 +77,7 @@ func TestShardedTopicEndToEnd(t *testing.T) {
 			}
 
 			// Grouped queries merge across shards and cover every record.
-			rows, err := s.Query("app", 0.7)
+			rows, err := s.Query("app", 0.7, TimeRange{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -153,7 +153,7 @@ func TestShardedTopicPersistence(t *testing.T) {
 	if stats.Templates == 0 {
 		t.Fatal("model snapshot not recovered")
 	}
-	rows, err := s2.Query("app", 0.7)
+	rows, err := s2.Query("app", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,7 +67,7 @@ func runHotPathStress(t *testing.T, cfg Config) {
 	go func() { // querier
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			if _, err := s.Query("hot", 0.7); err != nil {
+			if _, err := s.Query("hot", 0.7, TimeRange{}); err != nil {
 				t.Errorf("query: %v", err)
 				return
 			}
@@ -106,7 +106,7 @@ func runHotPathStress(t *testing.T, cfg Config) {
 		t.Fatalf("records = %d, want %d", stats.Records, want)
 	}
 	// Every record is still accounted for by a grouped query.
-	rows, err := s.Query("hot", 0.7)
+	rows, err := s.Query("hot", 0.7, TimeRange{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestTrainingDoesNotBlockIngest(t *testing.T) {
 				hotPathDone <- err
 				return
 			}
-			if _, err := s.Query("app", 0.7); err != nil {
+			if _, err := s.Query("app", 0.7, TimeRange{}); err != nil {
 				hotPathDone <- err
 				return
 			}

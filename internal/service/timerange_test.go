@@ -1,0 +1,306 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParseQueryParams is the table-driven validation matrix for every
+// query parameter: IEEE-754 specials and out-of-range thresholds,
+// non-RFC3339 timestamps, inverted ranges, and since misuse all reject;
+// boundary values and unbounded sides pass.
+func TestParseQueryParams(t *testing.T) {
+	now := time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	bad := []string{
+		// threshold: specials, range, junk, empty value
+		"threshold=nope",
+		"threshold=",
+		"threshold=NaN",
+		"threshold=nan",
+		"threshold=Inf",
+		"threshold=%2BInf", // +Inf
+		"threshold=-Inf",
+		"threshold=Infinity",
+		"threshold=-Infinity",
+		"threshold=1e309",  // overflows to +Inf with ErrRange
+		"threshold=-1e309", // overflows to -Inf
+		"threshold=-0.1",
+		"threshold=1.0000001",
+		"threshold=0x1", // hex mantissa without exponent
+		// from/to: non-RFC3339, empty values, inverted range
+		"from=notatime",
+		"from=",
+		"from=2026-07-26",          // date only
+		"from=2026-07-26T12:00:00", // missing zone
+		"from=1700000000",          // unix seconds
+		"to=notatime",
+		"to=",
+		"from=2026-07-26T12:00:00Z&to=2026-07-26T11:00:00Z", // from > to
+		// since: junk, non-positive, unit-less, combined with from/to
+		"since=abc",
+		"since=",
+		"since=15",
+		"since=-15m",
+		"since=0s",
+		"since=15m&from=2026-07-26T11:00:00Z",
+		"since=15m&to=2026-07-26T13:00:00Z",
+	}
+	for _, qs := range bad {
+		q, err := url.ParseQuery(qs)
+		if err != nil {
+			t.Fatalf("bad test query %q: %v", qs, err)
+		}
+		if _, _, msg := parseQueryParams(q, clock); msg == "" {
+			t.Errorf("query %q accepted, want rejection", qs)
+		}
+	}
+
+	good := []string{
+		"",
+		"threshold=0",
+		"threshold=-0", // negative zero normalizes to zero
+		"threshold=1",
+		"threshold=0.7",
+		"threshold=7e-1",
+		"from=2026-07-26T11:00:00Z",
+		"to=2026-07-26T13:00:00Z",
+		"from=2026-07-26T11:00:00Z&to=2026-07-26T11:00:00Z", // single instant
+		"from=2026-07-26T11:00:00.5Z",                       // fractional seconds
+		"from=2026-07-26T11:00:00%2B02:00",                  // numeric zone
+		"since=15m",
+		"since=1h30m",
+	}
+	for _, qs := range good {
+		q, _ := url.ParseQuery(qs)
+		if _, _, msg := parseQueryParams(q, clock); msg != "" {
+			t.Errorf("query %q rejected: %s", qs, msg)
+		}
+	}
+
+	// Negative zero reaches Service.Query as plain zero.
+	q, _ := url.ParseQuery("threshold=-0")
+	if th, _, _ := parseQueryParams(q, clock); th != 0 || 1/th < 0 {
+		t.Errorf("threshold=-0 parsed to %v (signbit %v), want +0", th, 1/th < 0)
+	}
+	// since resolves against the injected clock, lower bound only.
+	q, _ = url.ParseQuery("since=15m")
+	_, rng, _ := parseQueryParams(q, clock)
+	if !rng.From.Equal(now.Add(-15*time.Minute)) || !rng.To.IsZero() {
+		t.Errorf("since=15m range = %+v", rng)
+	}
+}
+
+// TestHTTPQueryParamRejections drives the same matrix through the real
+// handler: every malformed parameter must produce 400, not a silent
+// default.
+func TestHTTPQueryParamRejections(t *testing.T) {
+	srv := newHTTPFixture(t)
+	for _, qs := range []string{
+		"threshold=NaN", "threshold=", "threshold=-Inf", "threshold=2",
+		"from=tomorrow", "from=", "to=yesterday",
+		"from=2026-07-26T12:00:00Z&to=2026-07-26T11:00:00Z",
+		"since=eternity", "since=-5m", "since=5m&from=2026-07-26T11:00:00Z",
+	} {
+		resp := do(t, srv, "GET", "/topics/app/query?"+qs, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query?%s = %d, want 400", qs, resp.StatusCode)
+		}
+	}
+}
+
+// advancingConfig returns a config whose Now is driven by the test, plus
+// the stepper. The clock is mutex-guarded: the topic's background trainer
+// reads it concurrently.
+func advancingConfig() (Config, func(d time.Duration), time.Time) {
+	base := time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	now := base
+	cfg := testConfig()
+	cfg.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	step := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	return cfg, step, base
+}
+
+// TestQueryTimeRangeEndToEnd ingests three batches at distinct times and
+// checks that bounded queries — service API and HTTP, hot and sealed —
+// count exactly the batches inside the range.
+func TestQueryTimeRangeEndToEnd(t *testing.T) {
+	for _, sealed := range []bool{false, true} {
+		name := "hot"
+		if sealed {
+			name = "sealed"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg, step, base := advancingConfig()
+			if sealed {
+				cfg.SegmentBytes = 1 << 30 // compaction only via forced seal
+			}
+			s := New(cfg)
+			defer s.Close()
+			if err := s.CreateTopic("app"); err != nil {
+				t.Fatal(err)
+			}
+			// Batch 1 at base, batch 2 at +10m, batch 3 at +20m.
+			lines := genLines(90, 3)
+			for b := 0; b < 3; b++ {
+				if err := s.Ingest("app", lines[30*b:30*(b+1)]); err != nil {
+					t.Fatal(err)
+				}
+				step(10 * time.Minute)
+			}
+			if err := s.Train("app"); err != nil {
+				t.Fatal(err)
+			}
+			if sealed {
+				if err := s.Compact("app"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			total := func(rows []TemplateRow) int {
+				n := 0
+				for _, r := range rows {
+					n += r.Count
+				}
+				return n
+			}
+			for _, tc := range []struct {
+				tr   TimeRange
+				want int
+			}{
+				{TimeRange{}, 90},
+				{TimeRange{From: base, To: base.Add(25 * time.Minute)}, 90},
+				{TimeRange{From: base.Add(5 * time.Minute)}, 60},
+				{TimeRange{From: base.Add(5 * time.Minute), To: base.Add(15 * time.Minute)}, 30},
+				{TimeRange{To: base.Add(-time.Minute)}, 0},
+				{TimeRange{From: base.Add(10 * time.Minute), To: base.Add(10 * time.Minute)}, 30}, // inclusive instant
+				{TimeRange{From: base.Add(time.Hour)}, 0},
+			} {
+				rows, err := s.Query("app", 0.7, tc.tr)
+				if err != nil {
+					t.Fatalf("Query(%+v): %v", tc.tr, err)
+				}
+				if got := total(rows); got != tc.want {
+					t.Errorf("Query(%+v) counted %d, want %d", tc.tr, got, tc.want)
+				}
+				merged, err := s.QueryMerged("app", 0.7, tc.tr)
+				if err != nil {
+					t.Fatalf("QueryMerged(%+v): %v", tc.tr, err)
+				}
+				if got := total(merged); got != tc.want {
+					t.Errorf("QueryMerged(%+v) counted %d, want %d", tc.tr, got, tc.want)
+				}
+			}
+
+			// The same through the HTTP surface, including since sugar
+			// (the service clock is frozen at base+30m now).
+			srv := httptest.NewServer(s.Handler())
+			defer srv.Close()
+			httpTotal := func(path string) int {
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("GET %s = %d", path, resp.StatusCode)
+				}
+				var rows []TemplateRow
+				if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+					t.Fatal(err)
+				}
+				n := 0
+				for _, r := range rows {
+					n += r.Count
+				}
+				return n
+			}
+			enc := func(tm time.Time) string { return url.QueryEscape(tm.Format(time.RFC3339)) }
+			if got := httpTotal("/topics/app/query?from=" + enc(base.Add(5*time.Minute)) + "&to=" + enc(base.Add(15*time.Minute))); got != 30 {
+				t.Errorf("HTTP from/to counted %d, want 30", got)
+			}
+			// since=25m back from base+30m -> from = base+5m -> batches 2+3.
+			if got := httpTotal("/topics/app/query?since=25m"); got != 60 {
+				t.Errorf("HTTP since=25m counted %d, want 60", got)
+			}
+			// A valid-but-empty window is 200 with zero rows, not an error.
+			if got := httpTotal("/topics/app/query?from=" + enc(base.Add(2*time.Minute)) + "&to=" + enc(base.Add(3*time.Minute))); got != 0 {
+				t.Errorf("HTTP empty window counted %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestQueryTimeRangePushdownSealed asserts the service-level efficiency
+// contract: over a topic with many sealed segments, a block-aligned or
+// disjoint range moves the segment block-read counter by nothing, and a
+// narrow range by at most the straddled blocks.
+func TestQueryTimeRangePushdownSealed(t *testing.T) {
+	cfg, step, base := advancingConfig()
+	cfg.SegmentBytes = 1 << 30
+	s := New(cfg)
+	defer s.Close()
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	lines := genLines(200, 5)
+	if err := s.Ingest("app", lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train("app"); err != nil {
+		t.Fatal(err)
+	}
+	// 5 sealed blocks, one per 10-minute step.
+	for b := 0; b < 5; b++ {
+		if err := s.Ingest("app", lines[40*b:40*(b+1)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Compact("app"); err != nil {
+			t.Fatal(err)
+		}
+		step(10 * time.Minute)
+	}
+	reads := func() int64 {
+		st, err := s.TopicStats("app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.SegmentBlockReads
+	}
+	query := func(tr TimeRange) int {
+		rows, err := s.Query("app", 0.7, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range rows {
+			n += r.Count
+		}
+		return n
+	}
+	// Each sealed block holds exactly one instant (the frozen clock), so
+	// any range is block-aligned: pure metadata.
+	before := reads()
+	if got := query(TimeRange{From: base.Add(10 * time.Minute), To: base.Add(25 * time.Minute)}); got != 80 {
+		t.Fatalf("mid range counted %d, want 80", got)
+	}
+	if got := query(TimeRange{From: base.Add(time.Hour)}); got != 0 {
+		t.Fatalf("future range counted %d, want 0", got)
+	}
+	if delta := reads() - before; delta != 0 {
+		t.Fatalf("block-aligned ranges paid %d block reads", delta)
+	}
+}

@@ -18,6 +18,11 @@ type (
 	TemplateRow = service.TemplateRow
 	// TopicStats reports per-topic operational counters.
 	TopicStats = service.Stats
+	// TimeRange bounds a query to records with From <= Time <= To (both
+	// inclusive; zero sides unbounded). A narrow range over a long
+	// history is pushed down to sealed-segment metadata, so only blocks
+	// overlapping the range are read.
+	TimeRange = service.TimeRange
 	// Ingester is the asynchronous multi-queue ingestion pipeline (§3
 	// "Parallel"); create one with Service.NewIngester.
 	Ingester = service.Ingester
