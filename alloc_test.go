@@ -1,0 +1,102 @@
+// Allocation-regression budgets for the ingestion hot path. The CI
+// allocation smoke step runs these with BYTEBRAIN_ALLOC_BUDGET=1; they
+// measure the steady-state paths via testing.Benchmark and fail when
+// allocs/op exceeds the checked-in budgets below. The budgets carry ~2x
+// headroom over currently measured values, so they catch a regression to
+// per-line allocation (the pre-group-commit shape) without flaking on
+// map-growth noise.
+package bytebrain_test
+
+import (
+	"os"
+	"testing"
+
+	"bytebrain"
+)
+
+const (
+	// allocBudgetPerIngestedLine bounds allocations per line on the
+	// steady-state tokenize→match→append path (currently ~3.0: index
+	// growth amortization plus sealed-segment bookkeeping; the per-record
+	// baseline before group commit measured ~8.3).
+	allocBudgetPerIngestedLine = 6.0
+	// allocBudgetPerMatch bounds allocations per uncached Matcher.Match
+	// call (currently 4: replaced line, token slice, and match scratch).
+	allocBudgetPerMatch = 8
+)
+
+func TestAllocBudget(t *testing.T) {
+	if os.Getenv("BYTEBRAIN_ALLOC_BUDGET") == "" {
+		t.Skip("set BYTEBRAIN_ALLOC_BUDGET=1 to enforce allocation budgets (CI smoke step)")
+	}
+	ds, err := bytebrain.GenerateLogHub("Zookeeper", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("ingest", func(t *testing.T) {
+		svc := bytebrain.NewService(bytebrain.ServiceConfig{
+			Parser:       bytebrain.Options{Seed: 1},
+			TrainVolume:  1 << 30,
+			DataDir:      t.TempDir(),
+			SegmentBytes: 16 << 20,
+			SegmentCodec: "flate",
+		})
+		defer svc.Close()
+		if err := svc.CreateTopic("bench"); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Ingest("bench", ds.Lines); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Train("bench"); err != nil {
+			t.Fatal(err)
+		}
+		batch := ds.Lines[:256]
+		// Warm the steady state (line cache, index capacity) before
+		// measuring, exactly like a long-running ingester.
+		for i := 0; i < 20; i++ {
+			if err := svc.Ingest("bench", batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Ingest("bench", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		perLine := float64(res.AllocsPerOp()) / float64(len(batch))
+		t.Logf("ingest: %d allocs/op over %d-line batches = %.2f allocs/line (budget %.2f)",
+			res.AllocsPerOp(), len(batch), perLine, allocBudgetPerIngestedLine)
+		if perLine > allocBudgetPerIngestedLine {
+			t.Fatalf("steady-state ingest allocations regressed: %.2f allocs/line exceeds budget %.2f",
+				perLine, allocBudgetPerIngestedLine)
+		}
+	})
+
+	t.Run("match", func(t *testing.T) {
+		parser := bytebrain.New(bytebrain.Options{Seed: 1})
+		res, err := parser.Train(ds.Lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matcher, err := parser.NewMatcher(res.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				matcher.Match(ds.Lines[i%len(ds.Lines)])
+			}
+		})
+		t.Logf("match: %d allocs/op (budget %d)", bres.AllocsPerOp(), allocBudgetPerMatch)
+		if bres.AllocsPerOp() > allocBudgetPerMatch {
+			t.Fatalf("match allocations regressed: %d allocs/op exceeds budget %d",
+				bres.AllocsPerOp(), allocBudgetPerMatch)
+		}
+	})
+}

@@ -183,54 +183,115 @@ func BenchmarkServiceIngest(b *testing.B) {
 
 // BenchmarkConcurrentIngest measures the service ingestion path under
 // goroutine contention on ONE topic. Matching runs lock-free against the
-// atomically published snapshot and appends serialize only inside the
-// store, so throughput should scale with goroutines instead of
-// flat-lining on a topic mutex (the pre-refactor behavior).
+// atomically published snapshot and the whole batch lands in the store
+// through one group-committed AppendBatch (one store lock and one WAL
+// write per batch instead of one per record), so throughput should scale
+// with goroutines instead of flat-lining on a topic mutex. The
+// store=compacting variant runs with a real data dir so every batch also
+// pays (one) WAL encode+write — the paper's cloud-ingest configuration.
 func BenchmarkConcurrentIngest(b *testing.B) {
 	ds, err := bytebrain.GenerateLogHub("Zookeeper", 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
-			svc := bytebrain.NewService(bytebrain.ServiceConfig{
+	stores := []struct {
+		name string
+		cfg  func(b *testing.B) bytebrain.ServiceConfig
+	}{
+		{"mem", func(b *testing.B) bytebrain.ServiceConfig {
+			return bytebrain.ServiceConfig{
 				Parser:      bytebrain.Options{Seed: 1},
 				TrainVolume: 1 << 30,
-			})
-			defer svc.Close()
-			if err := svc.CreateTopic("bench"); err != nil {
-				b.Fatal(err)
 			}
-			if err := svc.Ingest("bench", ds.Lines); err != nil {
-				b.Fatal(err)
+		}},
+		{"compacting", func(b *testing.B) bytebrain.ServiceConfig {
+			return bytebrain.ServiceConfig{
+				Parser:       bytebrain.Options{Seed: 1},
+				TrainVolume:  1 << 30,
+				DataDir:      b.TempDir(),
+				SegmentBytes: 16 << 20,
+				SegmentCodec: "flate",
 			}
-			if err := svc.Train("bench"); err != nil {
-				b.Fatal(err)
-			}
-			batch := ds.Lines[:200]
-			b.ReportAllocs()
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				iters := b.N / workers
-				if w < b.N%workers {
-					iters++
-				}
-				wg.Add(1)
-				go func(iters int) {
-					defer wg.Done()
-					for i := 0; i < iters; i++ {
-						if err := svc.Ingest("bench", batch); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(iters)
-			}
-			wg.Wait()
-			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
-		})
+		}},
 	}
+	for _, store := range stores {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("store=%s/goroutines=%d", store.name, workers), func(b *testing.B) {
+				svc := bytebrain.NewService(store.cfg(b))
+				defer svc.Close()
+				if err := svc.CreateTopic("bench"); err != nil {
+					b.Fatal(err)
+				}
+				if err := svc.Ingest("bench", ds.Lines); err != nil {
+					b.Fatal(err)
+				}
+				if err := svc.Train("bench"); err != nil {
+					b.Fatal(err)
+				}
+				batch := ds.Lines[:200]
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					iters := b.N / workers
+					if w < b.N%workers {
+						iters++
+					}
+					wg.Add(1)
+					go func(iters int) {
+						defer wg.Done()
+						for i := 0; i < iters; i++ {
+							if err := svc.Ingest("bench", batch); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(iters)
+				}
+				wg.Wait()
+				b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+			})
+		}
+	}
+}
+
+// BenchmarkIngestAllocs locks in allocations per line on the steady-state
+// ingestion path (tokenize → match → group-committed append) over a
+// WAL-backed compacting store: one iteration ingests one 256-line batch
+// on a single goroutine, the shape every Ingester worker executes. The
+// allocs/op number here is the regression surface the CI allocation smoke
+// step budgets (see TestAllocBudget in alloc_test.go).
+func BenchmarkIngestAllocs(b *testing.B) {
+	ds, err := bytebrain.GenerateLogHub("Zookeeper", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := bytebrain.NewService(bytebrain.ServiceConfig{
+		Parser:       bytebrain.Options{Seed: 1},
+		TrainVolume:  1 << 30,
+		DataDir:      b.TempDir(),
+		SegmentBytes: 16 << 20,
+		SegmentCodec: "flate",
+	})
+	defer svc.Close()
+	if err := svc.CreateTopic("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Ingest("bench", ds.Lines); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Train("bench"); err != nil {
+		b.Fatal(err)
+	}
+	batch := ds.Lines[:256]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Ingest("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
 }
 
 // BenchmarkShardedIngest measures raw append throughput into a sharded
@@ -282,6 +343,80 @@ func BenchmarkShardedIngest(b *testing.B) {
 							b.Error(err)
 							return
 						}
+					}
+				}(w, iters)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+		})
+	}
+}
+
+// BenchmarkShardedIngestBatch is BenchmarkShardedIngest through the
+// group-commit path: each worker appends 256-record batches to its
+// pinned shard via AppendShardBatch, so a batch pays one store lock and
+// one offset check instead of 256. One benchmark op is one RECORD (a
+// batch lands every 256 iterations), so ns/op and logs/s compare
+// directly against the per-record benchmark above at the same -benchtime
+// count — both store exactly b.N records.
+func BenchmarkShardedIngestBatch(b *testing.B) {
+	recs := segmentBenchRecords(b, "Zookeeper")
+	const batchSize = 256
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			if shards > workers {
+				b.Skipf("only %d workers; a %d-shard run would not use them all", workers, shards)
+			}
+			store, err := logstore.OpenSharded("bench", logstore.ShardConfig{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			// Pre-build the batches outside the timed loop; the benchmark
+			// measures the store, not batch assembly.
+			batches := make([][]logstore.BatchRecord, (len(recs)+batchSize-1)/batchSize)
+			for i := range batches {
+				lo := i * batchSize
+				hi := lo + batchSize
+				if hi > len(recs) {
+					hi = len(recs)
+				}
+				batch := make([]logstore.BatchRecord, hi-lo)
+				for j, r := range recs[lo:hi] {
+					batch[j] = logstore.BatchRecord{Raw: r.Raw, TemplateID: r.TemplateID}
+				}
+				batches[i] = batch
+			}
+			base := time.Unix(1700000000, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				iters := b.N / workers
+				if w < b.N%workers {
+					iters++
+				}
+				wg.Add(1)
+				go func(w, iters int) {
+					defer wg.Done()
+					shard := w % shards
+					for done, bi := 0, 0; done < iters; bi++ {
+						batch := batches[bi%len(batches)]
+						if n := iters - done; len(batch) > n {
+							batch = batch[:n]
+						}
+						if _, err := store.AppendShardBatch(shard, base, batch); err != nil {
+							b.Error(err)
+							return
+						}
+						done += len(batch)
 					}
 				}(w, iters)
 			}

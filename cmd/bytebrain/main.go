@@ -42,6 +42,8 @@ func main() {
 		cmdTemplates(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "ingest":
+		cmdIngest(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,6 +54,8 @@ func usage() {
   bytebrain train     -in <log file> -model <out model> [-seed N] [-parallel N]
   bytebrain match     -in <log file> -model <model> [-threshold T]
   bytebrain templates -model <model> [-threshold T]
+  bytebrain ingest    -addr <service URL> -topic <name> [-in <log file>]
+                      [-batch N] [-async]
   bytebrain query     -addr <service URL> -topic <name> [-threshold T]
                       [-from RFC3339] [-to RFC3339] [-since 15m] [-merged]`)
 	os.Exit(2)
@@ -148,6 +152,65 @@ func cmdMatch(args []string) {
 		}
 		fmt.Fprintf(w, "%d\t%s\t%s\n", n.ID, bytebrain.DisplayTemplate(n.Template), line)
 	}
+}
+
+// cmdIngest ships a log file (or stdin) into a running log service
+// (cmd/logsvcd) over HTTP, posting batches of lines so each request rides
+// the service's group-committed ingestion path end to end. -async routes
+// through the service's multi-queue pipeline (202 on enqueue) instead of
+// synchronous ingestion.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "log service base URL")
+	topic := fs.String("topic", "", "topic to ingest into")
+	in := fs.String("in", "", "input log file (default stdin)")
+	batch := fs.Int("batch", 4096, "lines per HTTP request")
+	async := fs.Bool("async", false, "enqueue on the service's async pipeline (HTTP 202)")
+	_ = fs.Parse(args)
+	if *topic == "" || *batch <= 0 {
+		usage()
+	}
+	var lines []string
+	if *in == "" {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+		for sc.Scan() {
+			if l := sc.Text(); l != "" {
+				lines = append(lines, l)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		lines = readLines(*in)
+	}
+	u := strings.TrimSuffix(*addr, "/") + "/topics/" + url.PathEscape(*topic) + "/logs"
+	if *async {
+		u += "?async=1"
+	}
+	sent := 0
+	for len(lines) > 0 {
+		n := *batch
+		if n > len(lines) {
+			n = len(lines)
+		}
+		body := strings.NewReader(strings.Join(lines[:n], "\n"))
+		lines = lines[n:]
+		resp, err := http.Post(u, "text/plain", body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		sent += n
+	}
+	fmt.Printf("ingested %d lines into %s\n", sent, *topic)
 }
 
 // cmdQuery runs a grouped template query against a running log service

@@ -388,8 +388,14 @@ func (m *Matcher) MatchBatch(lines []string) []MatchResult {
 	}
 	results := make([]MatchResult, len(distinct))
 	m.parser.forEachChunk(len(distinct), func(lo, hi int) {
+		// One token buffer per worker, reused across its lines: the
+		// preprocessing of a chunk allocates no per-line slices.
+		// MatchTokens copies tokens before retaining them, so reuse is
+		// safe.
+		var buf []string
 		for i := lo; i < hi; i++ {
-			results[i] = m.Match(distinct[i])
+			buf = m.parser.PreprocessLineAppend(buf[:0], distinct[i])
+			results[i] = m.MatchTokens(buf)
 		}
 	})
 	for i := range lines {

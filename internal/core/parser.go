@@ -154,6 +154,29 @@ func (p *Parser) PreprocessLine(line string) []string {
 	return vars.CanonicalizeTokens(tokens)
 }
 
+// appendTokenizer is the optional buffer-reusing surface of a tokenizer;
+// tokenize.Fast implements it.
+type appendTokenizer interface {
+	TokenizeAppend(dst []string, line string) []string
+}
+
+// PreprocessLineAppend is PreprocessLine writing tokens into dst (reused
+// like append), so a hot loop can preprocess many lines with one token
+// buffer. Only the appended tail is canonicalized — any pre-existing dst
+// prefix is left untouched, exactly like append. The returned tokens
+// must not be retained across the buffer's next reuse — MatchTokens
+// already copies before retaining. Tokenizers without TokenizeAppend
+// fall back to the allocating path.
+func (p *Parser) PreprocessLineAppend(dst []string, line string) []string {
+	at, ok := p.opts.Tokenizer.(appendTokenizer)
+	if !ok {
+		return append(dst, p.PreprocessLine(line)...)
+	}
+	tokens := at.TokenizeAppend(dst, p.opts.Replacer.ReplaceTokenSafe(line))
+	vars.CanonicalizeTokens(tokens[len(dst):])
+	return tokens
+}
+
 // forEach runs fn(i) for i in [0,n) on up to Parallelism workers.
 func (p *Parser) forEach(n int, fn func(i int)) {
 	workers := p.workers(n)

@@ -894,3 +894,51 @@ func TestSnapshotHeadroomAndOverlayInheritance(t *testing.T) {
 		t.Errorf("absorbed temporary ID stopped resolving: %v", err)
 	}
 }
+
+// TestPreprocessLineAppendMatchesPreprocessLine: the buffer-reusing
+// preprocessing must produce the same tokens as the allocating one, and
+// reuse across lines must not corrupt earlier results once copied.
+func TestPreprocessLineAppendMatchesPreprocessLine(t *testing.T) {
+	p := New(Options{})
+	lines := []string{
+		"Receiving block blk_123 src: /10.0.0.1:50010",
+		"no variables at all",
+		"ts 2025-04-12T08:31:02Z worker 9 done",
+		"",
+	}
+	var buf []string
+	for _, line := range lines {
+		want := p.PreprocessLine(line)
+		buf = p.PreprocessLineAppend(buf[:0], line)
+		if len(buf) != len(want) {
+			t.Fatalf("PreprocessLineAppend(%q) = %v, want %v", line, buf, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("PreprocessLineAppend(%q)[%d] = %q, want %q", line, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPreprocessLineAppendLeavesPrefixAlone: only the appended tail may
+// be canonicalized; pre-existing dst elements belong to the caller, even
+// ones that happen to contain the variable sentinel byte.
+func TestPreprocessLineAppendLeavesPrefixAlone(t *testing.T) {
+	p := New(Options{})
+	sentinel := "prefix-\x01-token"
+	dst := []string{sentinel}
+	out := p.PreprocessLineAppend(dst, "worker 10.0.0.1 connected")
+	if out[0] != sentinel {
+		t.Fatalf("caller's prefix mutated: %q", out[0])
+	}
+	want := p.PreprocessLine("worker 10.0.0.1 connected")
+	if len(out) != 1+len(want) {
+		t.Fatalf("out = %v, want prefix + %v", out, want)
+	}
+	for i, tok := range want {
+		if out[1+i] != tok {
+			t.Fatalf("tail[%d] = %q, want %q", i, out[1+i], tok)
+		}
+	}
+}

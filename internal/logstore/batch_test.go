@@ -1,0 +1,300 @@
+package logstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bytebrain/internal/segment"
+)
+
+// batchCase builds one store layout for the AppendBatch equivalence
+// suite. reopen rebuilds the store from its directory (nil for pure
+// in-memory layouts, which cannot recover).
+type batchCase struct {
+	name   string
+	open   func(t *testing.T, dir string) Store
+	reopen bool
+}
+
+func batchCases() []batchCase {
+	return []batchCase{
+		{"topic", func(t *testing.T, dir string) Store { return NewStore("t") }, false},
+		{"disk", func(t *testing.T, dir string) Store {
+			s, err := OpenDiskTopic(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, true},
+		// Hot-only: the seal threshold is never reached.
+		{"compacting-hot", func(t *testing.T, dir string) Store {
+			s, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 1 << 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, true},
+		// Sealing: a tiny threshold forces rotation mid-batch.
+		{"compacting-sealed", func(t *testing.T, dir string) Store {
+			s, err := OpenCompacting("t", CompactConfig{Dir: dir, SegmentBytes: 256, Codec: segment.CodecFlate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, true},
+		{"sharded", func(t *testing.T, dir string) Store {
+			s, err := OpenSharded("t", ShardConfig{Shards: 3, Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, true},
+		{"sharded-compacting", func(t *testing.T, dir string) Store {
+			s, err := OpenSharded("t", ShardConfig{Shards: 2, Dir: dir, SegmentBytes: 256, Codec: segment.CodecFlate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, true},
+	}
+}
+
+// batchTestRecords builds deterministic batches with varied sizes (empty,
+// single, and large enough to straddle seal thresholds) and timestamps.
+func batchTestRecords() ([][]BatchRecord, []time.Time) {
+	sizes := []int{1, 0, 7, 64, 3, 1, 29}
+	var batches [][]BatchRecord
+	var times []time.Time
+	n := 0
+	for bi, size := range sizes {
+		batch := make([]BatchRecord, size)
+		for i := range batch {
+			batch[i] = BatchRecord{
+				Raw:        fmt.Sprintf("worker %d finished job job-%d in %dms", n%7, n, n%97),
+				TemplateID: uint64(n%5 + 1),
+			}
+			n++
+		}
+		batches = append(batches, batch)
+		times = append(times, ts(bi))
+	}
+	return batches, times
+}
+
+func collectScan(s Store) []Record {
+	var out []Record
+	s.Scan(0, -1, TimeRange{}, func(r Record) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+func diffStores(t *testing.T, label string, one, batch Store) {
+	t.Helper()
+	if one.Len() != batch.Len() {
+		t.Fatalf("%s: Len: per-record %d, batch %d", label, one.Len(), batch.Len())
+	}
+	if one.Bytes() != batch.Bytes() {
+		t.Fatalf("%s: Bytes: per-record %d, batch %d", label, one.Bytes(), batch.Bytes())
+	}
+	a, b := collectScan(one), collectScan(batch)
+	if len(a) != len(b) {
+		t.Fatalf("%s: Scan counts: per-record %d, batch %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: Scan record %d: per-record %+v, batch %+v", label, i, a[i], b[i])
+		}
+	}
+	ga, gb := one.GroupedCounts(5, TimeRange{}), batch.GroupedCounts(5, TimeRange{})
+	if len(ga) != len(gb) {
+		t.Fatalf("%s: GroupedCounts sizes: %d vs %d", label, len(ga), len(gb))
+	}
+	for id, g := range ga {
+		h, ok := gb[id]
+		if !ok || g.Count != h.Count || len(g.Samples) != len(h.Samples) {
+			t.Fatalf("%s: GroupedCounts[%d]: per-record %+v, batch %+v", label, id, g, h)
+		}
+		for i := range g.Samples {
+			if g.Samples[i] != h.Samples[i] {
+				t.Fatalf("%s: GroupedCounts[%d] sample %d: %d vs %d", label, id, i, g.Samples[i], h.Samples[i])
+			}
+		}
+	}
+	if sa, sb := one.Search("finished"), batch.Search("finished"); len(sa) != len(sb) {
+		t.Fatalf("%s: Search: %d vs %d hits", label, len(sa), len(sb))
+	}
+}
+
+// TestAppendBatchEquivalence is the store-equivalence satellite: for
+// every store implementation, AppendBatch must produce exactly the
+// offsets, scan results, grouped counts, and (for persistent layouts)
+// post-recovery state that the equivalent sequence of Append calls does.
+func TestAppendBatchEquivalence(t *testing.T) {
+	for _, tc := range batchCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			dirOne, dirBatch := t.TempDir(), t.TempDir()
+			one := tc.open(t, dirOne)
+			batch := tc.open(t, dirBatch)
+			batches, times := batchTestRecords()
+			for bi, recs := range batches {
+				var wantFirst int64 = -1
+				for _, r := range recs {
+					off, err := one.Append(times[bi], r.Raw, r.TemplateID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wantFirst < 0 {
+						wantFirst = off
+					}
+				}
+				got, err := batch.AppendBatch(times[bi], recs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(recs) > 0 && got != wantFirst {
+					t.Fatalf("batch %d: AppendBatch first offset %d, Append loop %d", bi, got, wantFirst)
+				}
+			}
+			if c, ok := one.(Compactor); ok {
+				c.WaitIdle()
+			}
+			if c, ok := batch.(Compactor); ok {
+				c.WaitIdle()
+			}
+			diffStores(t, "live", one, batch)
+
+			if !tc.reopen {
+				if err := one.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := batch.Close(); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err := one.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := batch.Close(); err != nil {
+				t.Fatal(err)
+			}
+			one = tc.open(t, dirOne)
+			batch = tc.open(t, dirBatch)
+			defer one.Close()
+			defer batch.Close()
+			diffStores(t, "recovered", one, batch)
+		})
+	}
+}
+
+// TestAppendBatchEmptyAndNil locks in the no-op contract: empty (or nil)
+// batches admit nothing, disturb no offsets, and return (0, nil).
+func TestAppendBatchEmptyAndNil(t *testing.T) {
+	for _, tc := range batchCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t, t.TempDir())
+			defer s.Close()
+			for _, recs := range [][]BatchRecord{nil, {}} {
+				off, err := s.AppendBatch(ts(0), recs)
+				if err != nil || off != 0 {
+					t.Fatalf("AppendBatch(empty) = (%d, %v), want (0, nil)", off, err)
+				}
+			}
+			if s.Len() != 0 {
+				t.Fatalf("empty batches admitted %d records", s.Len())
+			}
+			if _, err := s.AppendBatch(ts(0), []BatchRecord{{Raw: "a b", TemplateID: 1}}); err != nil {
+				t.Fatal(err)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", s.Len())
+			}
+		})
+	}
+}
+
+// TestShardedAppendShardBatch pins a batch to one shard and checks the
+// namespaced offsets and shard routing.
+func TestShardedAppendShardBatch(t *testing.T) {
+	s, err := OpenSharded("t", ShardConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs := []BatchRecord{
+		{Raw: "a 1", TemplateID: 1},
+		{Raw: "b 2", TemplateID: 2},
+		{Raw: "c 3", TemplateID: 3},
+	}
+	first, err := s.AppendShardBatch(2, ts(0), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(2) << shardShift; first != want {
+		t.Fatalf("first offset %d, want %d", first, want)
+	}
+	for i := range recs {
+		r, err := s.Get(first + int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Raw != recs[i].Raw || r.TemplateID != recs[i].TemplateID {
+			t.Fatalf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+	if _, err := s.AppendShardBatch(4, ts(0), recs); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := s.AppendShardBatch(-1, ts(0), recs); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+}
+
+// TestDiskAppendBatchRotatesMidBatch drives one batch across the segment
+// size limit and verifies rotation happened mid-batch and every record
+// survives recovery.
+func TestDiskAppendBatchRotatesMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskTopic(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.maxSeg = 512 // tiny rotation threshold
+	const n = 64
+	recs := make([]BatchRecord, n)
+	for i := range recs {
+		recs[i] = BatchRecord{Raw: fmt.Sprintf("record %03d with some padding payload", i), TemplateID: uint64(i % 3)}
+	}
+	first, err := s.AppendBatch(ts(0), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Fatalf("first offset %d, want 0", first)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segmentPrefix+"*"+segmentSuffix))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segment files = %v (%v); want rotation mid-batch", segs, err)
+	}
+	s2, err := OpenDiskTopic(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("recovered %d records, want %d", s2.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		r, err := s2.Get(i)
+		if err != nil || r.Raw != recs[i].Raw {
+			t.Fatalf("Get(%d) = %+v, %v", i, r, err)
+		}
+	}
+}

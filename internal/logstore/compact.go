@@ -309,6 +309,74 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 	return off, nil
 }
 
+// AppendBatch implements Store: the batch lands under ONE store-lock
+// acquisition with ONE WAL poison check per block it touches, its records
+// encoded back-to-back into the WAL's buffered writer (group commit).
+// Block rotation is handled mid-batch at exactly the boundaries the
+// equivalent Append sequence would produce, so the WAL files and block
+// layout are byte-identical to the per-record path. A WAL failure poisons
+// and rotates exactly as in Append: the fully-written prefix of the batch
+// is admitted (and later sealed from memory), the rest fails.
+func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("logstore: compacting store closed")
+	}
+	b := s.blocks[len(s.blocks)-1]
+	if b.hot == nil || b.sealing {
+		if err := s.startHotLocked(); err != nil {
+			return 0, err
+		}
+		b = s.blocks[len(s.blocks)-1]
+	}
+	first := b.first + int64(b.hot.Len())
+	for i := 0; i < len(recs); {
+		// Chunk: records that fit the current block, up to and including
+		// the one whose bytes push it over the seal threshold — the same
+		// boundary the per-record path rotates at.
+		bytes := b.hot.Bytes()
+		j := i
+		for j < len(recs) {
+			bytes += int64(len(recs[j].Raw))
+			j++
+			if bytes >= s.cfg.SegmentBytes {
+				break
+			}
+		}
+		chunk := recs[i:j]
+		if b.wal != nil {
+			n, err := b.wal.appendBatch(ts, chunk)
+			if n > 0 {
+				b.hot.AppendBatch(ts, chunk[:n])
+			}
+			if err != nil {
+				s.poisonRotateLocked(b)
+				return first, fmt.Errorf("logstore: wal append: %w", err)
+			}
+		} else {
+			b.hot.AppendBatch(ts, chunk)
+		}
+		i = j
+		if b.hot.Bytes() >= s.cfg.SegmentBytes {
+			// Rotate mid-batch; on rotation failure keep absorbing into
+			// the same block (correct, just uncompacted) and surface the
+			// error via SealError, exactly like Append.
+			if err := s.startHotLocked(); err != nil {
+				s.sealErr = err
+			} else {
+				b.sealing = true
+				s.kickSealer()
+				b = s.blocks[len(s.blocks)-1]
+			}
+		}
+	}
+	return first, nil
+}
+
 // poisonRotateLocked retires a block whose WAL append just failed: the
 // WAL now ends in a torn record, so the block must stop writing to it. A
 // block holding admitted records is handed to the sealer — a successful
@@ -983,6 +1051,34 @@ func (w *walWriter) append(ts time.Time, raw string, templateID uint64) error {
 		return err
 	}
 	return nil
+}
+
+// appendBatch writes a batch of records back-to-back into the buffered
+// writer under one lock acquisition and one poison check — the WAL half
+// of group commit. It returns how many records were fully written; on a
+// mid-record failure the writer poisons itself (the tail is torn) and the
+// failing record plus everything after it is reported unwritten. The
+// bytes produced are identical to len(recs) sequential append calls, so
+// batch-written WALs replay with the unchanged reader.
+func (w *walWriter) appendBatch(ts time.Time, recs []BatchRecord) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, fmt.Errorf("logstore: wal %s poisoned by earlier failure: %w", filepath.Base(w.path), w.err)
+	}
+	var hdr [recordOverhead]byte
+	for i, r := range recs {
+		putRecordHeader(hdr[:], ts, r.TemplateID, len(r.Raw))
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			w.err = err
+			return i, err
+		}
+		if _, err := w.w.WriteString(r.Raw); err != nil {
+			w.err = err
+			return i, err
+		}
+	}
+	return len(recs), nil
 }
 
 // poisoned reports whether an append failed partway, i.e. the stream tail

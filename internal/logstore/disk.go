@@ -19,6 +19,19 @@ import (
 type Store interface {
 	// Append stores a record and returns its offset.
 	Append(ts time.Time, raw string, templateID uint64) (int64, error)
+	// AppendBatch group-commits a batch of records, all stamped with the
+	// same timestamp, and returns the offset assigned to the first
+	// record. It is the ingestion hot path: one lock acquisition, one
+	// durability write and one index extension per batch instead of one
+	// per record, with internal rotation (disk segments, hot blocks)
+	// handled mid-batch. The store does not retain recs after the call.
+	// On error a prefix of the batch may have been admitted and the
+	// remainder was not — except on a sharded store routing across
+	// shards, where each shard admits a prefix of ITS sub-batch, so the
+	// surviving records may interleave with lost ones (see
+	// ShardedStore.AppendBatch). An empty batch is a no-op returning
+	// (0, nil).
+	AppendBatch(ts time.Time, recs []BatchRecord) (int64, error)
 	// Len returns the record count.
 	Len() int
 	// Bytes returns the total raw payload size.
@@ -64,6 +77,11 @@ func NewStore(name string) Store { return memStore{NewTopic(name)} }
 // Append implements Store.
 func (m memStore) Append(ts time.Time, raw string, templateID uint64) (int64, error) {
 	return m.Topic.Append(ts, raw, templateID), nil
+}
+
+// AppendBatch implements Store.
+func (m memStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, error) {
+	return m.Topic.AppendBatch(ts, recs), nil
 }
 
 // Close implements Store.
@@ -261,6 +279,74 @@ func (t *DiskTopic) Append(ts time.Time, raw string, templateID uint64) (int64, 
 	}
 	t.segLen += int64(len(t.scratch))
 	return t.mem.Append(ts, raw, templateID), nil
+}
+
+// batchScratchFlush bounds the encode scratch of AppendBatch: once this
+// many bytes accumulate they are handed to the buffered writer and the
+// scratch is reset, so a huge one-off batch cannot grow the topic's
+// long-lived scratch buffer to a whole segment. Matches the bufio writer
+// size, so the flush granularity costs no extra syscalls.
+const batchScratchFlush = 256 << 10
+
+// AppendBatch implements Store: the whole batch is encoded into the
+// scratch buffer and handed to the buffered segment writer in one Write
+// per scratch run (rotation mid-batch, or the scratch filling, starts a
+// new run), then admitted to the in-memory indexes under a single Topic
+// lock. On a write or rotation failure the fully-written prefix is
+// admitted and the error returned; the torn tail, if any, is truncated
+// by replay exactly as for Append.
+func (t *DiskTopic) AppendBatch(ts time.Time, recs []BatchRecord) (int64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, errors.New("logstore: topic closed")
+	}
+	admitted := 0 // records fully written to the segment writer
+	pending := 0  // records encoded in scratch, not yet written
+	t.scratch = t.scratch[:0]
+	flush := func() error {
+		if len(t.scratch) == 0 {
+			return nil
+		}
+		if _, err := t.segW.Write(t.scratch); err != nil {
+			return fmt.Errorf("logstore: append: %w", err)
+		}
+		t.segLen += int64(len(t.scratch))
+		t.scratch = t.scratch[:0]
+		admitted += pending
+		pending = 0
+		return nil
+	}
+	admit := func(err error) (int64, error) {
+		first := t.mem.AppendBatch(ts, recs[:admitted])
+		return first, err
+	}
+	var hdr [recordOverhead]byte
+	for _, r := range recs {
+		if t.segLen+int64(len(t.scratch)) >= t.maxSeg {
+			if err := flush(); err != nil {
+				return admit(err)
+			}
+			if err := t.rotateLocked(); err != nil {
+				return admit(err)
+			}
+		} else if len(t.scratch) >= batchScratchFlush {
+			if err := flush(); err != nil {
+				return admit(err)
+			}
+		}
+		putRecordHeader(hdr[:], ts, r.TemplateID, len(r.Raw))
+		t.scratch = append(t.scratch, hdr[:]...)
+		t.scratch = append(t.scratch, r.Raw...)
+		pending++
+	}
+	if err := flush(); err != nil {
+		return admit(err)
+	}
+	return admit(nil)
 }
 
 func (t *DiskTopic) rotateLocked() error {

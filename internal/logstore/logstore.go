@@ -29,6 +29,16 @@ type Record struct {
 	TemplateID uint64
 }
 
+// BatchRecord is one record of an AppendBatch call: the raw line and the
+// template ID computed at ingestion. Offsets and the shared batch
+// timestamp are assigned by the store.
+type BatchRecord struct {
+	// Raw is the original log line.
+	Raw string
+	// TemplateID is the most precise template matched at ingestion.
+	TemplateID uint64
+}
+
 // TimeRange bounds a query to records with From <= Time <= To, both ends
 // inclusive. A zero From or To leaves that side unbounded, so the zero
 // TimeRange matches every record; a range whose From is after its To is
@@ -104,6 +114,10 @@ type Topic struct {
 	minTime    int64
 	maxTime    int64
 	disordered bool
+	// tokScratch is the reusable token buffer of the append path (under
+	// mu): indexing a record's search tokens no longer allocates a fields
+	// slice per line.
+	tokScratch []string
 }
 
 // NewTopic creates an empty topic.
@@ -123,6 +137,28 @@ func (t *Topic) Name() string { return t.name }
 func (t *Topic) Append(ts time.Time, raw string, templateID uint64) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.appendLocked(ts, raw, templateID)
+}
+
+// AppendBatch stores a batch of records under one lock acquisition, all
+// stamped with the same timestamp, and returns the offset assigned to the
+// first record. The batch is indexed exactly as the equivalent sequence
+// of Append calls would be. An empty batch is a no-op returning 0.
+func (t *Topic) AppendBatch(ts time.Time, recs []BatchRecord) int64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	first := int64(len(t.records))
+	for _, r := range recs {
+		t.appendLocked(ts, r.Raw, r.TemplateID)
+	}
+	return first
+}
+
+// appendLocked stores and indexes one record; callers hold mu.
+func (t *Topic) appendLocked(ts time.Time, raw string, templateID uint64) int64 {
 	off := int64(len(t.records))
 	ns := ts.UnixNano()
 	if off == 0 || ns > t.maxTime {
@@ -138,7 +174,8 @@ func (t *Topic) Append(ts time.Time, raw string, templateID uint64) int64 {
 	// The token index shares segment.Tokenize with the sealed-segment
 	// bloom filters: hot and sealed search must agree on what a token is,
 	// or results would change when a block seals.
-	for _, tok := range segment.Tokenize(raw) {
+	t.tokScratch = segment.TokenizeAppend(t.tokScratch[:0], raw)
+	for _, tok := range t.tokScratch {
 		if len(t.tokenIdx[tok]) == 0 || t.tokenIdx[tok][len(t.tokenIdx[tok])-1] != off {
 			t.tokenIdx[tok] = append(t.tokenIdx[tok], off)
 		}

@@ -174,6 +174,70 @@ func (s *ShardedStore) AppendShard(shard int, ts time.Time, raw string, template
 	return int64(shard)<<shardShift | local, nil
 }
 
+// AppendBatch implements Store: the batch is partitioned by the same
+// round-robin routing an Append sequence would use (record i of the batch
+// goes to the shard Append call number i would have picked), then each
+// shard receives its sub-batch through one group-committed AppendBatch
+// call. Offsets are therefore identical to the equivalent Append loop.
+// Pinned ingestion queues use AppendShardBatch instead and skip the
+// partition entirely. On error some shards may have admitted their
+// sub-batch (or a prefix of it) and others not, so — unlike single-store
+// AppendBatch — the admitted records are NOT necessarily a prefix of the
+// batch: surviving records can interleave with lost ones, exactly as
+// they could when parallel per-record Appends raced across shards. The
+// returned error reports the first failure.
+func (s *ShardedStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	n := len(s.shards)
+	if n == 1 {
+		return s.AppendShardBatch(0, ts, recs)
+	}
+	start := s.next.Add(uint64(len(recs))) - uint64(len(recs))
+	parts := make([][]BatchRecord, n)
+	for i, r := range recs {
+		sh := int((start + uint64(i)) % uint64(n))
+		parts[sh] = append(parts[sh], r)
+	}
+	firstShard := int(start % uint64(n))
+	var first int64
+	for k := 0; k < n; k++ {
+		if len(parts[k]) == 0 {
+			continue
+		}
+		off, err := s.AppendShardBatch(k, ts, parts[k])
+		if err != nil {
+			return 0, err
+		}
+		if k == firstShard {
+			first = off
+		}
+	}
+	return first, nil
+}
+
+// AppendShardBatch group-commits a whole batch into one specific shard
+// and returns the namespaced global offset of its first record — the
+// batch counterpart of AppendShard for pinned ingestion queues: one
+// sub-store AppendBatch call, zero cross-shard contention.
+func (s *ShardedStore) AppendShardBatch(shard int, ts time.Time, recs []BatchRecord) (int64, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("logstore: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	local, err := s.shards[shard].AppendBatch(ts, recs)
+	if err != nil {
+		return 0, err
+	}
+	if local+int64(len(recs))-1 > shardLocalMask {
+		return 0, fmt.Errorf("logstore: shard %d local offset %d overflows the %d-bit namespace", shard, local+int64(len(recs))-1, shardShift)
+	}
+	return int64(shard)<<shardShift | local, nil
+}
+
 // Len implements Store: the total record count across shards.
 func (s *ShardedStore) Len() int {
 	n := 0

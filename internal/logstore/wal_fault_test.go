@@ -14,10 +14,13 @@ import (
 // tornSink wraps a block's live walSink and fails one WriteString halfway
 // through, flushing the torn prefix to disk — the exact shape of a
 // partial write caught by a device error: the WAL file ends in a record
-// header plus half a payload.
+// header plus half a payload. countdown > 0 defers the tear to the
+// countdown-th record write, so a tear can be injected in the middle of
+// a group-committed batch.
 type tornSink struct {
-	inner    walSink
-	failNext bool
+	inner     walSink
+	failNext  bool
+	countdown int
 }
 
 var errInjected = errors.New("injected write failure")
@@ -25,6 +28,12 @@ var errInjected = errors.New("injected write failure")
 func (t *tornSink) Write(p []byte) (int, error) { return t.inner.Write(p) }
 
 func (t *tornSink) WriteString(s string) (int, error) {
+	if t.countdown > 0 {
+		t.countdown--
+		if t.countdown == 0 {
+			t.failNext = true
+		}
+	}
 	if t.failNext {
 		t.failNext = false
 		n, _ := t.inner.WriteString(s[:len(s)/2])
@@ -39,12 +48,18 @@ func (t *tornSink) Flush() error { return t.inner.Flush() }
 // injectTornWrite arms the live hot block's WAL to tear on the next
 // append.
 func injectTornWrite(s *CompactingStore) {
+	injectTornWriteAt(s, 1)
+}
+
+// injectTornWriteAt arms the live hot block's WAL to tear on the k-th
+// record written from now on (k = 1 tears the very next one).
+func injectTornWriteAt(s *CompactingStore, k int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w := s.blocks[len(s.blocks)-1].wal
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.w = &tornSink{inner: w.w, failNext: true}
+	w.w = &tornSink{inner: w.w, countdown: k}
 }
 
 // TestWALTornWritePoisonsAndRotates is the satellite-bug regression: a

@@ -121,10 +121,16 @@ func Encode(records []Record, codec Codec) ([]byte, Stats, error) {
 		payload = append(payload, t...)
 	}
 	payload = appendUvarint(payload, uint64(len(entries)))
+	var mask []byte // presence-mask scratch, reused across entries
 	for _, e := range entries {
 		payload = appendUvarint(payload, e.tmpl)
 		payload = appendUvarint(payload, uint64(e.cols))
-		mask := make([]byte, (e.cols+7)/8)
+		need := (e.cols + 7) / 8
+		if cap(mask) < need {
+			mask = make([]byte, need)
+		}
+		mask = mask[:need]
+		clear(mask)
 		for c, lit := range e.literal {
 			if lit {
 				mask[c/8] |= 1 << (c % 8)

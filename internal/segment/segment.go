@@ -86,6 +86,47 @@ func splitColumns(raw string) []string { return strings.Split(raw, " ") }
 // under the other tokenization).
 func Tokenize(raw string) []string { return strings.Fields(raw) }
 
+// TokenizeAppend appends raw's tokens (exactly Tokenize's output) to dst
+// and returns the extended slice, so per-record hot loops can reuse one
+// buffer instead of allocating a fields slice per line. ASCII lines are
+// scanned in place; a line with any non-ASCII byte goes through
+// strings.Fields, whose Unicode whitespace handling the fast path does
+// not replicate.
+func TokenizeAppend(dst []string, raw string) []string {
+	for i := 0; i < len(raw); i++ {
+		if raw[i] >= 0x80 {
+			return append(dst, strings.Fields(raw)...)
+		}
+	}
+	start := -1
+	for i := 0; i < len(raw); i++ {
+		if asciiSpace(raw[i]) {
+			if start >= 0 {
+				dst = append(dst, raw[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, raw[start:])
+	}
+	return dst
+}
+
+// asciiSpace mirrors the whitespace class strings.Fields uses for ASCII
+// bytes.
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
 // joinColumns inverts splitColumns.
 func joinColumns(cols []string) string { return strings.Join(cols, " ") }
 

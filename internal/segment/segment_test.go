@@ -670,3 +670,35 @@ func TestOpenRejectsUnknownVersion(t *testing.T) {
 		t.Fatal("future format version accepted")
 	}
 }
+
+// TestTokenizeAppendMatchesFields: the append variant must agree with
+// Tokenize (strings.Fields) byte-for-byte — a divergence would desync
+// the hot token index from the sealed bloom filters.
+func TestTokenizeAppendMatchesFields(t *testing.T) {
+	lines := []string{
+		"",
+		"   \t \n ",
+		"a",
+		" leading and trailing  ",
+		"many   internal \t tabs\tand  runs",
+		"unicode héllo nbsp separated", // U+00A0 is Unicode space
+		" em-space tokens",
+		"plain ascii line with words",
+	}
+	for _, line := range lines {
+		want := Tokenize(line)
+		got := TokenizeAppend(nil, line)
+		if len(got) != len(want) {
+			t.Fatalf("TokenizeAppend(%q) = %v, want %v", line, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("TokenizeAppend(%q)[%d] = %q, want %q", line, i, got[i], want[i])
+			}
+		}
+		withPrefix := TokenizeAppend([]string{"p"}, line)
+		if len(withPrefix) != len(want)+1 || withPrefix[0] != "p" {
+			t.Fatalf("prefix handling broke for %q: %v", line, withPrefix)
+		}
+	}
+}

@@ -82,18 +82,18 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("async") == "1" {
 			// Enqueue on the topic's shared multi-queue pipeline: the
 			// request returns as soon as the lines are queued, and the
-			// workers match+append them in parallel batches. Submit
-			// blocks only when every queue is full (backpressure).
+			// workers match+append them in parallel group-committed
+			// batches. SubmitBatch moves the request body with one queue
+			// send per chunk instead of one per line, and blocks only
+			// when every queue is full (backpressure).
 			ing, err := s.sharedIngester(name)
 			if err != nil {
 				httpTopicError(w, err)
 				return
 			}
-			for _, line := range lines {
-				if err := ing.Submit(line); err != nil {
-					httpTopicError(w, err)
-					return
-				}
+			if err := ing.SubmitBatch(lines); err != nil {
+				httpTopicError(w, err)
+				return
 			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusAccepted)

@@ -11,21 +11,36 @@ import (
 // distributes matching tasks across multiple processing queues, leveraging
 // the independent nature of template matching"): producers submit raw
 // lines, worker queues batch them, match them against the current model
-// and append to storage. Submit applies backpressure when every queue is
-// full. Records from different queues interleave; per-queue order is
-// preserved. On a sharded topic store (Config.TopicShards > 1) each
-// queue pins its appends to one shard, so the write side scales with
-// queues the way matching scales with cores.
+// and group-commit each batch to storage through one AppendBatch call.
+// Submit applies backpressure when every queue is full. Records from
+// different queues interleave; per-queue order is preserved. On a sharded
+// topic store (Config.TopicShards > 1) each queue pins its appends to one
+// shard, so the write side scales with queues the way matching scales
+// with cores.
 //
-// Submit and Close are safe to call concurrently: closed is an
-// atomic.Bool (late Submits fail fast), and an RWMutex excludes in-flight
-// queue sends from the channel close.
+// The queues carry line chunks, not single lines: SubmitBatch moves a
+// whole caller batch with one channel send per chunk of up to ingestBatch
+// lines, so bulk producers (the HTTP ingest path, log shippers) pay
+// no per-line synchronization anywhere between the socket and the store.
+// Submit wraps one line into a chunk for the interactive case. The
+// configured queue depth bounds buffered LINES (capacity is counted in
+// full chunks), which means a per-line Submit producer gets depth/256
+// lines of producer/worker decoupling, not depth — high-rate per-line
+// producers should batch upstream and call SubmitBatch.
+//
+// Submit/SubmitBatch and Close are safe to call concurrently: closed is
+// an atomic.Bool (late Submits fail fast), and an RWMutex excludes
+// in-flight queue sends from the channel close.
 type Ingester struct {
 	svc   *Service
 	topic string
 
-	queues []chan string
-	next   atomic.Uint64
+	queues []chan []string
+	// chunkSize caps lines per queued chunk: ingestBatch, or the
+	// configured depth when that is smaller, so chunk-counted channel
+	// capacity never over-buffers past the depth-in-lines contract.
+	chunkSize int
+	next      atomic.Uint64
 
 	wg      sync.WaitGroup
 	closed  atomic.Bool
@@ -54,9 +69,24 @@ func (s *Service) NewIngester(topic string, queues, depth int) (*Ingester, error
 	if depth <= 0 {
 		depth = s.cfg.IngestQueueDepth
 	}
-	ing := &Ingester{svc: s, topic: topic, queues: make([]chan string, queues)}
+	ing := &Ingester{svc: s, topic: topic, queues: make([]chan []string, queues)}
+	// depth is denominated in LINES: queues carry chunks of up to
+	// chunkSize lines (ingestBatch, or depth itself when smaller), so
+	// the channel capacity is depth/chunkSize chunks and a full queue
+	// holds at most depth lines — the same backpressure/memory bound the
+	// per-line channels gave. Single-line Submit chunks under-fill that
+	// bound (capacity counts chunks, not lines); bulk producers should
+	// use SubmitBatch.
+	ing.chunkSize = ingestBatch
+	if depth < ing.chunkSize {
+		ing.chunkSize = depth
+	}
+	chunks := depth / ing.chunkSize
+	if chunks < 1 {
+		chunks = 1
+	}
 	for i := range ing.queues {
-		ing.queues[i] = make(chan string, depth)
+		ing.queues[i] = make(chan []string, chunks)
 		ing.wg.Add(1)
 		go ing.worker(i, ing.queues[i])
 	}
@@ -82,11 +112,12 @@ func (s *Service) sharedIngester(topic string) (*Ingester, error) {
 	return ing, nil
 }
 
-// worker drains one queue in batches and ingests them. Its queue index
-// doubles as the shard pin: on a sharded topic store every batch from
-// queue i appends to shard i mod shards, so parallel queues write
-// disjoint shards with zero cross-shard lock contention.
-func (ing *Ingester) worker(queue int, q chan string) {
+// worker drains one queue in batches and ingests them; each flush is one
+// group-committed AppendBatch in the store. Its queue index doubles as
+// the shard pin: on a sharded topic store every batch from queue i
+// appends to shard i mod shards, so parallel queues write disjoint
+// shards with zero cross-shard lock contention.
+func (ing *Ingester) worker(queue int, q chan []string) {
 	defer ing.wg.Done()
 	batch := make([]string, 0, ingestBatch)
 	flush := func() {
@@ -98,8 +129,8 @@ func (ing *Ingester) worker(queue int, q chan string) {
 		}
 		batch = batch[:0]
 	}
-	for line := range q {
-		batch = append(batch, line)
+	for chunk := range q {
+		batch = append(batch, chunk...)
 		if len(batch) >= ingestBatch {
 			flush()
 			continue
@@ -113,7 +144,7 @@ func (ing *Ingester) worker(queue int, q chan string) {
 					flush()
 					return
 				}
-				batch = append(batch, more)
+				batch = append(batch, more...)
 			default:
 				goto drained
 			}
@@ -141,8 +172,24 @@ func (ing *Ingester) Err() error {
 }
 
 // Submit enqueues one line, blocking when the chosen queue is full
-// (backpressure). Submitting after Close returns an error.
+// (backpressure). Submitting after Close returns an error. Bulk
+// producers should prefer SubmitBatch, which moves up to ingestBatch
+// lines per queue send.
 func (ing *Ingester) Submit(line string) error {
+	return ing.SubmitBatch([]string{line})
+}
+
+// SubmitBatch enqueues a batch of lines as chunks of up to ingestBatch,
+// round-robined across the worker queues with ONE channel send per chunk
+// — the producer-side half of group commit. A 256-line batch that used
+// to pay 256 queue synchronizations now pays one. Chunks are sub-slices
+// of lines, retained until their worker ingests them: callers must not
+// mutate the slice after submitting. Blocks when the chosen queues are
+// full (backpressure); submitting after Close returns an error.
+func (ing *Ingester) SubmitBatch(lines []string) error {
+	if len(lines) == 0 {
+		return nil
+	}
 	if ing.closed.Load() {
 		return errors.New("service: ingester closed")
 	}
@@ -150,12 +197,19 @@ func (ing *Ingester) Submit(line string) error {
 	defer ing.closeMu.RUnlock()
 	// Re-check under the lock: Close sets the flag before it can take
 	// the write side, so a false here guarantees the queues are open for
-	// the duration of the send.
+	// the duration of the sends.
 	if ing.closed.Load() {
 		return errors.New("service: ingester closed")
 	}
-	q := ing.queues[ing.next.Add(1)%uint64(len(ing.queues))]
-	q <- line
+	for len(lines) > 0 {
+		chunk := lines
+		if len(chunk) > ing.chunkSize {
+			chunk = chunk[:ing.chunkSize]
+		}
+		lines = lines[len(chunk):]
+		q := ing.queues[ing.next.Add(1)%uint64(len(ing.queues))]
+		q <- chunk
+	}
 	return nil
 }
 

@@ -102,8 +102,137 @@ func TestIngesterDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ing.queues) != defaultQueues || cap(ing.queues[0]) != defaultQueueDepth {
-		t.Errorf("defaults not applied: %d queues, depth %d", len(ing.queues), cap(ing.queues[0]))
+	// Queue depth is denominated in lines; the chunk channels hold
+	// depth/ingestBatch chunks of up to ingestBatch lines each.
+	if len(ing.queues) != defaultQueues || cap(ing.queues[0]) != defaultQueueDepth/ingestBatch {
+		t.Errorf("defaults not applied: %d queues, chunk capacity %d", len(ing.queues), cap(ing.queues[0]))
 	}
 	_ = ing.Close()
+}
+
+func TestIngesterSubmitBatchDeliversEverything(t *testing.T) {
+	cfg := testConfig()
+	cfg.TrainVolume = 500
+	s := New(cfg)
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := s.NewIngester("app", 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := genLines(3000, 7)
+	// Mixed batch sizes: empty, single, sub-chunk, and multi-chunk (a
+	// 1000-line batch splits into several ingestBatch-sized queue sends).
+	if err := ing.SubmitBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SubmitBatch(lines[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SubmitBatch(lines[1:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SubmitBatch(lines[50:2000]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SubmitBatch(lines[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.TopicStats("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != len(lines) {
+		t.Fatalf("delivered %d of %d records", stats.Records, len(lines))
+	}
+	if stats := waitTrainings(t, s, "app", 1); stats.Trainings == 0 {
+		t.Error("volume-triggered training never fired through the batch pipeline")
+	}
+}
+
+func TestIngesterSubmitBatchAfterClose(t *testing.T) {
+	s := New(testConfig())
+	_ = s.CreateTopic("app")
+	ing, err := s.NewIngester("app", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.SubmitBatch([]string{"late line"}); err == nil {
+		t.Error("SubmitBatch after close succeeded")
+	}
+	// The empty batch stays a cheap no-op even when closed.
+	if err := ing.SubmitBatch(nil); err != nil {
+		t.Errorf("SubmitBatch(nil) after close = %v, want nil", err)
+	}
+}
+
+func TestIngesterSubmitBatchConcurrentProducers(t *testing.T) {
+	s := New(testConfig())
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	ing, err := s.NewIngester("app", 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const producers, per = 8, 250
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			lines := genLines(per, int64(p))
+			for len(lines) > 0 {
+				n := 37 // deliberately unaligned with ingestBatch
+				if n > len(lines) {
+					n = len(lines)
+				}
+				if err := ing.SubmitBatch(lines[:n]); err != nil {
+					t.Error(err)
+					return
+				}
+				lines = lines[n:]
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := s.TopicStats("app")
+	if stats.Records != producers*per {
+		t.Fatalf("records = %d, want %d", stats.Records, producers*per)
+	}
+}
+
+func TestIngesterSmallDepthBoundsLines(t *testing.T) {
+	s := New(testConfig())
+	_ = s.CreateTopic("app")
+	// depth < ingestBatch: chunks must shrink to the depth so a full
+	// queue can never buffer more than depth lines.
+	ing, err := s.NewIngester("app", 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.chunkSize != 64 || cap(ing.queues[0]) != 1 {
+		t.Fatalf("chunkSize=%d capacity=%d, want 64-line chunks in a 1-chunk queue", ing.chunkSize, cap(ing.queues[0]))
+	}
+	lines := genLines(500, 11)
+	if err := ing.SubmitBatch(lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := s.TopicStats("app")
+	if stats.Records != len(lines) {
+		t.Fatalf("records = %d, want %d", stats.Records, len(lines))
+	}
 }

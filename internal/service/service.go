@@ -84,7 +84,10 @@ type Config struct {
 	// async ingest path (default 4).
 	IngestQueues int
 	// IngestQueueDepth is the default per-queue depth for those
-	// pipelines (default 1024).
+	// pipelines, in LINES (default 1024): a full queue buffers at most
+	// this many lines before Submit/SubmitBatch block. Queues carry
+	// chunks of up to 256 lines, so the underlying channel holds
+	// depth/256 chunks.
 	IngestQueueDepth int
 	// Now supplies timestamps; tests override it. Defaults to time.Now.
 	Now func() time.Time
@@ -153,6 +156,41 @@ type modelSnapshot struct {
 	model      *core.Model
 	matcher    *core.Matcher
 	modelBytes []byte
+
+	// lineCache memoizes raw line → template ID for this snapshot's
+	// lifetime — the cross-batch extension of MatchBatch's within-batch
+	// deduplication. Real streams repeat raw lines heavily (§4.1.3,
+	// Fig. 4: duplication dominates; it is the largest factor in the
+	// paper's efficiency ablation), and matching is deterministic within
+	// one matcher generation, so a repeat can skip the regex/tokenize/
+	// lookup pipeline entirely. The cache dies with the snapshot at every
+	// model swap, which keeps it coherent with overlay pruning for free,
+	// and stops filling at lineCacheCap entries so adversarial all-unique
+	// streams cost one bounded map, not OOM.
+	lineCache  sync.Map // string → uint64
+	lineCacheN atomic.Int64
+}
+
+// lineCacheCap bounds how many distinct raw lines one snapshot memoizes.
+const lineCacheCap = 1 << 16
+
+// cachedID returns the memoized template ID for line, if any.
+func (sn *modelSnapshot) cachedID(line string) (uint64, bool) {
+	v, ok := sn.lineCache.Load(line)
+	if !ok {
+		return 0, false
+	}
+	return v.(uint64), true
+}
+
+// cacheID memoizes line → id while the cache has room.
+func (sn *modelSnapshot) cacheID(line string, id uint64) {
+	if sn.lineCacheN.Load() >= lineCacheCap {
+		return
+	}
+	if _, loaded := sn.lineCache.LoadOrStore(line, id); !loaded {
+		sn.lineCacheN.Add(1)
+	}
 }
 
 type topicState struct {
@@ -377,46 +415,102 @@ func (s *Service) Ingest(topicName string, lines []string) error {
 	return s.ingest(topicName, lines, -1)
 }
 
-// ingest is Ingest with optional shard affinity: queue >= 0 pins every
-// append of the batch to one shard of a sharded store (each Ingester
-// worker passes its queue index, so parallel queues write disjoint
-// shards and never contend on a store mutex); -1 lets the store route.
-// Non-sharded stores ignore the pin.
+// ingestScratch is the pooled per-call working set of the ingestion hot
+// path: the batch records handed to AppendBatch (which subsumes the old
+// per-call ids slice) and the cache-miss bookkeeping. Pooling it makes
+// the steady-state path allocation-free on the service side.
+type ingestScratch struct {
+	recs  []logstore.BatchRecord
+	miss  []int    // batch indexes whose lines missed the line cache
+	lines []string // the missed lines, in miss order, for MatchBatch
+}
+
+var ingestScratchPool = sync.Pool{
+	New: func() any { return new(ingestScratch) },
+}
+
+// maxPooledBatch bounds the batch size whose scratch is worth parking in
+// the pool: Ingester batches are ~256 lines, but a synchronous Ingest of
+// a whole file could grow a scratch to millions of entries that would
+// then sit in the pool forever.
+const maxPooledBatch = 1 << 14
+
+// ingest is Ingest with optional shard affinity: queue >= 0 pins the
+// batch to one shard of a sharded store (each Ingester worker passes its
+// queue index, so parallel queues write disjoint shards and never contend
+// on a store mutex); -1 lets the store route. Non-sharded stores ignore
+// the pin.
+//
+// The whole batch is one group commit: template IDs for every line are
+// resolved first — from the snapshot's line cache for repeats, through
+// the matcher's deduplicated MatchBatch for the rest — and then a single
+// AppendBatch hands the batch to the store, which takes one lock and
+// writes one WAL run instead of one per record. The batch is therefore
+// also the durability and poison boundary: a WAL failure fails the batch
+// from the torn record on, never splitting a record.
 func (s *Service) ingest(topicName string, lines []string, queue int) error {
 	st, err := s.topic(topicName)
 	if err != nil {
 		return err
 	}
 	now := s.cfg.Now()
-	// Lock-free read side: match the whole batch against the published
-	// snapshot (deduplicated and parallel across the parser's workers).
-	var ids []uint64
-	if snap := st.snap.Load(); snap != nil {
-		results := snap.matcher.MatchBatch(lines)
-		ids = make([]uint64, len(results))
-		for i, r := range results {
-			ids[i] = r.NodeID
+	scratch := ingestScratchPool.Get().(*ingestScratch)
+	defer func() {
+		if cap(scratch.recs) > maxPooledBatch {
+			return // oversized one-off batch; let the GC take it
 		}
+		// Drop the string references before pooling so a parked scratch
+		// cannot pin a whole batch of lines in memory.
+		clear(scratch.recs)
+		clear(scratch.lines)
+		ingestScratchPool.Put(scratch)
+	}()
+	recs := scratch.recs[:0]
+	for _, line := range lines {
+		recs = append(recs, logstore.BatchRecord{Raw: line})
 	}
-	appendOne := st.store.Append
-	if queue >= 0 {
-		if sh, ok := st.store.(*logstore.ShardedStore); ok {
-			shard := queue % sh.Shards()
-			appendOne = func(ts time.Time, raw string, templateID uint64) (int64, error) {
-				return sh.AppendShard(shard, ts, raw, templateID)
+	scratch.recs = recs
+	// Lock-free read side: resolve template IDs against the published
+	// snapshot. Lines seen before under this snapshot come straight from
+	// the cache; only first-seen lines pay preprocessing and matching
+	// (deduplicated and parallel across the parser's workers).
+	if snap := st.snap.Load(); snap != nil {
+		miss, missLines := scratch.miss[:0], scratch.lines[:0]
+		for i, line := range lines {
+			if id, ok := snap.cachedID(line); ok {
+				recs[i].TemplateID = id
+			} else {
+				miss = append(miss, i)
+				missLines = append(missLines, line)
 			}
 		}
-	}
-	for i, line := range lines {
-		var tmplID uint64
-		if ids != nil {
-			tmplID = ids[i]
+		if len(missLines) > 0 {
+			results := snap.matcher.MatchBatch(missLines)
+			for j, r := range results {
+				recs[miss[j]].TemplateID = r.NodeID
+				snap.cacheID(missLines[j], r.NodeID)
+			}
 		}
-		if _, err := appendOne(now, line, tmplID); err != nil {
-			return fmt.Errorf("service: ingest %s: %w", topicName, err)
+		scratch.miss, scratch.lines = miss, missLines
+	}
+	if queue >= 0 {
+		if sh, ok := st.store.(*logstore.ShardedStore); ok {
+			if _, err := sh.AppendShardBatch(queue%sh.Shards(), now, recs); err != nil {
+				return fmt.Errorf("service: ingest %s: %w", topicName, err)
+			}
+			return s.afterIngest(st, lines, now)
 		}
 	}
-	// The one brief critical section: feed the training reservoir.
+	if _, err := st.store.AppendBatch(now, recs); err != nil {
+		return fmt.Errorf("service: ingest %s: %w", topicName, err)
+	}
+	return s.afterIngest(st, lines, now)
+}
+
+// afterIngest feeds the training reservoir (the one brief critical
+// section of the ingestion path) and kicks the background trainer when a
+// volume or interval trigger fires.
+func (s *Service) afterIngest(st *topicState, lines []string, now time.Time) error {
 	st.offer(lines)
 	if st.sinceLast.Add(int64(len(lines))) >= int64(s.cfg.TrainVolume) ||
 		now.Sub(time.Unix(0, st.lastTrain.Load())) >= s.cfg.TrainInterval {

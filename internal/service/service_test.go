@@ -482,3 +482,101 @@ func TestHTTPQueryMergedParam(t *testing.T) {
 		}
 	}
 }
+
+// TestLineCacheRepeatIngestStaysCorrect drives the snapshot line cache:
+// re-ingesting identical lines must produce exactly the same query
+// counts as matching every line from scratch, across batches and across
+// a model swap (which discards the cache with its snapshot).
+func TestLineCacheRepeatIngestStaysCorrect(t *testing.T) {
+	cfg := testConfig()
+	cfg.TrainVolume = 1 << 30
+	s := New(cfg)
+	defer s.Close()
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	lines := genLines(200, 3)
+	if err := s.Ingest("app", lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train("app"); err != nil {
+		t.Fatal(err)
+	}
+	// Repeat the same batch: every line after the first pass should be a
+	// cache hit, and counts must stay exact multiples.
+	const repeats = 5
+	for i := 0; i < repeats; i++ {
+		if err := s.Ingest("app", lines); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := s.Query("app", 0.7, TimeRange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Count
+	}
+	if want := len(lines) * (repeats + 1); total != want {
+		t.Fatalf("query counts sum to %d, want %d", total, want)
+	}
+	st, err := s.topic("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.snap.Load()
+	if snap == nil || snap.lineCacheN.Load() == 0 {
+		t.Fatal("line cache never filled on repeat ingest")
+	}
+	// A forced training cycle swaps the snapshot; the fresh cache must
+	// keep resolving the same lines to valid templates.
+	if err := s.Train("app"); err != nil {
+		t.Fatal(err)
+	}
+	if snap2 := st.snap.Load(); snap2 == snap {
+		t.Fatal("training did not swap the snapshot")
+	} else if snap2.lineCacheN.Load() != 0 {
+		t.Fatal("new snapshot inherited a stale line cache")
+	}
+	if err := s.Ingest("app", lines); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = s.Query("app", 0.7, TimeRange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	unparsed := 0
+	for _, r := range rows {
+		total += r.Count
+		if r.Template == "(unparsed: ingested before first training)" {
+			unparsed += r.Count
+		}
+	}
+	if want := len(lines) * (repeats + 2); total != want {
+		t.Fatalf("post-swap counts sum to %d, want %d", total, want)
+	}
+	if unparsed != len(lines) {
+		// Only the very first pre-training batch lacks template IDs.
+		t.Fatalf("unparsed count %d, want %d", unparsed, len(lines))
+	}
+}
+
+// TestLineCacheCapBounds: the cache stops filling at its cap instead of
+// growing with every distinct line.
+func TestLineCacheCapBounds(t *testing.T) {
+	sn := &modelSnapshot{}
+	for i := 0; i < lineCacheCap+100; i++ {
+		sn.cacheID(fmt.Sprintf("line %d", i), uint64(i))
+	}
+	if n := sn.lineCacheN.Load(); n != lineCacheCap {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, lineCacheCap)
+	}
+	if id, ok := sn.cachedID("line 1"); !ok || id != 1 {
+		t.Fatalf("cachedID(line 1) = %d, %v", id, ok)
+	}
+	if _, ok := sn.cachedID(fmt.Sprintf("line %d", lineCacheCap+50)); ok {
+		t.Fatal("entry past the cap was cached")
+	}
+}

@@ -64,8 +64,18 @@ func space(c byte) bool {
 }
 
 // Tokenize implements Tokenizer.
-func (Fast) Tokenize(line string) []string {
-	tokens := make([]string, 0, 16)
+func (f Fast) Tokenize(line string) []string {
+	return f.TokenizeAppend(make([]string, 0, 16), line)
+}
+
+// TokenizeAppend appends line's tokens to dst and returns the extended
+// slice, exactly like append. Passing dst[:0] lets a hot loop reuse one
+// token buffer across lines instead of allocating per line; the tokens
+// themselves are substrings of line (no copies), so a caller that retains
+// them beyond the next reuse must copy them first — the matcher already
+// does when it promotes tokens into a template.
+func (Fast) TokenizeAppend(dst []string, line string) []string {
+	tokens := dst
 	n := len(line)
 	start := -1 // start of the current token, -1 when between tokens
 	flush := func(end int) {

@@ -180,3 +180,51 @@ func BenchmarkRegexpTokenize(b *testing.B) {
 		re.Tokenize(line)
 	}
 }
+
+// TestTokenizeAppendMatchesTokenize: the buffer-reusing path must emit
+// exactly the tokens of the allocating path, for every shape of input.
+func TestTokenizeAppendMatchesTokenize(t *testing.T) {
+	f := NewFast()
+	lines := []string{
+		"",
+		"   ",
+		"plain words here",
+		`081109 203518 143 INFO dfs.DataNode$DataXceiver: Receiving block blk_-1608999687919862906 src: /10.250.19.102:54106 dest: /10.250.19.102:50010`,
+		"https://host.example.com/path?q=1&r=2",
+		`escaped \"quotes\" and {braces} [brackets]`,
+		"trailing period.",
+		"dotted.name stays 3.14 whole. end",
+		"unicode héllo wörld",
+	}
+	for _, line := range lines {
+		want := f.Tokenize(line)
+		got := f.TokenizeAppend(nil, line)
+		if len(got) != len(want) {
+			t.Fatalf("TokenizeAppend(%q) = %v, want %v", line, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("TokenizeAppend(%q)[%d] = %q, want %q", line, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTokenizeAppendReusesBuffer: tokens append after dst's existing
+// elements and the backing array is reused when capacity allows.
+func TestTokenizeAppendReusesBuffer(t *testing.T) {
+	f := NewFast()
+	buf := make([]string, 0, 32)
+	got := f.TokenizeAppend(buf, "a b c")
+	if len(got) != 3 || cap(got) != 32 {
+		t.Fatalf("len=%d cap=%d, want 3 within the original capacity", len(got), cap(got))
+	}
+	got = f.TokenizeAppend(got[:0], "x y")
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("reuse produced %v", got)
+	}
+	withPrefix := f.TokenizeAppend([]string{"keep"}, "new token")
+	if len(withPrefix) != 3 || withPrefix[0] != "keep" {
+		t.Fatalf("prefix not preserved: %v", withPrefix)
+	}
+}

@@ -11,7 +11,10 @@
 // per topic with Add.
 package vars
 
-import "regexp"
+import (
+	"regexp"
+	"strings"
+)
 
 // Wildcard is the placeholder substituted for matched variables. It is the
 // same wildcard used in template text, so a replaced variable and a
@@ -32,6 +35,12 @@ type Rule struct {
 	Name string
 	// Pattern matches the variable occurrences to replace.
 	Pattern *regexp.Regexp
+	// req, when non-zero, is a byte every match of Pattern necessarily
+	// contains (':' for clock times, '-' for UUIDs, …): a line without it
+	// skips the regex entirely. A one-byte IndexByte scan is orders of
+	// magnitude cheaper than the backtracking engine, and on the hot
+	// ingestion path the regex bank dominates the per-line CPU profile.
+	req byte
 }
 
 // Replacer applies an ordered list of rules to log lines. It is safe for
@@ -66,14 +75,16 @@ func None() *Replacer { return &Replacer{} }
 // UUID is not half-eaten by the hex rule.
 func DefaultRules() []Rule {
 	return []Rule{
-		{"iso-timestamp", regexp.MustCompile(`\b\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}:\d{2}(?:[.,]\d+)?(?:Z|[+-]\d{2}:?\d{2})?\b`)},
-		{"slash-date-time", regexp.MustCompile(`\b\d{2,4}[/.]\d{2}[/.]\d{2,4}[ T]\d{2}:\d{2}:\d{2}\b`)},
-		{"clock-time", regexp.MustCompile(`\b\d{2}:\d{2}:\d{2}(?:[.,]\d+)?\b`)},
-		{"uuid", regexp.MustCompile(`\b[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}\b`)},
-		{"ipv6", regexp.MustCompile(`\b(?:[0-9a-fA-F]{1,4}:){3,7}[0-9a-fA-F]{1,4}\b`)},
-		{"ipv4-port", regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}(?::\d{1,5})?\b`)},
-		{"long-hex", regexp.MustCompile(`\b(?:0x[0-9a-fA-F]+|[0-9a-fA-F]{32,64})\b`)},
-		{"mac-address", regexp.MustCompile(`\b(?:[0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}\b`)},
+		{"iso-timestamp", regexp.MustCompile(`\b\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}:\d{2}(?:[.,]\d+)?(?:Z|[+-]\d{2}:?\d{2})?\b`), '-'},
+		{"slash-date-time", regexp.MustCompile(`\b\d{2,4}[/.]\d{2}[/.]\d{2,4}[ T]\d{2}:\d{2}:\d{2}\b`), ':'},
+		{"clock-time", regexp.MustCompile(`\b\d{2}:\d{2}:\d{2}(?:[.,]\d+)?\b`), ':'},
+		{"uuid", regexp.MustCompile(`\b[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}\b`), '-'},
+		{"ipv6", regexp.MustCompile(`\b(?:[0-9a-fA-F]{1,4}:){3,7}[0-9a-fA-F]{1,4}\b`), ':'},
+		{"ipv4-port", regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}(?::\d{1,5})?\b`), '.'},
+		// Every byte of a long-hex match may be a hex letter or digit, so
+		// no single byte is required; the digit prefilter still gates it.
+		{"long-hex", regexp.MustCompile(`\b(?:0x[0-9a-fA-F]+|[0-9a-fA-F]{32,64})\b`), 0},
+		{"mac-address", regexp.MustCompile(`\b(?:[0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}\b`), ':'},
 	}
 }
 
@@ -108,6 +119,10 @@ func (r *Replacer) replace(line, placeholder string) string {
 		return line
 	}
 	for _, rule := range r.rules {
+		if rule.req != 0 && strings.IndexByte(line, rule.req) < 0 {
+			// A byte every match must contain is absent; skip the regex.
+			continue
+		}
 		if rule.Pattern.MatchString(line) {
 			line = rule.Pattern.ReplaceAllString(line, placeholder)
 		}

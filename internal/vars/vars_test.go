@@ -122,3 +122,33 @@ func TestDigitPrefilterSkipsCleanLines(t *testing.T) {
 		t.Errorf("custom rule suppressed by prefilter: %q", got)
 	}
 }
+
+// TestRequiredBytePrefilterParity: the per-rule required-byte prefilter
+// must never change replacement output — for lines with and without the
+// gating bytes, the output must equal applying every rule's regex
+// unconditionally in order.
+func TestRequiredBytePrefilterParity(t *testing.T) {
+	r := Default()
+	lines := []string{
+		"2024-01-02T03:04:05Z request served",             // iso (has '-' and ':')
+		"worker 17 done",                                  // digits, no ':' '-' '.'
+		"connect 10.0.0.1:8080 ok",                        // ipv4-port
+		"time 12:34:56 elapsed",                           // clock
+		"id 123e4567-e89b-12d3-a456-426614174000 created", // uuid
+		"deadbeef0deadbeefdeadbeefdeadbee checksum",       // long-hex, no req byte
+		"mac 00:1a:2b:3c:4d:5e up",                        // mac
+		"no variables at all here",
+		"dash-but-no-digits stays",
+	}
+	for _, line := range lines {
+		got := r.Replace(line)
+		// Ground truth: every rule applied unconditionally, in order.
+		want := line
+		for _, rule := range r.Rules() {
+			want = rule.Pattern.ReplaceAllString(want, Wildcard)
+		}
+		if got != want {
+			t.Errorf("Replace(%q) = %q, want %q", line, got, want)
+		}
+	}
+}
