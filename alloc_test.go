@@ -10,8 +10,10 @@ package bytebrain_test
 import (
 	"os"
 	"testing"
+	"time"
 
 	"bytebrain"
+	"bytebrain/internal/obs"
 )
 
 const (
@@ -74,6 +76,34 @@ func TestAllocBudget(t *testing.T) {
 		if perLine > allocBudgetPerIngestedLine {
 			t.Fatalf("steady-state ingest allocations regressed: %.2f allocs/line exceeds budget %.2f",
 				perLine, allocBudgetPerIngestedLine)
+		}
+	})
+
+	// The telemetry layer must be free on the hot path: the full
+	// per-batch instrumentation sequence (two stage timings, two
+	// histogram observations, four counter updates) stays within one
+	// allocation per 256-line batch — measured here at zero.
+	t.Run("instrumentation", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		lines := reg.Counter("lines_total", "t", "topic").With("bench")
+		batches := reg.Counter("batches_total", "t", "topic").With("bench")
+		hits := reg.Counter("hits_total", "t", "topic").With("bench")
+		misses := reg.Counter("misses_total", "t", "topic").With("bench")
+		match := reg.Histogram("match_seconds", "t", obs.LatencyBuckets, "topic").With("bench")
+		appendH := reg.Histogram("append_seconds", "t", obs.LatencyBuckets, "topic").With("bench")
+		perBatch := testing.AllocsPerRun(1000, func() {
+			start := time.Now()
+			hits.Add(200)
+			misses.Add(56)
+			mid := time.Now()
+			match.ObserveDuration(mid.Sub(start))
+			appendH.ObserveDuration(time.Since(mid))
+			lines.Add(256)
+			batches.Inc()
+		})
+		t.Logf("instrumentation: %.2f allocs per 256-line batch (budget 1)", perBatch)
+		if perBatch > 1 {
+			t.Fatalf("per-batch instrumentation allocates: %.2f allocs/batch exceeds budget 1", perBatch)
 		}
 	})
 

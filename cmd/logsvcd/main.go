@@ -10,6 +10,10 @@
 //	curl 'localhost:8080/topics/app/query?threshold=0.7'
 //	curl 'localhost:8080/topics/app/query?since=15m'
 //	curl 'localhost:8080/topics/app/query?from=2026-07-26T12:00:00Z&to=2026-07-26T12:15:00Z'
+//	curl localhost:8080/metrics
+//
+// With -debug-addr :6060, pprof profiles are served on a separate
+// listener: `go tool pprof localhost:6060/debug/pprof/profile?seconds=10`.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +49,11 @@ func main() {
 		ingestDepth  = flag.Int("ingest-queue-depth", 1024, "per-queue depth of the async ingestion pipeline (backpressure beyond it)")
 		snapRetain   = flag.Int("snapshot-retain", 0, "keep only this many newest model snapshots per topic (0 = keep all)")
 		snapCkpt     = flag.Int("snapshot-checkpoint-every", 0, "with -snapshot-retain, additionally keep every Nth snapshot as a checkpoint (0 = none)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof profiles on this separate address (empty = disabled); keep it off the public listener")
+		slowQuery    = flag.Duration("slow-query", 0, "log a structured line for queries at or over this duration (0 = disabled)")
+		lineCacheCap = flag.Int("line-cache-cap", 0, "distinct lines memoized per model snapshot before a whole-generation eviction (0 = default 65536)")
+		fsyncEveryN  = flag.Int("wal-fsync-every-n", 0, "fsync topic WALs every N append batches (0 = rely on OS flush; durability of the tail rides on the page cache)")
+		fsyncEveryT  = flag.Duration("wal-fsync-every-t", 0, "fsync dirty topic WALs at least this often (0 = disabled; combines with -wal-fsync-every-n)")
 	)
 	flag.Parse()
 	if *segmentBytes > 0 {
@@ -68,7 +78,30 @@ func main() {
 		IngestQueueDepth:        *ingestDepth,
 		SnapshotRetain:          *snapRetain,
 		SnapshotCheckpointEvery: *snapCkpt,
+		LineCacheCap:            *lineCacheCap,
+		SlowQueryThreshold:      *slowQuery,
+		WALFsyncEveryBatches:    *fsyncEveryN,
+		WALFsyncInterval:        *fsyncEveryT,
 	})
+
+	// The pprof endpoints live on their own listener so profiling access
+	// can be firewalled separately from the service API.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			log.Printf("logsvcd pprof listening on %s", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("logsvcd: debug server: %v", err)
+			}
+		}()
+	}
 
 	// On SIGINT/SIGTERM: drain in-flight HTTP requests, then flush and
 	// close the stores (segment WALs, buffered appends).
@@ -81,6 +114,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("logsvcd: shutdown: %v", err)
+		}
+		if debugSrv != nil {
+			if err := debugSrv.Shutdown(ctx); err != nil {
+				log.Printf("logsvcd: debug shutdown: %v", err)
+			}
 		}
 	}()
 

@@ -27,12 +27,15 @@ type CompactConfig struct {
 	SegmentBytes int64
 	// Codec compresses sealed payloads (default flate).
 	Codec segment.Codec
+	// Opts carries the metrics bundle and WAL fsync policy.
+	Opts StoreOptions
 }
 
 func (c CompactConfig) withDefaults() CompactConfig {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 4 << 20
 	}
+	c.Opts = c.Opts.withMetrics()
 	return c
 }
 
@@ -56,14 +59,18 @@ const (
 type CompactingStore struct {
 	name string
 	cfg  CompactConfig
+	m    *Metrics // never nil (withDefaults); fields may be
 
-	mu     sync.Mutex
-	blocks []*compactBlock
-	closed bool
+	mu               sync.Mutex
+	blocks           []*compactBlock
+	closed           bool
+	batchesSinceSync int  // WAL commits since the last policy fsync
+	walDirty         bool // WAL bytes written since the last sync
 
 	sealCh  chan struct{}
 	doneCh  chan struct{}
 	sealWG  sync.WaitGroup
+	flushWG sync.WaitGroup
 	idleCh  chan struct{} // closed and replaced whenever seal work finishes
 	sealErr error         // most recent seal/rotation failure; cleared by Seal
 	readErr error         // most recent sealed-segment read failure on a query path
@@ -99,6 +106,7 @@ func OpenCompacting(name string, cfg CompactConfig) (*CompactingStore, error) {
 	s := &CompactingStore{
 		name:   name,
 		cfg:    cfg,
+		m:      cfg.Opts.Metrics,
 		sealCh: make(chan struct{}, 1),
 		doneCh: make(chan struct{}),
 		idleCh: make(chan struct{}),
@@ -115,8 +123,70 @@ func OpenCompacting(name string, cfg CompactConfig) (*CompactingStore, error) {
 	}
 	s.sealWG.Add(1)
 	go s.sealLoop()
+	if cfg.Dir != "" && cfg.Opts.FsyncInterval > 0 {
+		s.flushWG.Add(1)
+		go s.flushLoop()
+	}
 	s.kickSealer()
 	return s, nil
+}
+
+// flushLoop is the interval half of the WAL fsync policy: every
+// FsyncInterval it syncs the live hot WAL if appends landed since the
+// last sync, so light traffic is never more than one interval from
+// durability without paying an fsync per batch.
+func (s *CompactingStore) flushLoop() {
+	defer s.flushWG.Done()
+	t := time.NewTicker(s.cfg.Opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.doneCh:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		if s.closed || !s.walDirty {
+			s.mu.Unlock()
+			continue
+		}
+		b := s.blocks[len(s.blocks)-1]
+		if b.hot == nil || b.sealing || b.wal == nil {
+			s.mu.Unlock()
+			continue
+		}
+		s.walDirty = false
+		if err := b.wal.flush(); err != nil {
+			// A WAL that failed to sync must take no further bytes; seal
+			// the block from memory exactly like a failed append.
+			b.wal.poison(err)
+			s.poisonRotateLocked(b)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// maybeFsyncLocked is the count half of the WAL fsync policy: after every
+// FsyncEveryBatches successful WAL commits (an Append counts as one), the
+// live hot WAL is synced inline.
+func (s *CompactingStore) maybeFsyncLocked() {
+	if s.cfg.Opts.FsyncEveryBatches <= 0 {
+		return
+	}
+	s.batchesSinceSync++
+	if s.batchesSinceSync < s.cfg.Opts.FsyncEveryBatches {
+		return
+	}
+	s.batchesSinceSync = 0
+	b := s.blocks[len(s.blocks)-1]
+	if b.hot == nil || b.sealing || b.wal == nil {
+		return
+	}
+	s.walDirty = false
+	if err := b.wal.flush(); err != nil {
+		b.wal.poison(err)
+		s.poisonRotateLocked(b)
+	}
 }
 
 // recover rebuilds the block list from cfg.Dir.
@@ -203,6 +273,7 @@ func (s *CompactingStore) recover() error {
 					}
 				}
 				s.blocks = append(s.blocks, &compactBlock{idx: i, first: next, seg: r})
+				s.m.RecoveredSegments.Inc()
 				next += int64(r.Count())
 				continue
 			}
@@ -211,7 +282,7 @@ func (s *CompactingStore) recover() error {
 		// re-queue for sealing, except that the newest one may resume
 		// as the live hot block (see below).
 		hot := NewTopic(s.name)
-		if err := replayWAL(walIdx[i], hot); err != nil {
+		if err := replayWAL(walIdx[i], hot, s.m); err != nil {
 			return err
 		}
 		if hot.Len() == 0 {
@@ -230,7 +301,7 @@ func (s *CompactingStore) recover() error {
 	if n := len(s.blocks); n > 0 {
 		last := s.blocks[n-1]
 		if last.hot != nil && last.hot.Bytes() < s.cfg.SegmentBytes {
-			w, err := openWAL(last.walPath)
+			w, err := openWAL(last.walPath, s.m)
 			if err != nil {
 				return err
 			}
@@ -252,7 +323,7 @@ func (s *CompactingStore) startHotLocked() error {
 	b := &compactBlock{idx: idx, first: first, hot: NewTopic(s.name)}
 	if s.cfg.Dir != "" {
 		path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s%06d%s", walPrefix, idx, walSuffix))
-		w, err := openWAL(path)
+		w, err := openWAL(path, s.m)
 		if err != nil {
 			return err
 		}
@@ -292,6 +363,7 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 			s.poisonRotateLocked(b)
 			return 0, fmt.Errorf("logstore: wal append: %w", err)
 		}
+		s.walDirty = true
 	}
 	off := b.first + b.hot.Append(ts, raw, templateID)
 	if b.hot.Bytes() >= s.cfg.SegmentBytes {
@@ -306,6 +378,7 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 			s.kickSealer()
 		}
 	}
+	s.maybeFsyncLocked()
 	return off, nil
 }
 
@@ -326,6 +399,7 @@ func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, 
 	if s.closed {
 		return 0, errors.New("logstore: compacting store closed")
 	}
+	s.m.BatchRecords.Observe(int64(len(recs)))
 	b := s.blocks[len(s.blocks)-1]
 	if b.hot == nil || b.sealing {
 		if err := s.startHotLocked(); err != nil {
@@ -352,6 +426,7 @@ func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, 
 			n, err := b.wal.appendBatch(ts, chunk)
 			if n > 0 {
 				b.hot.AppendBatch(ts, chunk[:n])
+				s.walDirty = true
 			}
 			if err != nil {
 				s.poisonRotateLocked(b)
@@ -374,6 +449,7 @@ func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, 
 			}
 		}
 	}
+	s.maybeFsyncLocked()
 	return first, nil
 }
 
@@ -388,6 +464,7 @@ func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, 
 // the poisoned block stays hot and every append fails fast (retrying the
 // rotation) rather than risking silent data loss.
 func (s *CompactingStore) poisonRotateLocked(b *compactBlock) {
+	s.m.WALPoisonRotations.Inc()
 	if err := s.startHotLocked(); err != nil {
 		s.sealErr = err
 		return
@@ -487,7 +564,9 @@ func (s *CompactingStore) sealOne() bool {
 		})
 		return true
 	})
+	start := time.Now()
 	reader, err := s.sealRecords(b, recs)
+	s.m.SealSeconds.ObserveDuration(time.Since(start))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -500,6 +579,7 @@ func (s *CompactingStore) sealOne() bool {
 		s.sealErr = err
 		return true
 	}
+	s.m.Seals.Inc()
 	b.seg = reader
 	b.hot = nil
 	if b.wal != nil {
@@ -720,6 +800,7 @@ func (s *CompactingStore) Scan(from, to int64, tr TimeRange, fn func(Record) boo
 		}
 		if b.seg != nil {
 			if !b.seg.OverlapsRange(tr.From, tr.To) {
+				s.m.BlocksPruned.Inc()
 				continue
 			}
 			err := b.seg.Scan(func(rec segment.Record) bool {
@@ -765,6 +846,19 @@ func (s *CompactingStore) ByTemplate(ids ...uint64) []int64 {
 	var out []int64
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
+			any := false
+			for _, id := range ids {
+				if b.seg.HasTemplate(id) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				// Metadata rules every queried template out: counted here,
+				// never decompressed (ByTemplate's own fast path).
+				s.m.BlocksPruned.Inc()
+				continue
+			}
 			offs, err := b.seg.ByTemplate(ids...)
 			if err != nil {
 				s.noteErr(err)
@@ -807,7 +901,10 @@ func (s *CompactingStore) GroupedCounts(maxSamples int, tr TimeRange) map[uint64
 	}
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
-			metas, err := b.seg.TemplateMetasRange(tr.From, tr.To)
+			metas, decoded, err := b.seg.TemplateMetasRangeInfo(tr.From, tr.To)
+			if !decoded {
+				s.m.BlocksPruned.Inc()
+			}
 			if err != nil {
 				s.noteErr(err)
 				continue
@@ -838,7 +935,11 @@ func (s *CompactingStore) TemplateCounts(tr TimeRange) map[uint64]int {
 		var m map[uint64]int
 		if b.seg != nil {
 			var err error
-			m, err = b.seg.TemplateCountsRange(tr.From, tr.To)
+			var decoded bool
+			m, decoded, err = b.seg.TemplateCountsRangeInfo(tr.From, tr.To)
+			if !decoded {
+				s.m.BlocksPruned.Inc()
+			}
 			if err != nil {
 				s.noteErr(err)
 				continue
@@ -859,6 +960,12 @@ func (s *CompactingStore) Search(token string) []int64 {
 	var out []int64
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
+			if !b.seg.MayContainToken(token) {
+				// Bloom screen: counted here, never decompressed (Search's
+				// own fast path).
+				s.m.BlocksPruned.Inc()
+				continue
+			}
 			offs, err := b.seg.Search(token)
 			if err != nil {
 				s.noteErr(err)
@@ -880,6 +987,11 @@ func (s *CompactingStore) CountSince(cut time.Time) int {
 	n := 0
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
+			if !b.seg.MinTime().Before(cut) || b.seg.MaxTime().Before(cut) {
+				// All-in / all-out by metadata time bounds: CountSince
+				// answers without decompressing.
+				s.m.BlocksPruned.Inc()
+			}
 			c, err := b.seg.CountSince(cut)
 			if err != nil {
 				s.noteErr(err)
@@ -976,6 +1088,7 @@ func (s *CompactingStore) Close() error {
 	s.mu.Unlock()
 	close(s.doneCh)
 	s.sealWG.Wait()
+	s.flushWG.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var firstErr error
@@ -1020,18 +1133,22 @@ type walSink interface {
 // to a fresh WAL and sealing this block from memory (see Append).
 type walWriter struct {
 	path string
+	m    *Metrics // never nil; instruments fsyncs and admitted records
 	mu   sync.Mutex
 	f    *os.File
 	w    walSink
 	err  error // poisoned: first append failure, sticky
 }
 
-func openWAL(path string) (*walWriter, error) {
+func openWAL(path string, m *Metrics) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: open wal: %w", err)
 	}
-	return &walWriter{path: path, f: f, w: bufio.NewWriterSize(f, 128<<10)}, nil
+	if m == nil {
+		m = &Metrics{}
+	}
+	return &walWriter{path: path, m: m, f: f, w: bufio.NewWriterSize(f, 128<<10)}, nil
 }
 
 func (w *walWriter) append(ts time.Time, raw string, templateID uint64) error {
@@ -1050,6 +1167,8 @@ func (w *walWriter) append(ts time.Time, raw string, templateID uint64) error {
 		w.err = err
 		return err
 	}
+	w.m.WALAppendRecords.Inc()
+	w.m.WALAppendBytes.Add(int64(recordOverhead + len(raw)))
 	return nil
 }
 
@@ -1067,18 +1186,30 @@ func (w *walWriter) appendBatch(ts time.Time, recs []BatchRecord) (int, error) {
 		return 0, fmt.Errorf("logstore: wal %s poisoned by earlier failure: %w", filepath.Base(w.path), w.err)
 	}
 	var hdr [recordOverhead]byte
+	var bytes int64
 	for i, r := range recs {
 		putRecordHeader(hdr[:], ts, r.TemplateID, len(r.Raw))
 		if _, err := w.w.Write(hdr[:]); err != nil {
 			w.err = err
+			w.noteAppendsLocked(int64(i), bytes)
 			return i, err
 		}
 		if _, err := w.w.WriteString(r.Raw); err != nil {
 			w.err = err
+			w.noteAppendsLocked(int64(i), bytes)
 			return i, err
 		}
+		bytes += int64(recordOverhead + len(r.Raw))
 	}
+	w.noteAppendsLocked(int64(len(recs)), bytes)
 	return len(recs), nil
+}
+
+// noteAppendsLocked records n fully-written records totaling b bytes —
+// one pair of atomic adds per batch, nothing per record.
+func (w *walWriter) noteAppendsLocked(n, b int64) {
+	w.m.WALAppendRecords.Add(n)
+	w.m.WALAppendBytes.Add(b)
 }
 
 // poisoned reports whether an append failed partway, i.e. the stream tail
@@ -1087,6 +1218,17 @@ func (w *walWriter) poisoned() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err != nil
+}
+
+// poison marks the writer failed (a no-op when it already is), so a
+// durability failure observed outside append — a policy fsync — also
+// stops all further bytes to the file.
+func (w *walWriter) poison(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
 }
 
 func (w *walWriter) flush() error {
@@ -1100,9 +1242,18 @@ func (w *walWriter) flush() error {
 	}
 	if err := w.w.Flush(); err != nil {
 		w.err = err
+		w.m.WALFsyncErrors.Inc()
 		return err
 	}
-	return w.f.Sync()
+	start := time.Now()
+	err := w.f.Sync()
+	w.m.WALFsyncSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		w.m.WALFsyncErrors.Inc()
+		return err
+	}
+	w.m.WALFsyncs.Inc()
+	return nil
 }
 
 func (w *walWriter) close() error {
@@ -1120,7 +1271,10 @@ func (w *walWriter) close() error {
 
 // replayWAL loads a write-ahead log into a Topic, truncating a torn tail
 // (the crash case) like DiskTopic replay does.
-func replayWAL(path string, into *Topic) error {
+func replayWAL(path string, into *Topic, m *Metrics) error {
+	if m == nil {
+		m = &Metrics{}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("logstore: replay wal %s: %w", path, err)
@@ -1128,18 +1282,23 @@ func replayWAL(path string, into *Topic) error {
 	defer f.Close()
 	r := bufio.NewReader(f)
 	var goodBytes int64
+	var recovered int64
 	for {
 		rec, n, err := readRecord(r)
 		if err == io.EOF {
+			m.RecoveredRecords.Add(recovered)
 			return nil
 		}
 		if err != nil {
 			if errors.Is(err, errTornRecord) {
+				m.RecoveredRecords.Add(recovered)
+				m.WALTornTails.Inc()
 				return os.Truncate(path, goodBytes)
 			}
 			return fmt.Errorf("logstore: replay wal %s at %d: %w", path, goodBytes, err)
 		}
 		into.Append(rec.Time, rec.Raw, rec.TemplateID)
+		recovered++
 		goodBytes += n
 	}
 }

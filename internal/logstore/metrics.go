@@ -1,0 +1,76 @@
+package logstore
+
+import (
+	"time"
+
+	"bytebrain/internal/obs"
+)
+
+// StoreOptions carries cross-cutting store tuning that every store kind
+// accepts: the metrics handle bundle and the WAL fsync policy. The zero
+// value is fully functional (no metrics, fsync only on seal/Flush/Close —
+// the historical behavior).
+type StoreOptions struct {
+	// Metrics receives the store's counters; nil means no instrumentation
+	// (every instrument method on a nil handle or field is a no-op).
+	Metrics *Metrics
+	// FsyncEveryBatches, when > 0, fsyncs the hot WAL after every N
+	// append/batch commits, bounding the unsynced window by work done.
+	FsyncEveryBatches int
+	// FsyncInterval, when > 0, runs a background flush loop syncing the
+	// hot WAL every interval when appends happened since the last sync,
+	// bounding the unsynced window by wall clock.
+	FsyncInterval time.Duration
+}
+
+// withMetrics defaults Metrics so store internals never nil-check the
+// bundle itself (individual instruments stay nil-safe no-ops).
+func (o StoreOptions) withMetrics() StoreOptions {
+	if o.Metrics == nil {
+		o.Metrics = &Metrics{}
+	}
+	return o
+}
+
+// Metrics is the instrument bundle the logstore layer observes into. The
+// service layer (or any embedder) resolves the instruments against its
+// registry and hands the bundle in via StoreOptions; any nil field simply
+// records nothing. One bundle instruments one topic's store tree — the
+// sharded fan-out shares its parent's bundle, with per-shard resolution
+// only for ShardAppends.
+type Metrics struct {
+	// WAL write path.
+	WALAppendRecords   *obs.Counter   // records fully written to a WAL
+	WALAppendBytes     *obs.Counter   // bytes those records occupy (header+payload)
+	WALFsyncs          *obs.Counter   // successful fsyncs
+	WALFsyncErrors     *obs.Counter   // failed flush/fsync attempts
+	WALFsyncSeconds    *obs.Histogram // fsync latency
+	WALPoisonRotations *obs.Counter   // blocks retired after a WAL write failure
+
+	// Recovery (open-time) path.
+	RecoveredSegments *obs.Counter // sealed segments loaded by metadata
+	RecoveredRecords  *obs.Counter // records replayed from surviving WALs
+	WALTornTails      *obs.Counter // WALs truncated at a torn record
+
+	// Compaction.
+	BatchRecords *obs.Histogram // AppendBatch size distribution
+	Seals        *obs.Counter   // blocks sealed into segments
+	SealSeconds  *obs.Histogram // seal (encode+write) latency
+
+	// Query pushdown: every sealed-block visit on a query path either
+	// decodes the payload (the segment's own BlockReads counter) or is
+	// answered from metadata alone — counted here.
+	BlocksPruned *obs.Counter
+
+	// ShardAppends[i] counts records appended to shard i; sized by
+	// OpenSharded's caller. Out-of-range shards record nothing.
+	ShardAppends []*obs.Counter
+}
+
+// shardAppend records n records landing on one shard.
+func (m *Metrics) shardAppend(shard int, n int64) {
+	if m == nil || shard < 0 || shard >= len(m.ShardAppends) {
+		return
+	}
+	m.ShardAppends[shard].Add(n)
+}

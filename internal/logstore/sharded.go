@@ -41,6 +41,9 @@ type ShardConfig struct {
 	SegmentBytes int64
 	// Codec compresses sealed payloads (segment store only).
 	Codec segment.Codec
+	// Opts carries the metrics bundle and WAL fsync policy, shared by
+	// every shard (their counters aggregate into one topic's totals).
+	Opts StoreOptions
 }
 
 // ShardedStore fans one topic out over N sub-stores so appends scale
@@ -54,6 +57,7 @@ type ShardConfig struct {
 // ingest queues.
 type ShardedStore struct {
 	name   string
+	m      *Metrics // never nil; per-shard append counters
 	shards []Store
 	next   atomic.Uint64 // round-robin cursor for un-pinned appends
 }
@@ -73,7 +77,8 @@ func OpenSharded(name string, cfg ShardConfig) (*ShardedStore, error) {
 			return nil, err
 		}
 	}
-	s := &ShardedStore{name: name, shards: make([]Store, cfg.Shards)}
+	cfg.Opts = cfg.Opts.withMetrics()
+	s := &ShardedStore{name: name, m: cfg.Opts.Metrics, shards: make([]Store, cfg.Shards)}
 	for i := range s.shards {
 		sub, err := openShard(name, i, cfg)
 		if err != nil {
@@ -126,10 +131,14 @@ func shardDir(dir string, i int) string {
 // disk topic when only dir is set, an in-memory topic otherwise. It is
 // the single store-selection point shared by the service layer (one
 // store per topic) and ShardedStore (one store per shard).
-func OpenStore(name, dir string, segmentBytes int64, codec segment.Codec) (Store, error) {
+func OpenStore(name, dir string, segmentBytes int64, codec segment.Codec, opts ...StoreOptions) (Store, error) {
+	var o StoreOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	switch {
 	case segmentBytes > 0:
-		return OpenCompacting(name, CompactConfig{Dir: dir, SegmentBytes: segmentBytes, Codec: codec})
+		return OpenCompacting(name, CompactConfig{Dir: dir, SegmentBytes: segmentBytes, Codec: codec, Opts: o})
 	case dir == "":
 		return NewStore(name), nil
 	default:
@@ -143,7 +152,7 @@ func openShard(name string, i int, cfg ShardConfig) (Store, error) {
 	if cfg.Dir != "" {
 		dir = shardDir(cfg.Dir, i)
 	}
-	return OpenStore(name, dir, cfg.SegmentBytes, cfg.Codec)
+	return OpenStore(name, dir, cfg.SegmentBytes, cfg.Codec, cfg.Opts)
 }
 
 // Shards returns the shard count.
@@ -168,6 +177,7 @@ func (s *ShardedStore) AppendShard(shard int, ts time.Time, raw string, template
 	if err != nil {
 		return 0, err
 	}
+	s.m.shardAppend(shard, 1)
 	if local > shardLocalMask {
 		return 0, fmt.Errorf("logstore: shard %d local offset %d overflows the %d-bit namespace", shard, local, shardShift)
 	}
@@ -232,6 +242,7 @@ func (s *ShardedStore) AppendShardBatch(shard int, ts time.Time, recs []BatchRec
 	if err != nil {
 		return 0, err
 	}
+	s.m.shardAppend(shard, int64(len(recs)))
 	if local+int64(len(recs))-1 > shardLocalMask {
 		return 0, fmt.Errorf("logstore: shard %d local offset %d overflows the %d-bit namespace", shard, local+int64(len(recs))-1, shardShift)
 	}

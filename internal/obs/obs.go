@@ -1,0 +1,492 @@
+// Package obs is the operational-telemetry substrate of the service: a
+// dependency-free metrics registry with atomic counters, gauges, and
+// fixed-bucket histograms, exposed in the Prometheus text format.
+//
+// The design splits registration from observation. Registration (building
+// a family, resolving a labeled series) takes the registry lock and may
+// allocate; it happens once, at topic-creation or store-open time. The
+// resolved instrument handles (*Counter, *Gauge, *Histogram) are plain
+// atomics: Inc/Add/Set/Observe are lock-free, allocation-free, and safe
+// for any number of concurrent writers, so they can sit directly on the
+// ingestion hot path. Every instrument method is also nil-receiver safe —
+// a zero-valued handle struct simply records nothing — which keeps call
+// sites unconditional in code that can run uninstrumented (tests,
+// library use without a registry).
+//
+// Func-backed instruments cover state that already lives in another
+// structure (record counts, sealed-segment block reads): the registry
+// calls the bound closure at scrape time instead of requiring the owner
+// to mirror its counters.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter is a
+// valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n; negative deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil Gauge is a valid
+// no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Buckets describes a histogram layout: ascending upper bounds in the
+// instrument's native integer unit, plus the scale that converts native
+// units to the exposed unit (Prometheus convention: seconds for
+// latencies). Scale 1 exposes the native value unchanged.
+type Buckets struct {
+	// Bounds are inclusive upper bounds, strictly ascending, in native
+	// units. An implicit +Inf bucket is always appended.
+	Bounds []int64
+	// Scale divides native values for exposition: nanosecond-valued
+	// latency histograms use 1e9 so buckets and sums read as seconds.
+	Scale float64
+}
+
+// LatencyBuckets is the default layout for nanosecond-valued duration
+// histograms: 25µs … 10s, exposed in seconds.
+var LatencyBuckets = Buckets{
+	Bounds: []int64{
+		25_000, 50_000, 100_000, 250_000, 500_000, // µs range
+		1e6, 2.5e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6, // ms range
+		1e9, 2.5e9, 5e9, 10e9, // seconds
+	},
+	Scale: 1e9,
+}
+
+// SizeBuckets builds a unit-scale layout for integer-valued histograms
+// (batch sizes, byte counts).
+func SizeBuckets(bounds ...int64) Buckets {
+	return Buckets{Bounds: bounds, Scale: 1}
+}
+
+// Histogram is a fixed-bucket distribution with a lock-free Observe. The
+// nil Histogram is a valid no-op.
+type Histogram struct {
+	bounds []int64
+	les    []string       // precomputed exposition "le" values, per bound
+	scale  float64        // native units per exposed unit
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf overflow
+	sum    atomic.Int64   // native units
+}
+
+// Observe records one native-unit value: one atomic add into the first
+// bucket whose bound holds it, one into the sum. No locks, no
+// allocations.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration on a nanosecond-valued histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values in native units.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// instrument kinds, also the exposed TYPE strings.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instance of a family: exactly one of the value
+// fields is set.
+type series struct {
+	labels []string // values, aligned with the family's keys
+	key    string   // joined values, the lookup key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() int64
+}
+
+// family groups every series of one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	keys    []string
+	buckets Buckets // histograms only
+	series  map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Registration methods are safe for concurrent use; re-registering an
+// existing name returns the same family (the kind and label keys must
+// match, or the call panics — a programming error, not runtime input).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, kind string, keys []string, buckets Buckets) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.keys) != len(keys) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, kind, keys, f.kind, f.keys))
+		}
+		for i := range keys {
+			if f.keys[i] != keys[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with label keys %v, was %v", name, keys, f.keys))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, keys: keys, buckets: buckets, series: make(map[string]*series)}
+	r.fams[name] = f
+	return f
+}
+
+// seriesFor resolves (creating if needed) the series with the given label
+// values.
+func (r *Registry) seriesFor(f *family, values []string) *series {
+	if len(values) != len(f.keys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.keys), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labels: append([]string(nil), values...), key: key}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+func newHistogram(b Buckets) *Histogram {
+	scale := b.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	h := &Histogram{
+		bounds: b.Bounds,
+		scale:  scale,
+		counts: make([]atomic.Int64, len(b.Bounds)+1),
+		les:    make([]string, len(b.Bounds)),
+	}
+	for i, bound := range b.Bounds {
+		h.les[i] = formatFloat(float64(bound) / scale)
+	}
+	return h
+}
+
+// CounterVec is a counter family; With resolves one labeled Counter.
+type CounterVec struct {
+	r *Registry
+	f *family
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{r: r, f: r.family(name, help, kindCounter, keys, Buckets{})}
+}
+
+// With resolves the Counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.r.seriesFor(v.f, values).c
+}
+
+// GaugeVec is a gauge family; With resolves one labeled Gauge.
+type GaugeVec struct {
+	r *Registry
+	f *family
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{r: r, f: r.family(name, help, kindGauge, keys, Buckets{})}
+}
+
+// With resolves the Gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.r.seriesFor(v.f, values).g
+}
+
+// HistogramVec is a histogram family; With resolves one labeled
+// Histogram. Every series shares the family's bucket layout.
+type HistogramVec struct {
+	r *Registry
+	f *family
+}
+
+// Histogram registers (or returns) a histogram family with the given
+// bucket layout (ignored when the family already exists).
+func (r *Registry) Histogram(name, help string, buckets Buckets, keys ...string) *HistogramVec {
+	return &HistogramVec{r: r, f: r.family(name, help, kindHistogram, keys, buckets)}
+}
+
+// With resolves the Histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.r.seriesFor(v.f, values).h
+}
+
+// FuncVec is a family whose series read their value from a bound closure
+// at scrape time — for state that already lives elsewhere (store record
+// counts, sealed-segment decode counters) and should not be mirrored.
+type FuncVec struct {
+	r *Registry
+	f *family
+}
+
+// CounterFunc registers a func-backed counter family: each bound closure
+// must be monotone.
+func (r *Registry) CounterFunc(name, help string, keys ...string) *FuncVec {
+	return &FuncVec{r: r, f: r.family(name, help, kindCounter, keys, Buckets{})}
+}
+
+// GaugeFunc registers a func-backed gauge family.
+func (r *Registry) GaugeFunc(name, help string, keys ...string) *FuncVec {
+	return &FuncVec{r: r, f: r.family(name, help, kindGauge, keys, Buckets{})}
+}
+
+// Bind attaches fn as the value source of the series with the given
+// label values, replacing any previous binding.
+func (v *FuncVec) Bind(fn func() int64, values ...string) {
+	s := v.r.seriesFor(v.f, values)
+	v.r.mu.Lock()
+	s.fn = fn
+	v.r.mu.Unlock()
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families and series sorted for deterministic
+// output. Instrument values are read atomically but not as one snapshot:
+// concurrent observers may land between lines, which Prometheus scrape
+// semantics tolerate.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	type seriesView struct {
+		s  *series
+		fn func() int64
+	}
+	views := make([][]seriesView, len(fams))
+	for i, f := range fams {
+		sl := make([]seriesView, 0, len(f.series))
+		for _, s := range f.series {
+			sl = append(sl, seriesView{s: s, fn: s.fn})
+		}
+		sort.Slice(sl, func(a, b int) bool { return sl[a].s.key < sl[b].s.key })
+		views[i] = sl
+	}
+	r.mu.Unlock()
+
+	var b []byte
+	for i, f := range fams {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, escapeHelp(f.help)...)
+		b = append(b, '\n')
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.kind...)
+		b = append(b, '\n')
+		for _, sv := range views[i] {
+			s := sv.s
+			switch {
+			case s.h != nil:
+				b = appendHistogram(b, f, s)
+			case sv.fn != nil:
+				b = appendSample(b, f.name, "", f.keys, s.labels, "", strconv.FormatInt(sv.fn(), 10))
+			case s.c != nil:
+				b = appendSample(b, f.name, "", f.keys, s.labels, "", strconv.FormatInt(s.c.Value(), 10))
+			case s.g != nil:
+				b = appendSample(b, f.name, "", f.keys, s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+			}
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendHistogram renders one histogram series: cumulative buckets, then
+// _sum (in exposed units) and _count.
+func appendHistogram(b []byte, f *family, s *series) []byte {
+	h := s.h
+	var cum int64
+	for i, le := range h.les {
+		cum += h.counts[i].Load()
+		b = appendSample(b, f.name, "_bucket", f.keys, s.labels, le, strconv.FormatInt(cum, 10))
+	}
+	cum += h.counts[len(h.counts)-1].Load()
+	b = appendSample(b, f.name, "_bucket", f.keys, s.labels, "+Inf", strconv.FormatInt(cum, 10))
+	b = appendSample(b, f.name, "_sum", f.keys, s.labels, "", formatFloat(float64(h.sum.Load())/h.scale))
+	b = appendSample(b, f.name, "_count", f.keys, s.labels, "", strconv.FormatInt(cum, 10))
+	return b
+}
+
+// appendSample renders one exposition line; le non-empty adds the bucket
+// label.
+func appendSample(b []byte, name, suffix string, keys, values []string, le, value string) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if len(keys) > 0 || le != "" {
+		b = append(b, '{')
+		first := true
+		for i, k := range keys {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = append(b, k...)
+			b = append(b, `="`...)
+			b = append(b, escapeLabel(values[i])...)
+			b = append(b, '"')
+		}
+		if le != "" {
+			if !first {
+				b = append(b, ',')
+			}
+			b = append(b, `le="`...)
+			b = append(b, le...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, value...)
+	b = append(b, '\n')
+	return b
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// Prometheus client conventions closely enough for any scraper.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only, per the
+// format).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events", "topic").With("app")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth").With()
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Same name+labels resolves the same instrument.
+	if again := r.Counter("test_events_total", "events", "topic").With("app"); again != c {
+		t.Fatal("re-resolving a series returned a different instrument")
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_size", "sizes", SizeBuckets(1, 10, 100)).With()
+	for _, v := range []int64{0, 1, 2, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 1124 {
+		t.Fatalf("sum = %d, want 1124", got)
+	}
+}
+
+// TestPrometheusGolden locks the exposition format: a scraper-visible
+// change must show up as a diff here.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bb_lines_total", "ingested lines", "topic").With("app").Add(42)
+	r.Counter("bb_lines_total", "ingested lines", "topic").With("db").Add(7)
+	r.Gauge("bb_depth", "queue depth").With().Set(-3)
+	h := r.Histogram("bb_latency_seconds", "latency", Buckets{Bounds: []int64{1_000_000, 1_000_000_000}, Scale: 1e9}, "topic")
+	h.With("app").Observe(500_000)       // 0.5ms -> first bucket
+	h.With("app").Observe(2_000_000)     // 2ms -> second bucket
+	h.With("app").Observe(5_000_000_000) // 5s -> overflow
+	r.GaugeFunc("bb_records", "stored records", "topic").Bind(func() int64 { return 9 }, "q\"uo\\te")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP bb_depth queue depth
+# TYPE bb_depth gauge
+bb_depth -3
+# HELP bb_latency_seconds latency
+# TYPE bb_latency_seconds histogram
+bb_latency_seconds_bucket{topic="app",le="0.001"} 1
+bb_latency_seconds_bucket{topic="app",le="1"} 2
+bb_latency_seconds_bucket{topic="app",le="+Inf"} 3
+bb_latency_seconds_sum{topic="app"} 5.0025
+bb_latency_seconds_count{topic="app"} 3
+# HELP bb_lines_total ingested lines
+# TYPE bb_lines_total counter
+bb_lines_total{topic="app"} 42
+bb_lines_total{topic="db"} 7
+# HELP bb_records stored records
+# TYPE bb_records gauge
+bb_records{topic="q\"uo\\te"} 9
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentObserveCollect hammers instruments from many goroutines
+// while scraping concurrently; run under -race in CI. Totals must come
+// out exact.
+func TestConcurrentObserveCollect(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "stress", "topic").With("t")
+	h := r.Histogram("stress_seconds", "stress", LatencyBuckets, "topic").With("t")
+	const workers, perWorker = 8, 5000
+	var wg, writers sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if !strings.Contains(sb.String(), "stress_total") {
+					t.Error("scrape lost a family")
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i%10) * 1_000_000)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var wantSum int64
+	for i := 0; i < perWorker; i++ {
+		wantSum += int64(i%10) * 1_000_000
+	}
+	wantSum *= workers
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("histogram sum = %d, want %d", got, wantSum)
+	}
+}
+
+// TestHotPathAllocations pins the instrumentation cost the ingest path
+// pays: zero allocations per Observe/Add/Inc.
+func TestHotPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "alloc").With()
+	g := r.Gauge("alloc_gauge", "alloc").With()
+	h := r.Histogram("alloc_seconds", "alloc", LatencyBuckets).With()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(123_456)
+	}); n != 0 {
+		t.Fatalf("hot-path instruments allocate: %.1f allocs/op, want 0", n)
+	}
+}

@@ -332,12 +332,20 @@ func (r *Reader) OverlapsRange(from, to time.Time) bool {
 //     payload decode (pre-v3 segments lack per-template bounds, so every
 //     surviving template counts as straddling there).
 func (r *Reader) TemplateMetasRange(from, to time.Time) ([]TemplateMeta, error) {
+	metas, _, err := r.TemplateMetasRangeInfo(from, to)
+	return metas, err
+}
+
+// TemplateMetasRangeInfo is TemplateMetasRange plus a decoded flag:
+// false means metadata alone answered the query and the payload was
+// never decompressed — the observable pushdown win.
+func (r *Reader) TemplateMetasRangeInfo(from, to time.Time) ([]TemplateMeta, bool, error) {
 	lo, hi := rangeNanos(from, to)
 	if lo > hi || r.maxTime < lo || r.minTime > hi {
-		return nil, nil
+		return nil, false, nil
 	}
 	if r.minTime >= lo && r.maxTime <= hi {
-		return r.TemplateMetas(), nil
+		return r.TemplateMetas(), false, nil
 	}
 	out := make([]TemplateMeta, 0, len(r.meta.tmplIDs))
 	straddling := make(map[uint64]*TemplateMeta)
@@ -359,13 +367,13 @@ func (r *Reader) TemplateMetasRange(from, to time.Time) ([]TemplateMeta, error) 
 		straddling[id] = nil
 	}
 	if len(straddling) == 0 {
-		return out, nil
+		return out, false, nil
 	}
 	// Straddling templates need exact in-range counts: one payload decode
 	// covers them all.
 	recs, err := r.Records()
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	for _, rec := range recs {
 		tm, ok := straddling[rec.TemplateID]
@@ -401,21 +409,28 @@ func (r *Reader) TemplateMetasRange(from, to time.Time) ([]TemplateMeta, error) 
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, nil
+	return out, true, nil
 }
 
 // TemplateCountsRange returns per-template record counts restricted to
 // [from, to], with the same pushdown behavior as TemplateMetasRange.
 func (r *Reader) TemplateCountsRange(from, to time.Time) (map[uint64]int, error) {
-	metas, err := r.TemplateMetasRange(from, to)
+	counts, _, err := r.TemplateCountsRangeInfo(from, to)
+	return counts, err
+}
+
+// TemplateCountsRangeInfo is TemplateCountsRange plus the decoded flag
+// from TemplateMetasRangeInfo.
+func (r *Reader) TemplateCountsRangeInfo(from, to time.Time) (map[uint64]int, bool, error) {
+	metas, decoded, err := r.TemplateMetasRangeInfo(from, to)
 	if err != nil {
-		return nil, err
+		return nil, decoded, err
 	}
 	out := make(map[uint64]int, len(metas))
 	for _, tm := range metas {
 		out[tm.ID] = tm.Count
 	}
-	return out, nil
+	return out, decoded, nil
 }
 
 // MayContainToken consults the bloom filter: false means no record's

@@ -33,13 +33,28 @@ import (
 //	                                   only overlapping blocks are read),
 //	                                   and &since=15m is shorthand for
 //	                                   from=now-15m
+//	GET  /topics/{name}/search?token=x offsets of records whose raw line
+//	                                   contains the token (token-filter
+//	                                   pushdown skips sealed blocks)
+//	GET  /topics/{name}/templates?id=3&id=7
+//	                                   offsets of records stored under the
+//	                                   given template IDs
 //	GET  /topics/{name}/stats          operational counters
+//	GET  /metrics                      Prometheus text exposition
 //	GET  /healthz                      liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Registry().WritePrometheus(w)
 	})
 	mux.HandleFunc("/topics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -135,6 +150,38 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, rows)
+	case action == "search" && r.Method == http.MethodGet:
+		token := r.URL.Query().Get("token")
+		if token == "" {
+			http.Error(w, "token parameter is required", http.StatusBadRequest)
+			return
+		}
+		offs, err := s.Search(name, token)
+		if err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"count": len(offs), "offsets": offs})
+	case action == "templates" && r.Method == http.MethodGet:
+		var ids []uint64
+		for _, v := range r.URL.Query()["id"] {
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "id must be an unsigned integer template ID", http.StatusBadRequest)
+				return
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			http.Error(w, "at least one id parameter is required", http.StatusBadRequest)
+			return
+		}
+		offs, err := s.ByTemplate(name, ids...)
+		if err != nil {
+			httpTopicError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"count": len(offs), "offsets": offs})
 	case action == "stats" && r.Method == http.MethodGet:
 		stats, err := s.TopicStats(name)
 		if err != nil {

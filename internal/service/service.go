@@ -16,6 +16,7 @@ package service
 import (
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -26,6 +27,7 @@ import (
 
 	"bytebrain/internal/core"
 	"bytebrain/internal/logstore"
+	"bytebrain/internal/obs"
 	"bytebrain/internal/segment"
 	"bytebrain/internal/template"
 )
@@ -89,6 +91,23 @@ type Config struct {
 	// chunks of up to 256 lines, so the underlying channel holds
 	// depth/256 chunks.
 	IngestQueueDepth int
+	// LineCacheCap bounds how many distinct raw lines one model
+	// snapshot's line cache memoizes (default 65536). At the cap the
+	// cache evicts wholesale — a fresh generation replaces the full map,
+	// so recent repeats keep memoizing instead of silently degrading —
+	// and the eviction is counted in metrics and /stats.
+	LineCacheCap int
+	// SlowQueryThreshold, when > 0, logs every query (grouped, template,
+	// search, time-range) that takes at least this long as a structured
+	// slow-query line and counts it in metrics and /stats.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogf receives slow-query lines; defaults to log.Printf.
+	SlowQueryLogf func(format string, args ...any)
+	// WALFsyncEveryBatches / WALFsyncInterval tune the segment store's
+	// WAL fsync policy (see logstore.StoreOptions); zero values keep the
+	// historical fsync-on-seal-only behavior.
+	WALFsyncEveryBatches int
+	WALFsyncInterval     time.Duration
 	// Now supplies timestamps; tests override it. Defaults to time.Now.
 	Now func() time.Time
 }
@@ -115,6 +134,12 @@ func (c Config) withDefaults() Config {
 	if c.IngestQueueDepth <= 0 {
 		c.IngestQueueDepth = defaultQueueDepth
 	}
+	if c.LineCacheCap <= 0 {
+		c.LineCacheCap = lineCacheCap
+	}
+	if c.SlowQueryLogf == nil {
+		c.SlowQueryLogf = log.Printf
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -133,6 +158,7 @@ type TimeRange = logstore.TimeRange
 // Service manages log topics. All methods are safe for concurrent use.
 type Service struct {
 	cfg Config
+	met *serviceMetrics // the service's private metrics registry + families
 
 	mu     sync.RWMutex
 	topics map[string]*topicState
@@ -157,39 +183,80 @@ type modelSnapshot struct {
 	matcher    *core.Matcher
 	modelBytes []byte
 
-	// lineCache memoizes raw line → template ID for this snapshot's
+	// cache memoizes raw line → template ID for this snapshot's
 	// lifetime — the cross-batch extension of MatchBatch's within-batch
 	// deduplication. Real streams repeat raw lines heavily (§4.1.3,
 	// Fig. 4: duplication dominates; it is the largest factor in the
 	// paper's efficiency ablation), and matching is deterministic within
 	// one matcher generation, so a repeat can skip the regex/tokenize/
 	// lookup pipeline entirely. The cache dies with the snapshot at every
-	// model swap, which keeps it coherent with overlay pruning for free,
-	// and stops filling at lineCacheCap entries so adversarial all-unique
-	// streams cost one bounded map, not OOM.
-	lineCache  sync.Map // string → uint64
-	lineCacheN atomic.Int64
+	// model swap, which keeps it coherent with overlay pruning for free.
+	//
+	// Growth is bounded by cacheCap per GENERATION: at the cap a fresh
+	// generation replaces the full map (one CAS; the old map becomes
+	// garbage), so hot repeats re-memoize immediately instead of the
+	// cache silently freezing on whatever lines came first. Evictions
+	// are counted so over-cap topics are visible in /metrics and /stats.
+	cache     atomic.Pointer[lineCacheGen]
+	cacheCap  int64        // 0 → lineCacheCap
+	evictions *obs.Counter // nil-safe; counts generation swaps
 }
 
-// lineCacheCap bounds how many distinct raw lines one snapshot memoizes.
+// lineCacheGen is one bounded generation of the line cache.
+type lineCacheGen struct {
+	m sync.Map // string → uint64
+	n atomic.Int64
+}
+
+// lineCacheCap is the default per-generation line-cache bound.
 const lineCacheCap = 1 << 16
+
+// gen returns the live cache generation, installing the first one on a
+// directly-constructed snapshot.
+func (sn *modelSnapshot) gen() *lineCacheGen {
+	g := sn.cache.Load()
+	if g == nil {
+		g = &lineCacheGen{}
+		if !sn.cache.CompareAndSwap(nil, g) {
+			g = sn.cache.Load()
+		}
+	}
+	return g
+}
+
+func (sn *modelSnapshot) capLimit() int64 {
+	if sn.cacheCap > 0 {
+		return sn.cacheCap
+	}
+	return lineCacheCap
+}
+
+// cacheLen reports the live generation's entry count.
+func (sn *modelSnapshot) cacheLen() int64 {
+	return sn.gen().n.Load()
+}
 
 // cachedID returns the memoized template ID for line, if any.
 func (sn *modelSnapshot) cachedID(line string) (uint64, bool) {
-	v, ok := sn.lineCache.Load(line)
+	v, ok := sn.gen().m.Load(line)
 	if !ok {
 		return 0, false
 	}
 	return v.(uint64), true
 }
 
-// cacheID memoizes line → id while the cache has room.
+// cacheID memoizes line → id; at the generation cap it evicts the whole
+// generation instead of storing, so the next repeats memoize afresh.
 func (sn *modelSnapshot) cacheID(line string, id uint64) {
-	if sn.lineCacheN.Load() >= lineCacheCap {
+	g := sn.gen()
+	if g.n.Load() >= sn.capLimit() {
+		if sn.cache.CompareAndSwap(g, &lineCacheGen{}) {
+			sn.evictions.Inc()
+		}
 		return
 	}
-	if _, loaded := sn.lineCache.LoadOrStore(line, id); !loaded {
-		sn.lineCacheN.Add(1)
+	if _, loaded := g.m.LoadOrStore(line, id); !loaded {
+		g.n.Add(1)
 	}
 }
 
@@ -198,6 +265,8 @@ type topicState struct {
 	parser   *core.Parser
 	store    logstore.Store
 	internal logstore.SnapshotStore
+	met      *topicMetrics // resolved once at create; never nil
+	cacheCap int64
 
 	// snap is nil until the first training completes. Matching and
 	// queries Load it; only a finished training cycle Stores it.
@@ -231,10 +300,15 @@ type topicState struct {
 func New(cfg Config) *Service {
 	return &Service{
 		cfg:       cfg.withDefaults(),
+		met:       newServiceMetrics(obs.NewRegistry()),
 		topics:    make(map[string]*topicState),
 		ingesters: make(map[string]*Ingester),
 	}
 }
+
+// Registry exposes the service's metrics registry — the /metrics handler
+// scrapes it, and embedders may add their own instruments.
+func (s *Service) Registry() *obs.Registry { return s.met.reg }
 
 // topicSeed derives the reservoir RNG seed from a hash of the topic name,
 // so distinct topics sample independently (a plain len(name)-based seed
@@ -264,13 +338,15 @@ func (s *Service) CreateTopic(name string) error {
 	st := &topicState{
 		name:      name,
 		parser:    core.New(s.cfg.Parser),
+		met:       s.met.topic(name, s.cfg.TopicShards),
+		cacheCap:  int64(s.cfg.LineCacheCap),
 		rng:       rand.New(rand.NewSource(topicSeed(name))),
 		trainCh:   make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		sampleCap: s.cfg.SampleCap,
 	}
 	st.lastTrain.Store(s.cfg.Now().UnixNano())
-	store, err := s.openTopicStore(name)
+	store, err := s.openTopicStore(name, st.met.store)
 	if err != nil {
 		return err
 	}
@@ -301,6 +377,7 @@ func (s *Service) CreateTopic(name string) error {
 	}
 	st.wg.Add(1)
 	go s.trainLoop(st)
+	s.met.bindTopicGauges(s, st)
 	s.topics[name] = st
 	return nil
 }
@@ -310,7 +387,7 @@ func (s *Service) CreateTopic(name string) error {
 // select), compacting-segment when SegmentBytes > 0, disk-backed when
 // DataDir is set, in-memory otherwise. Persistent stores recover
 // existing on-disk state.
-func (s *Service) openTopicStore(name string) (logstore.Store, error) {
+func (s *Service) openTopicStore(name string, lm *logstore.Metrics) (logstore.Store, error) {
 	dir := ""
 	if s.cfg.DataDir != "" {
 		dir = filepath.Join(s.cfg.DataDir, name, "records")
@@ -323,15 +400,21 @@ func (s *Service) openTopicStore(name string) (logstore.Store, error) {
 		}
 		codec = c
 	}
+	opts := logstore.StoreOptions{
+		Metrics:           lm,
+		FsyncEveryBatches: s.cfg.WALFsyncEveryBatches,
+		FsyncInterval:     s.cfg.WALFsyncInterval,
+	}
 	if s.cfg.TopicShards > 1 {
 		return logstore.OpenSharded(name, logstore.ShardConfig{
 			Shards:       s.cfg.TopicShards,
 			Dir:          dir,
 			SegmentBytes: s.cfg.SegmentBytes,
 			Codec:        codec,
+			Opts:         opts,
 		})
 	}
-	return logstore.OpenStore(name, dir, s.cfg.SegmentBytes, codec)
+	return logstore.OpenStore(name, dir, s.cfg.SegmentBytes, codec, opts)
 }
 
 // recover reloads the latest persisted model after a restart and
@@ -353,9 +436,20 @@ func (st *topicState) recover() error {
 	if err != nil {
 		return fmt.Errorf("service: recover %s: %w", st.name, err)
 	}
-	st.snap.Store(&modelSnapshot{model: model, matcher: matcher, modelBytes: data})
+	st.snap.Store(st.newSnapshot(model, matcher, data))
 	st.trainings.Store(int64(st.internal.Snapshots()))
 	return nil
+}
+
+// newSnapshot builds a publishable snapshot wired to the topic's line-
+// cache cap and eviction counter.
+func (st *topicState) newSnapshot(model *core.Model, matcher *core.Matcher, data []byte) *modelSnapshot {
+	sn := &modelSnapshot{model: model, matcher: matcher, modelBytes: data, cacheCap: st.cacheCap}
+	if st.met != nil {
+		sn.evictions = st.met.cacheEvictions
+	}
+	sn.cache.Store(&lineCacheGen{})
+	return sn
 }
 
 // Close stops the background trainers, drains shared ingestion pipelines,
@@ -474,6 +568,8 @@ func (s *Service) ingest(topicName string, lines []string, queue int) error {
 	// snapshot. Lines seen before under this snapshot come straight from
 	// the cache; only first-seen lines pay preprocessing and matching
 	// (deduplicated and parallel across the parser's workers).
+	met := st.met
+	matchStart := time.Now()
 	if snap := st.snap.Load(); snap != nil {
 		miss, missLines := scratch.miss[:0], scratch.lines[:0]
 		for i, line := range lines {
@@ -491,19 +587,29 @@ func (s *Service) ingest(topicName string, lines []string, queue int) error {
 				snap.cacheID(missLines[j], r.NodeID)
 			}
 		}
+		met.cacheHits.Add(int64(len(lines) - len(missLines)))
+		met.cacheMisses.Add(int64(len(missLines)))
 		scratch.miss, scratch.lines = miss, missLines
 	}
+	appendStart := time.Now()
+	met.matchSeconds.Observe(appendStart.Sub(matchStart).Nanoseconds())
+	appended := false
 	if queue >= 0 {
 		if sh, ok := st.store.(*logstore.ShardedStore); ok {
 			if _, err := sh.AppendShardBatch(queue%sh.Shards(), now, recs); err != nil {
 				return fmt.Errorf("service: ingest %s: %w", topicName, err)
 			}
-			return s.afterIngest(st, lines, now)
+			appended = true
 		}
 	}
-	if _, err := st.store.AppendBatch(now, recs); err != nil {
-		return fmt.Errorf("service: ingest %s: %w", topicName, err)
+	if !appended {
+		if _, err := st.store.AppendBatch(now, recs); err != nil {
+			return fmt.Errorf("service: ingest %s: %w", topicName, err)
+		}
 	}
+	met.appendSeconds.ObserveDuration(time.Since(appendStart))
+	met.ingestLines.Add(int64(len(lines)))
+	met.ingestBatches.Inc()
 	return s.afterIngest(st, lines, now)
 }
 
@@ -555,6 +661,19 @@ type Stats struct {
 	ReservoirLines int       // lines buffered for the next cycle
 	LastTrainAt    time.Time // when the last cycle ran (topic creation before any)
 	LastTrainError string    `json:",omitempty"`
+	// Line-cache telemetry: entries in the live generation, cumulative
+	// hit/miss counts, and how many times an over-cap generation was
+	// evicted wholesale (non-zero = this topic's streams out-card the cap).
+	LineCacheEntries   int64
+	LineCacheHits      int64
+	LineCacheMisses    int64
+	LineCacheEvictions int64
+	// Query telemetry rollups (details per kind live in /metrics).
+	Queries     int64 `json:",omitempty"`
+	SlowQueries int64 `json:",omitempty"`
+	// WAL telemetry rollups, zero for in-memory topics.
+	WALFsyncs          int64 `json:",omitempty"`
+	WALPoisonRotations int64 `json:",omitempty"`
 	// Segment-store compression counters, zero unless Config.SegmentBytes
 	// enabled the compacting store for this topic.
 	Segments               int     `json:",omitempty"`
@@ -563,6 +682,7 @@ type Stats struct {
 	SegmentCompressedBytes int64   `json:",omitempty"`
 	SegmentRatio           float64 `json:",omitempty"`
 	SegmentBlockReads      int64   `json:",omitempty"`
+	SegmentBlocksPruned    int64   `json:",omitempty"`
 	SegmentCodec           string  `json:",omitempty"`
 	// Sharded-store breakdown, present when Config.TopicShards > 1: the
 	// shard count and each shard's record/byte/segment counters.
@@ -597,6 +717,17 @@ func (s *Service) TopicStats(topicName string) (Stats, error) {
 	if snap := st.snap.Load(); snap != nil {
 		stats.Templates = snap.model.Len() + snap.matcher.TemporaryCount()
 		stats.ModelBytes = len(snap.modelBytes)
+		stats.LineCacheEntries = snap.cacheLen()
+	}
+	if met := st.met; met != nil {
+		stats.LineCacheHits = met.cacheHits.Value()
+		stats.LineCacheMisses = met.cacheMisses.Value()
+		stats.LineCacheEvictions = met.cacheEvictions.Value()
+		stats.Queries = met.queriesTotal()
+		stats.SlowQueries = met.slowQueries.Value()
+		stats.WALFsyncs = met.store.WALFsyncs.Value()
+		stats.WALPoisonRotations = met.store.WALPoisonRotations.Value()
+		stats.SegmentBlocksPruned = met.store.BlocksPruned.Value()
 	}
 	if cs, ok := st.store.(logstore.Compactor); ok && s.cfg.SegmentBytes > 0 {
 		sst := cs.SegmentStats()
@@ -667,6 +798,22 @@ func (s *Service) Query(topicName string, threshold float64, tr TimeRange) ([]Te
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	rows, err := s.queryRows(st, topicName, threshold, tr)
+	if err != nil {
+		return nil, err
+	}
+	kind := queryKindGrouped
+	if !tr.From.IsZero() || !tr.To.IsZero() {
+		kind = queryKindTimeRange
+	}
+	s.observeQuery(st, kind, tr, start, len(rows))
+	return rows, nil
+}
+
+// queryRows is the uninstrumented grouped-query body; Query wraps it with
+// per-kind latency observation and the slow-query log.
+func (s *Service) queryRows(st *topicState, topicName string, threshold float64, tr TimeRange) ([]TemplateRow, error) {
 	snap := st.snap.Load()
 	if snap == nil {
 		return nil, fmt.Errorf("service: topic %q has no trained model yet", topicName)
@@ -784,6 +931,40 @@ func (s *Service) QueryMerged(topicName string, threshold float64, tr TimeRange)
 		return out[i].TemplateID < out[j].TemplateID
 	})
 	return out, nil
+}
+
+// Search returns the global offsets of records whose whitespace-delimited
+// tokens include token exactly. Sealed segments screen through their
+// bloom filters, so non-matching blocks are never decompressed.
+func (s *Service) Search(topicName, token string) ([]int64, error) {
+	if token == "" {
+		return nil, fmt.Errorf("service: empty search token")
+	}
+	st, err := s.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	offs := st.store.Search(token)
+	s.observeQuery(st, queryKindSearch, TimeRange{}, start, len(offs))
+	return offs, nil
+}
+
+// ByTemplate returns the global offsets of records whose ingestion-time
+// template ID is any of ids. Sealed segments whose metadata lacks every
+// id are pruned without decompression.
+func (s *Service) ByTemplate(topicName string, ids ...uint64) ([]int64, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("service: no template IDs given")
+	}
+	st, err := s.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	offs := st.store.ByTemplate(ids...)
+	s.observeQuery(st, queryKindTemplate, TimeRange{}, start, len(offs))
+	return offs, nil
 }
 
 // Model returns the topic's current model (nil before first training).

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bytebrain/internal/core"
+	"bytebrain/internal/obs"
 )
 
 func testConfig() Config {
@@ -526,7 +527,7 @@ func TestLineCacheRepeatIngestStaysCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := st.snap.Load()
-	if snap == nil || snap.lineCacheN.Load() == 0 {
+	if snap == nil || snap.cacheLen() == 0 {
 		t.Fatal("line cache never filled on repeat ingest")
 	}
 	// A forced training cycle swaps the snapshot; the fresh cache must
@@ -536,7 +537,7 @@ func TestLineCacheRepeatIngestStaysCorrect(t *testing.T) {
 	}
 	if snap2 := st.snap.Load(); snap2 == snap {
 		t.Fatal("training did not swap the snapshot")
-	} else if snap2.lineCacheN.Load() != 0 {
+	} else if snap2.cacheLen() != 0 {
 		t.Fatal("new snapshot inherited a stale line cache")
 	}
 	if err := s.Ingest("app", lines); err != nil {
@@ -563,20 +564,34 @@ func TestLineCacheRepeatIngestStaysCorrect(t *testing.T) {
 	}
 }
 
-// TestLineCacheCapBounds: the cache stops filling at its cap instead of
-// growing with every distinct line.
+// TestLineCacheCapBounds: hitting the cap evicts the whole generation so
+// hot lines re-memoize instead of the cache freezing on its first fill.
 func TestLineCacheCapBounds(t *testing.T) {
-	sn := &modelSnapshot{}
-	for i := 0; i < lineCacheCap+100; i++ {
+	reg := obs.NewRegistry()
+	sn := &modelSnapshot{
+		cacheCap:  64,
+		evictions: reg.Counter("evictions_total", "t").With(),
+	}
+	for i := 0; i < 64; i++ {
 		sn.cacheID(fmt.Sprintf("line %d", i), uint64(i))
 	}
-	if n := sn.lineCacheN.Load(); n != lineCacheCap {
-		t.Fatalf("cache grew to %d entries, cap is %d", n, lineCacheCap)
+	if n := sn.cacheLen(); n != 64 {
+		t.Fatalf("cache holds %d entries, want 64 (the cap)", n)
 	}
-	if id, ok := sn.cachedID("line 1"); !ok || id != 1 {
-		t.Fatalf("cachedID(line 1) = %d, %v", id, ok)
+	// The insert that lands on a full cache swaps in a fresh generation.
+	sn.cacheID("line 64", 64)
+	if n := sn.cacheLen(); n != 0 {
+		t.Fatalf("cache holds %d entries after eviction, want 0", n)
 	}
-	if _, ok := sn.cachedID(fmt.Sprintf("line %d", lineCacheCap+50)); ok {
-		t.Fatal("entry past the cap was cached")
+	if got := sn.evictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if _, ok := sn.cachedID("line 1"); ok {
+		t.Fatal("pre-eviction entry survived the generation swap")
+	}
+	// The fresh generation memoizes normally.
+	sn.cacheID("line 64", 64)
+	if id, ok := sn.cachedID("line 64"); !ok || id != 64 {
+		t.Fatalf("cachedID(line 64) = %d, %v; want 64, true", id, ok)
 	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"bytebrain/internal/core"
 )
@@ -57,13 +58,29 @@ func (s *Service) Train(topicName string) error {
 	return s.trainOnce(st)
 }
 
-// trainOnce runs one training cycle: steal the reservoir, train + merge
+// trainOnce wraps one training cycle with its telemetry: cycle duration,
+// error counter, and the last-error gauge (1 while the most recent cycle
+// failed, 0 once one succeeds).
+func (s *Service) trainOnce(st *topicState) error {
+	start := time.Now()
+	err := s.trainCycle(st)
+	st.met.trainSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		st.met.trainErrors.Inc()
+		st.met.trainLastError.Set(1)
+	} else {
+		st.met.trainLastError.Set(0)
+	}
+	return err
+}
+
+// trainCycle runs one training cycle: steal the reservoir, train + merge
 // against a snapshot of the current model (temporaries included), build
 // the new matcher, persist the snapshot, and atomically publish. The only
 // locks it ever holds are trainMu (cycle serialization — never taken by
 // Ingest) and resMu for the microseconds of the buffer swap, so ingestion
 // proceeds at full speed throughout.
-func (s *Service) trainOnce(st *topicState) error {
+func (s *Service) trainCycle(st *topicState) error {
 	st.trainMu.Lock()
 	defer st.trainMu.Unlock()
 	st.training.Store(true)
@@ -125,8 +142,9 @@ func (s *Service) trainOnce(st *topicState) error {
 		st.restoreReservoir(lines)
 		return fmt.Errorf("service: train %s: %w", st.name, err)
 	}
-	st.snap.Store(&modelSnapshot{model: res.Model, matcher: matcher, modelBytes: data})
+	st.snap.Store(st.newSnapshot(res.Model, matcher, data))
 	st.trainings.Add(1)
+	st.met.trainSwaps.Inc()
 	return nil
 }
 
