@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bytebrain"
+	"bytebrain/internal/netingest"
 	"bytebrain/internal/obs"
 )
 
@@ -104,6 +105,31 @@ func TestAllocBudget(t *testing.T) {
 		t.Logf("instrumentation: %.2f allocs per 256-line batch (budget 1)", perBatch)
 		if perBatch > 1 {
 			t.Fatalf("per-batch instrumentation allocates: %.2f allocs/batch exceeds budget 1", perBatch)
+		}
+	})
+
+	// The framed ingest protocol promises a zero-allocation decode
+	// loop: header parse plus body decode into a reused Frame touch no
+	// heap at all (the single permitted copy happens later, when the
+	// worker moves the line block out of the pooled read buffer). This
+	// budget is exact — any regression to per-frame or per-line
+	// allocation in Decode fails here.
+	t.Run("framedecode", func(t *testing.T) {
+		enc, err := netingest.AppendFrame(nil, 1, "bench", ds.Lines[:32])
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := enc[netingest.HeaderSize:]
+		var f netingest.Frame
+		perFrame := testing.AllocsPerRun(1000, func() {
+			h := netingest.ParseHeader(enc)
+			if err := f.Decode(h, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("frame decode: %.2f allocs per 32-line frame (budget 0)", perFrame)
+		if perFrame > 0 {
+			t.Fatalf("frame decode allocates: %.2f allocs/frame exceeds budget 0", perFrame)
 		}
 	})
 

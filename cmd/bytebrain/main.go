@@ -25,7 +25,16 @@ import (
 	"time"
 
 	"bytebrain"
+	"bytebrain/internal/netingest"
 )
+
+// tcpAddr strips an http(s):// scheme so -addr works unchanged across
+// -proto values.
+func tcpAddr(addr string) string {
+	addr = strings.TrimPrefix(addr, "http://")
+	addr = strings.TrimPrefix(addr, "https://")
+	return strings.TrimSuffix(addr, "/")
+}
 
 func main() {
 	log.SetFlags(0)
@@ -54,8 +63,9 @@ func usage() {
   bytebrain train     -in <log file> -model <out model> [-seed N] [-parallel N]
   bytebrain match     -in <log file> -model <model> [-threshold T]
   bytebrain templates -model <model> [-threshold T]
-  bytebrain ingest    -addr <service URL> -topic <name> [-in <log file>]
-                      [-batch N] [-async]
+  bytebrain ingest    -addr <service URL | host:port> -topic <name>
+                      [-in <log file>] [-batch N] [-async]
+                      [-proto http|tcp|tcp-raw] [-window N]
   bytebrain query     -addr <service URL> -topic <name> [-threshold T]
                       [-from RFC3339] [-to RFC3339] [-since 15m] [-merged]`)
 	os.Exit(2)
@@ -155,17 +165,22 @@ func cmdMatch(args []string) {
 }
 
 // cmdIngest ships a log file (or stdin) into a running log service
-// (cmd/logsvcd) over HTTP, posting batches of lines so each request rides
-// the service's group-committed ingestion path end to end. -async routes
-// through the service's multi-queue pipeline (202 on enqueue) instead of
-// synchronous ingestion.
+// (cmd/logsvcd). The default -proto=http posts batches of lines so each
+// request rides the service's group-committed ingestion path end to
+// end; -async routes through the service's multi-queue pipeline (202 on
+// enqueue) instead of synchronous ingestion. -proto=tcp speaks the
+// streaming framed protocol against the service's -ingest-addr listener
+// (persistent connection, pipelined frames, BUSY-aware resends), and
+// -proto=tcp-raw streams newline-delimited lines with one final ack.
 func cmdIngest(args []string) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8080", "log service base URL")
+	addr := fs.String("addr", "http://localhost:8080", "service base URL (-proto=http) or host:port of the -ingest-addr listener (-proto=tcp, tcp-raw)")
 	topic := fs.String("topic", "", "topic to ingest into")
 	in := fs.String("in", "", "input log file (default stdin)")
-	batch := fs.Int("batch", 4096, "lines per HTTP request")
-	async := fs.Bool("async", false, "enqueue on the service's async pipeline (HTTP 202)")
+	batch := fs.Int("batch", 4096, "lines per HTTP request / framed batch")
+	async := fs.Bool("async", false, "enqueue on the service's async pipeline (HTTP 202; -proto=http only)")
+	proto := fs.String("proto", "http", "wire protocol: http, tcp (framed), or tcp-raw (newline stream)")
+	window := fs.Int("window", 8, "unacked frames in flight (-proto=tcp)")
 	_ = fs.Parse(args)
 	if *topic == "" || *batch <= 0 {
 		usage()
@@ -184,6 +199,44 @@ func cmdIngest(args []string) {
 		}
 	} else {
 		lines = readLines(*in)
+	}
+	switch *proto {
+	case "http":
+		// fall through to the HTTP path below
+	case "tcp":
+		c, err := netingest.Dial(tcpAddr(*addr), netingest.ClientOptions{Window: *window})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for start := 0; start < len(lines); start += *batch {
+			end := min(start+*batch, len(lines))
+			if err := c.Send(*topic, lines[start:end]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := c.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %d lines into %s (framed tcp)\n", len(lines), *topic)
+		return
+	case "tcp-raw":
+		c, err := netingest.DialRaw(tcpAddr(*addr), *topic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range lines {
+			if err := c.WriteLine([]byte(l)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		n, err := c.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %d lines into %s (raw tcp)\n", n, *topic)
+		return
+	default:
+		log.Fatalf("-proto=%s: want http, tcp, or tcp-raw", *proto)
 	}
 	u := strings.TrimSuffix(*addr, "/") + "/topics/" + url.PathEscape(*topic) + "/logs"
 	if *async {

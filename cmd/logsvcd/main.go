@@ -54,6 +54,7 @@ func main() {
 		lineCacheCap = flag.Int("line-cache-cap", 0, "distinct lines memoized per model snapshot before a whole-generation eviction (0 = default 65536)")
 		fsyncEveryN  = flag.Int("wal-fsync-every-n", 0, "fsync topic WALs every N append batches (0 = rely on OS flush; durability of the tail rides on the page cache)")
 		fsyncEveryT  = flag.Duration("wal-fsync-every-t", 0, "fsync dirty topic WALs at least this often (0 = disabled; combines with -wal-fsync-every-n)")
+		ingestAddr   = flag.String("ingest-addr", "", "serve the streaming TCP ingest protocol (framed/raw, see README wire-protocol spec) on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if *segmentBytes > 0 {
@@ -83,6 +84,14 @@ func main() {
 		WALFsyncEveryBatches:    *fsyncEveryN,
 		WALFsyncInterval:        *fsyncEveryT,
 	})
+
+	if *ingestAddr != "" {
+		naddr, err := svc.StartNetIngest(*ingestAddr)
+		if err != nil {
+			log.Fatalf("logsvcd: -ingest-addr: %v", err)
+		}
+		log.Printf("logsvcd TCP ingest listening on %s", naddr)
+	}
 
 	// The pprof endpoints live on their own listener so profiling access
 	// can be firewalled separately from the service API.

@@ -777,6 +777,50 @@ func (s *CompactingStore) Get(offset int64) (Record, error) {
 	return Record{}, fmt.Errorf("logstore: offset %d out of range [0,%d)", offset, s.Len())
 }
 
+// GetBatch implements Store. Offsets are grouped per block first, so a
+// sealed block touched by many offsets pays exactly one payload
+// decompression instead of one per offset (Get decodes per call) — the
+// win the query sample-fetch path exists for.
+func (s *CompactingStore) GetBatch(offsets []int64) ([]Record, error) {
+	if len(offsets) == 0 {
+		return nil, nil
+	}
+	blocks := s.snapshot()
+	out := make([]Record, len(offsets))
+	groups := make(map[int][]int, 1) // block index → positions in offsets
+	for pos, off := range offsets {
+		// Blocks are offset-ordered: binary search the owning block.
+		bi := sort.Search(len(blocks), func(i int) bool { return blocks[i].last() > off })
+		if bi == len(blocks) || off < blocks[bi].first {
+			return nil, fmt.Errorf("logstore: offset %d out of range [0,%d)", off, s.Len())
+		}
+		groups[bi] = append(groups[bi], pos)
+	}
+	for bi, positions := range groups {
+		b := blocks[bi]
+		if b.seg != nil {
+			recs, err := b.seg.Records()
+			if err != nil {
+				return nil, err
+			}
+			for _, pos := range positions {
+				rec := recs[offsets[pos]-b.first]
+				out[pos] = Record{Offset: rec.Offset, Time: rec.Time, Raw: rec.Raw, TemplateID: rec.TemplateID}
+			}
+			continue
+		}
+		for _, pos := range positions {
+			r, err := b.hot.Get(offsets[pos] - b.first)
+			if err != nil {
+				return nil, err
+			}
+			r.Offset = offsets[pos]
+			out[pos] = r
+		}
+	}
+	return out, nil
+}
+
 // Scan implements Store. Sealed blocks whose metadata time bounds fall
 // outside tr are skipped without decompression.
 func (s *CompactingStore) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
@@ -843,7 +887,18 @@ func (s *CompactingStore) Scan(from, to int64, tr TimeRange, fn func(Record) boo
 // ByTemplate implements Store. Sealed blocks whose metadata lacks every
 // queried template are skipped without decompression.
 func (s *CompactingStore) ByTemplate(ids ...uint64) []int64 {
+	return s.ByTemplateRange(TimeRange{}, ids...)
+}
+
+// ByTemplateRange implements Store. Sealed blocks prune on metadata
+// alone when no queried template is present, when the block's time
+// bounds miss tr, or when every queried template's own time bounds (v3
+// segments) miss it; only surviving blocks decompress.
+func (s *CompactingStore) ByTemplateRange(tr TimeRange, ids ...uint64) []int64 {
 	var out []int64
+	if tr.Empty() {
+		return out
+	}
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
 			any := false
@@ -859,15 +914,21 @@ func (s *CompactingStore) ByTemplate(ids ...uint64) []int64 {
 				s.m.BlocksPruned.Inc()
 				continue
 			}
-			offs, err := b.seg.ByTemplate(ids...)
+			offs, decoded, err := b.seg.ByTemplateRangeInfo(tr.From, tr.To, ids...)
 			if err != nil {
 				s.noteErr(err)
+				continue
+			}
+			if !decoded {
+				// Time-bound prune: the templates exist but nothing can
+				// lie in tr.
+				s.m.BlocksPruned.Inc()
 				continue
 			}
 			out = append(out, offs...)
 			continue
 		}
-		for _, off := range b.hot.ByTemplate(ids...) {
+		for _, off := range b.hot.ByTemplateRange(tr, ids...) {
 			out = append(out, off+b.first)
 		}
 	}
@@ -957,24 +1018,34 @@ func (s *CompactingStore) TemplateCounts(tr TimeRange) map[uint64]int {
 // Search implements Store. Sealed blocks screen through their bloom
 // filter first.
 func (s *CompactingStore) Search(token string) []int64 {
+	return s.SearchRange(token, TimeRange{})
+}
+
+// SearchRange implements Store. Sealed blocks prune on metadata alone
+// when the bloom filter rules the token out or the block's time bounds
+// miss tr; only surviving blocks decompress.
+func (s *CompactingStore) SearchRange(token string, tr TimeRange) []int64 {
 	var out []int64
+	if tr.Empty() {
+		return out
+	}
 	for _, b := range s.snapshot() {
 		if b.seg != nil {
-			if !b.seg.MayContainToken(token) {
-				// Bloom screen: counted here, never decompressed (Search's
-				// own fast path).
-				s.m.BlocksPruned.Inc()
-				continue
-			}
-			offs, err := b.seg.Search(token)
+			offs, decoded, err := b.seg.SearchRangeInfo(token, tr.From, tr.To)
 			if err != nil {
 				s.noteErr(err)
+				continue
+			}
+			if !decoded {
+				// Bloom screen or time-bound prune: counted here, never
+				// decompressed (Search's own fast path).
+				s.m.BlocksPruned.Inc()
 				continue
 			}
 			out = append(out, offs...)
 			continue
 		}
-		for _, off := range b.hot.Search(token) {
+		for _, off := range b.hot.SearchRange(token, tr) {
 			out = append(out, off+b.first)
 		}
 	}

@@ -38,6 +38,11 @@ type Store interface {
 	Bytes() int64
 	// Get returns the record at offset.
 	Get(offset int64) (Record, error)
+	// GetBatch returns the records at offsets, in input order — the
+	// offset-dense sample-fetch path. Stores that decode sealed blocks
+	// group the offsets so each touched block is decoded once, not once
+	// per offset. Any out-of-range offset fails the whole call.
+	GetBatch(offsets []int64) ([]Record, error)
 	// Scan visits records in [from, to) whose timestamp lies in tr until
 	// fn returns false; to < 0 means end, the zero TimeRange visits all.
 	Scan(from, to int64, tr TimeRange, fn func(Record) bool)
@@ -57,6 +62,14 @@ type Store interface {
 	GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateGroup
 	// Search returns offsets of records containing the exact token.
 	Search(token string) []int64
+	// SearchRange is Search bounded to records whose timestamp lies in
+	// tr (zero range = everything). Sealed blocks outside tr are pruned
+	// by metadata time bounds before the token filter runs.
+	SearchRange(token string, tr TimeRange) []int64
+	// ByTemplateRange is ByTemplate bounded to records whose timestamp
+	// lies in tr (zero range = everything), with the same sealed-block
+	// time pruning as SearchRange.
+	ByTemplateRange(tr TimeRange, ids ...uint64) []int64
 	// CountSince counts records at or after cut.
 	CountSince(cut time.Time) int
 	// Close releases resources; further Appends fail.
@@ -398,6 +411,9 @@ func (t *DiskTopic) Bytes() int64 { return t.mem.Bytes() }
 // Get implements Store.
 func (t *DiskTopic) Get(offset int64) (Record, error) { return t.mem.Get(offset) }
 
+// GetBatch implements Store.
+func (t *DiskTopic) GetBatch(offsets []int64) ([]Record, error) { return t.mem.GetBatch(offsets) }
+
 // Scan implements Store.
 func (t *DiskTopic) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
 	t.mem.Scan(from, to, tr, fn)
@@ -405,6 +421,11 @@ func (t *DiskTopic) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
 
 // ByTemplate implements Store.
 func (t *DiskTopic) ByTemplate(ids ...uint64) []int64 { return t.mem.ByTemplate(ids...) }
+
+// ByTemplateRange implements Store.
+func (t *DiskTopic) ByTemplateRange(tr TimeRange, ids ...uint64) []int64 {
+	return t.mem.ByTemplateRange(tr, ids...)
+}
 
 // TemplateCounts implements Store.
 func (t *DiskTopic) TemplateCounts(tr TimeRange) map[uint64]int { return t.mem.TemplateCounts(tr) }
@@ -416,6 +437,11 @@ func (t *DiskTopic) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]Templ
 
 // Search implements Store.
 func (t *DiskTopic) Search(token string) []int64 { return t.mem.Search(token) }
+
+// SearchRange implements Store.
+func (t *DiskTopic) SearchRange(token string, tr TimeRange) []int64 {
+	return t.mem.SearchRange(token, tr)
+}
 
 // CountSince implements Store.
 func (t *DiskTopic) CountSince(cut time.Time) int { return t.mem.CountSince(cut) }

@@ -208,6 +208,22 @@ func (t *Topic) Get(offset int64) (Record, error) {
 	return t.records[offset], nil
 }
 
+// GetBatch returns the records at offsets, in input order, under one
+// lock acquisition — the offset-dense sample-fetch path (query rows
+// carry a handful of example offsets each).
+func (t *Topic) GetBatch(offsets []int64) ([]Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Record, 0, len(offsets))
+	for _, off := range offsets {
+		if off < 0 || off >= int64(len(t.records)) {
+			return nil, fmt.Errorf("logstore: offset %d out of range [0,%d)", off, len(t.records))
+		}
+		out = append(out, t.records[off])
+	}
+	return out, nil
+}
+
 // rangeDisposition classifies a time range against the topic's
 // watermarks: every record matches (index fast paths stay valid), none
 // does, or a per-record filter is needed. Callers hold mu.
@@ -271,11 +287,29 @@ func (t *Topic) Scan(from, to int64, tr TimeRange, fn func(Record) bool) {
 // ByTemplate returns the offsets of records matched to any of ids, in
 // ascending order.
 func (t *Topic) ByTemplate(ids ...uint64) []int64 {
+	return t.ByTemplateRange(TimeRange{}, ids...)
+}
+
+// ByTemplateRange is ByTemplate bounded to records whose timestamp lies
+// in tr; the zero range takes the index fast path.
+func (t *Topic) ByTemplateRange(tr TimeRange, ids ...uint64) []int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	disp := t.disposeLocked(tr)
+	if disp == rangeNone && !tr.IsZero() {
+		return nil
+	}
 	var out []int64
 	for _, id := range ids {
-		out = append(out, t.byTmpl[id]...)
+		if disp == rangeFilter {
+			for _, off := range t.byTmpl[id] {
+				if tr.Contains(t.records[off].Time) {
+					out = append(out, off)
+				}
+			}
+		} else {
+			out = append(out, t.byTmpl[id]...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -362,9 +396,29 @@ func (t *Topic) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]TemplateG
 // Search returns the offsets of records containing token (exact
 // whitespace-delimited match), ascending.
 func (t *Topic) Search(token string) []int64 {
+	return t.SearchRange(token, TimeRange{})
+}
+
+// SearchRange is Search bounded to records whose timestamp lies in tr;
+// the zero range copies the token index entry straight out.
+func (t *Topic) SearchRange(token string, tr TimeRange) []int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	offs := t.tokenIdx[token]
+	switch t.disposeLocked(tr) {
+	case rangeNone:
+		if !tr.IsZero() {
+			return []int64{}
+		}
+	case rangeFilter:
+		out := make([]int64, 0, len(offs))
+		for _, off := range offs {
+			if tr.Contains(t.records[off].Time) {
+				out = append(out, off)
+			}
+		}
+		return out
+	}
 	out := make([]int64, len(offs))
 	copy(out, offs)
 	return out

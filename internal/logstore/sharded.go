@@ -281,6 +281,38 @@ func (s *ShardedStore) Get(offset int64) (Record, error) {
 	return rec, nil
 }
 
+// GetBatch implements Store: offsets are partitioned per shard so each
+// shard sees one dense GetBatch call (and pays its block-grouping win),
+// then results are reassembled in input order with global offsets.
+func (s *ShardedStore) GetBatch(offsets []int64) ([]Record, error) {
+	if len(offsets) == 0 {
+		return nil, nil
+	}
+	perShard := make(map[int][]int64) // shard → local offsets
+	positions := make(map[int][]int)  // shard → positions in offsets
+	for pos, off := range offsets {
+		shard := int(off >> shardShift)
+		if off < 0 || shard >= len(s.shards) {
+			return nil, fmt.Errorf("logstore: offset %d outside the %d-shard namespace", off, len(s.shards))
+		}
+		perShard[shard] = append(perShard[shard], off&shardLocalMask)
+		positions[shard] = append(positions[shard], pos)
+	}
+	out := make([]Record, len(offsets))
+	for shard, local := range perShard {
+		recs, err := s.shards[shard].GetBatch(local)
+		if err != nil {
+			return nil, err
+		}
+		base := int64(shard) << shardShift
+		for i, rec := range recs {
+			rec.Offset = base + local[i]
+			out[positions[shard][i]] = rec
+		}
+	}
+	return out, nil
+}
+
 // Scan implements Store, visiting shards in ascending namespace order
 // (all of shard i before shard i+1) with offsets rewritten to the global
 // namespace; [from, to) are global offsets and tr prunes inside each
@@ -324,10 +356,16 @@ func (s *ShardedStore) Scan(from, to int64, tr TimeRange, fn func(Record) bool) 
 // namespace is shard-major, so concatenation in shard order is globally
 // ascending.
 func (s *ShardedStore) ByTemplate(ids ...uint64) []int64 {
+	return s.ByTemplateRange(TimeRange{}, ids...)
+}
+
+// ByTemplateRange implements Store, concatenating per-shard results in
+// namespace order; tr pushes down into each shard's own pruning.
+func (s *ShardedStore) ByTemplateRange(tr TimeRange, ids ...uint64) []int64 {
 	var out []int64
 	for i, sub := range s.shards {
 		base := int64(i) << shardShift
-		for _, off := range sub.ByTemplate(ids...) {
+		for _, off := range sub.ByTemplateRange(tr, ids...) {
 			out = append(out, base+off)
 		}
 	}
@@ -370,10 +408,16 @@ func (s *ShardedStore) GroupedCounts(maxSamples int, tr TimeRange) map[uint64]Te
 
 // Search implements Store; see ByTemplate for the ordering argument.
 func (s *ShardedStore) Search(token string) []int64 {
+	return s.SearchRange(token, TimeRange{})
+}
+
+// SearchRange implements Store, concatenating per-shard results in
+// namespace order; tr pushes down into each shard's own pruning.
+func (s *ShardedStore) SearchRange(token string, tr TimeRange) []int64 {
 	var out []int64
 	for i, sub := range s.shards {
 		base := int64(i) << shardShift
-		for _, off := range sub.Search(token) {
+		for _, off := range sub.SearchRange(token, tr) {
 			out = append(out, base+off)
 		}
 	}

@@ -1,0 +1,223 @@
+// Package netingest implements the byte-oriented streaming ingest
+// listener: a persistent-connection TCP protocol that moves log lines
+// from the wire to the store with at most one copy of the line bytes.
+//
+// A connection opens with a 4-byte magic selecting the mode:
+//
+//	"BBF1"  framed mode — length-prefixed frames, per-frame acks
+//	"BBR1"  raw mode    — newline-delimited lines, one final ack
+//
+// Framed mode is the fast path. Each frame is a fixed 15-byte
+// little-endian header followed by a body:
+//
+//	header: seq u32 | flags u8 | topicLen u16 | lineCount u32 | blockLen u32
+//	body:   topic [topicLen] | ends [lineCount × u32] | block [blockLen]
+//
+// The ends array holds cumulative end offsets into the block, strictly
+// increasing, with the last entry equal to blockLen; line i is
+// block[ends[i-1]:ends[i]] (line 0 starts at 0). Flags must be zero.
+// Empty lines are not representable — encoders skip them, mirroring the
+// HTTP ingest path.
+//
+// Every frame is answered by a 5-byte ack:
+//
+//	ack: seq u32 | status u8
+//
+// Status 0 (OK) means the frame was ingested durably. Status 1 (BUSY)
+// means the server drained the frame off the wire but dropped it under
+// backpressure — the client must resend it. Status 2 (ERR) means the
+// frame was rejected; for protocol violations (bad magic, non-zero
+// flags, oversize body, malformed offsets) the server also closes the
+// connection, while per-frame ingest errors (e.g. unknown topic) keep
+// it open.
+//
+// Raw mode trades the zero-copy decode for convenience: after the magic
+// the client sends topicLen u16 | topic, then newline-delimited lines,
+// then half-closes. The server batches lines into ingest calls and
+// answers with a single final ack whose seq is the total line count
+// truncated to u32.
+package netingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants. The magics are what a connection must start with;
+// everything after them is little-endian binary.
+const (
+	MagicFramed = "BBF1"
+	MagicRaw    = "BBR1"
+
+	// HeaderSize is the fixed framed-mode header length in bytes.
+	HeaderSize = 15
+	// AckSize is the fixed ack length in bytes.
+	AckSize = 5
+)
+
+// Ack status codes.
+const (
+	StatusOK   byte = 0 // frame ingested durably
+	StatusBusy byte = 1 // dropped under backpressure; resend
+	StatusErr  byte = 2 // rejected
+)
+
+// Defaults for the server-side limits.
+const (
+	// DefaultMaxFrameBytes bounds a single frame body (topic + offsets +
+	// block).
+	DefaultMaxFrameBytes = 8 << 20
+	// DefaultMaxInflight bounds the bytes a single connection may have
+	// queued between the reader and the ingest worker before new frames
+	// are answered with BUSY.
+	DefaultMaxInflight = 4 << 20
+)
+
+// ErrNoLines is returned by AppendFrame when every input line is empty:
+// the protocol cannot represent an empty frame.
+var ErrNoLines = errors.New("netingest: frame has no non-empty lines")
+
+// Header is the decoded fixed-size frame header.
+type Header struct {
+	Seq       uint32
+	Flags     byte
+	TopicLen  int
+	LineCount int
+	BlockLen  int
+}
+
+// ParseHeader decodes the first HeaderSize bytes of b. It performs no
+// validation beyond field extraction; callers check Flags and BodyLen
+// against their limits.
+func ParseHeader(b []byte) Header {
+	return Header{
+		Seq:       binary.LittleEndian.Uint32(b[0:4]),
+		Flags:     b[4],
+		TopicLen:  int(binary.LittleEndian.Uint16(b[5:7])),
+		LineCount: int(binary.LittleEndian.Uint32(b[7:11])),
+		BlockLen:  int(binary.LittleEndian.Uint32(b[11:15])),
+	}
+}
+
+// BodyLen returns the exact number of body bytes that follow the
+// header.
+func (h Header) BodyLen() int {
+	return h.TopicLen + 4*h.LineCount + h.BlockLen
+}
+
+// Frame is a decoded frame view. Topic and Block alias the body buffer
+// passed to Decode — they are valid only until that buffer is reused.
+// A Frame is reusable: Decode overwrites all fields and recycles the
+// internal offsets slice, so a steady-state decode loop allocates
+// nothing.
+type Frame struct {
+	Seq   uint32
+	Topic []byte
+	Block []byte
+	ends  []uint32
+}
+
+// Decode validates h against body and populates f. body must hold
+// exactly h.BodyLen() bytes.
+func (f *Frame) Decode(h Header, body []byte) error {
+	if h.Flags != 0 {
+		return fmt.Errorf("netingest: non-zero flags 0x%02x", h.Flags)
+	}
+	if h.TopicLen == 0 {
+		return errors.New("netingest: empty topic")
+	}
+	if h.LineCount == 0 {
+		return errors.New("netingest: zero line count")
+	}
+	if len(body) != h.BodyLen() {
+		return fmt.Errorf("netingest: body is %d bytes, header says %d", len(body), h.BodyLen())
+	}
+	f.Seq = h.Seq
+	f.Topic = body[:h.TopicLen]
+	offs := body[h.TopicLen : h.TopicLen+4*h.LineCount]
+	f.ends = f.ends[:0]
+	prev := uint32(0)
+	for i := 0; i < h.LineCount; i++ {
+		end := binary.LittleEndian.Uint32(offs[4*i:])
+		if end <= prev {
+			return fmt.Errorf("netingest: line offsets not strictly increasing at %d", i)
+		}
+		f.ends = append(f.ends, end)
+		prev = end
+	}
+	if int(prev) != h.BlockLen {
+		return fmt.Errorf("netingest: last offset %d != block length %d", prev, h.BlockLen)
+	}
+	f.Block = body[h.TopicLen+4*h.LineCount:]
+	return nil
+}
+
+// Lines returns the number of lines in the decoded frame.
+func (f *Frame) Lines() int { return len(f.ends) }
+
+// Line returns line i as a sub-slice of Block (no copy).
+func (f *Frame) Line(i int) []byte {
+	start := uint32(0)
+	if i > 0 {
+		start = f.ends[i-1]
+	}
+	return f.Block[start:f.ends[i]]
+}
+
+// End returns the cumulative end offset of line i; line i spans
+// [End(i-1), End(i)) in Block. Exposed so decoders can walk the block
+// without the bounds recheck Line implies.
+func (f *Frame) End(i int) uint32 { return f.ends[i] }
+
+// AppendFrame encodes one frame (header + body) for seq/topic/lines and
+// appends it to dst. Empty lines are skipped; if none remain it returns
+// dst unchanged with ErrNoLines. The topic must fit in 16 bits.
+func AppendFrame(dst []byte, seq uint32, topic string, lines []string) ([]byte, error) {
+	if len(topic) == 0 || len(topic) > 0xFFFF {
+		return dst, fmt.Errorf("netingest: topic length %d out of range [1,65535]", len(topic))
+	}
+	count, block := 0, 0
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		count++
+		block += len(l)
+	}
+	if count == 0 {
+		return dst, ErrNoLines
+	}
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], seq)
+	hdr[4] = 0
+	binary.LittleEndian.PutUint16(hdr[5:7], uint16(len(topic)))
+	binary.LittleEndian.PutUint32(hdr[7:11], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[11:15], uint32(block))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, topic...)
+	end := uint32(0)
+	var off [4]byte
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		end += uint32(len(l))
+		binary.LittleEndian.PutUint32(off[:], end)
+		dst = append(dst, off[:]...)
+	}
+	for _, l := range lines {
+		if l != "" {
+			dst = append(dst, l...)
+		}
+	}
+	return dst, nil
+}
+
+// AppendAck encodes a 5-byte ack into dst.
+func AppendAck(dst []byte, seq uint32, status byte) []byte {
+	var b [AckSize]byte
+	binary.LittleEndian.PutUint32(b[0:4], seq)
+	b[4] = status
+	return append(dst, b[:]...)
+}

@@ -631,6 +631,98 @@ func (r *Reader) Search(token string) ([]int64, error) {
 	return out, nil
 }
 
+// SearchRange is Search bounded to records with timestamps in
+// [from, to] (inclusive; zero times are unbounded).
+func (r *Reader) SearchRange(token string, from, to time.Time) ([]int64, error) {
+	offs, _, err := r.SearchRangeInfo(token, from, to)
+	return offs, err
+}
+
+// SearchRangeInfo is SearchRange plus a decoded flag: false means the
+// block pruned away on metadata alone — its time bounds fall outside
+// the range, or the bloom filter rules the token out — and the payload
+// was never decompressed. Unlike the grouped-counts pushdown, a
+// surviving block always decodes: token matching needs the raw lines.
+func (r *Reader) SearchRangeInfo(token string, from, to time.Time) ([]int64, bool, error) {
+	lo, hi := rangeNanos(from, to)
+	if lo > hi || r.maxTime < lo || r.minTime > hi {
+		return nil, false, nil
+	}
+	if !r.MayContainToken(token) {
+		return nil, false, nil
+	}
+	covered := r.minTime >= lo && r.maxTime <= hi
+	recs, err := r.Records()
+	if err != nil {
+		return nil, true, err
+	}
+	var out []int64
+	for _, rec := range recs {
+		if !covered {
+			if ns := rec.Time.UnixNano(); ns < lo || ns > hi {
+				continue
+			}
+		}
+		for _, tok := range Tokenize(rec.Raw) {
+			if tok == token {
+				out = append(out, rec.Offset)
+				break
+			}
+		}
+	}
+	return out, true, nil
+}
+
+// ByTemplateRange is ByTemplate bounded to records with timestamps in
+// [from, to] (inclusive; zero times are unbounded).
+func (r *Reader) ByTemplateRange(from, to time.Time, ids ...uint64) ([]int64, error) {
+	offs, _, err := r.ByTemplateRangeInfo(from, to, ids...)
+	return offs, err
+}
+
+// ByTemplateRangeInfo is ByTemplateRange plus a decoded flag: false
+// means metadata alone pruned the block — time bounds outside the
+// range, no queried template present, or every queried template's own
+// time bounds (v3; block bounds pre-v3) miss the range entirely.
+func (r *Reader) ByTemplateRangeInfo(from, to time.Time, ids ...uint64) ([]int64, bool, error) {
+	lo, hi := rangeNanos(from, to)
+	if lo > hi || r.maxTime < lo || r.minTime > hi {
+		return nil, false, nil
+	}
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	overlap := false
+	for i, id := range r.meta.tmplIDs {
+		if want[id] && r.meta.tmplMaxT[i] >= lo && r.meta.tmplMinT[i] <= hi {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return nil, false, nil
+	}
+	covered := r.minTime >= lo && r.maxTime <= hi
+	recs, err := r.Records()
+	if err != nil {
+		return nil, true, err
+	}
+	var out []int64
+	for _, rec := range recs {
+		if !want[rec.TemplateID] {
+			continue
+		}
+		if !covered {
+			if ns := rec.Time.UnixNano(); ns < lo || ns > hi {
+				continue
+			}
+		}
+		out = append(out, rec.Offset)
+	}
+	return out, true, nil
+}
+
 // CountSince counts records with Time >= cut. The metadata time range
 // answers the all-or-nothing cases without decompressing.
 func (r *Reader) CountSince(cut time.Time) (int, error) {

@@ -9,8 +9,18 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
+
+// scanBufPool leases the 64 KiB initial scanner buffer the /logs
+// handler hands to bufio.Scanner, instead of allocating it per request.
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
 
 // Handler returns the HTTP API of the service, mirroring the paper's
 // user-facing surface:
@@ -83,7 +93,15 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusCreated)
 	case action == "logs" && r.Method == http.MethodPost:
 		sc := bufio.NewScanner(r.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		// The scanner's initial buffer is leased from a pool rather
+		// than allocated per request: line bytes are copied out by
+		// sc.Text(), so nothing retains it past the handler. If the
+		// scanner outgrows it (lines past 64 KiB) the grown buffer is
+		// the scanner's own; the pooled one simply goes back at its
+		// original size.
+		scanBuf := scanBufPool.Get().(*[]byte)
+		defer scanBufPool.Put(scanBuf)
+		sc.Buffer((*scanBuf)[:0], 4*1024*1024)
 		var lines []string
 		for sc.Scan() {
 			if line := sc.Text(); line != "" {
@@ -149,6 +167,12 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 			httpTopicError(w, err)
 			return
 		}
+		if r.URL.Query().Get("samples") == "1" {
+			if err := s.fillSampleLines(name, rows); err != nil {
+				httpTopicError(w, err)
+				return
+			}
+		}
 		writeJSON(w, rows)
 	case action == "search" && r.Method == http.MethodGet:
 		token := r.URL.Query().Get("token")
@@ -156,7 +180,12 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "token parameter is required", http.StatusBadRequest)
 			return
 		}
-		offs, err := s.Search(name, token)
+		tr, perr := parseTimeRange(r.URL.Query(), s.cfg.Now)
+		if perr != "" {
+			http.Error(w, perr, http.StatusBadRequest)
+			return
+		}
+		offs, err := s.Search(name, token, tr)
 		if err != nil {
 			httpTopicError(w, err)
 			return
@@ -176,7 +205,12 @@ func (s *Service) topicRoutes(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "at least one id parameter is required", http.StatusBadRequest)
 			return
 		}
-		offs, err := s.ByTemplate(name, ids...)
+		tr, perr := parseTimeRange(r.URL.Query(), s.cfg.Now)
+		if perr != "" {
+			http.Error(w, perr, http.StatusBadRequest)
+			return
+		}
+		offs, err := s.ByTemplate(name, tr, ids...)
 		if err != nil {
 			httpTopicError(w, err)
 			return
@@ -222,36 +256,48 @@ func parseQueryParams(q url.Values, now func() time.Time) (threshold float64, tr
 		}
 		threshold = f
 	}
+	tr, errMsg = parseTimeRange(q, now)
+	if errMsg != "" {
+		return 0, tr, errMsg
+	}
+	return threshold, tr, ""
+}
+
+// parseTimeRange validates the shared from/to/since time-bound
+// parameters (query, search, and templates routes all accept them) with
+// the same strictness as parseQueryParams: a malformed value is always
+// a 400, never silently ignored.
+func parseTimeRange(q url.Values, now func() time.Time) (tr TimeRange, errMsg string) {
 	hasFrom, hasTo, hasSince := q.Has("from"), q.Has("to"), q.Has("since")
 	if hasSince && (hasFrom || hasTo) {
-		return 0, tr, "since is shorthand for from=now-since; do not combine it with from/to"
+		return tr, "since is shorthand for from=now-since; do not combine it with from/to"
 	}
 	if hasSince {
 		d, err := time.ParseDuration(q.Get("since"))
 		if err != nil || d <= 0 {
-			return 0, tr, "since must be a positive duration such as 15m or 1h30m"
+			return tr, "since must be a positive duration such as 15m or 1h30m"
 		}
 		tr.From = now().Add(-d)
-		return threshold, tr, ""
+		return tr, ""
 	}
 	if hasFrom {
 		t, err := time.Parse(time.RFC3339, q.Get("from"))
 		if err != nil {
-			return 0, tr, "from must be an RFC 3339 timestamp such as 2026-07-26T12:00:00Z"
+			return tr, "from must be an RFC 3339 timestamp such as 2026-07-26T12:00:00Z"
 		}
 		tr.From = t
 	}
 	if hasTo {
 		t, err := time.Parse(time.RFC3339, q.Get("to"))
 		if err != nil {
-			return 0, tr, "to must be an RFC 3339 timestamp such as 2026-07-26T12:15:00Z"
+			return tr, "to must be an RFC 3339 timestamp such as 2026-07-26T12:15:00Z"
 		}
 		tr.To = t
 	}
 	if tr.Empty() {
-		return 0, tr, "from must not be after to"
+		return tr, "from must not be after to"
 	}
-	return threshold, tr, ""
+	return tr, ""
 }
 
 func httpTopicError(w http.ResponseWriter, err error) {

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPLogsNoTrailingNewline: bufio.Scanner hands out the final line
+// whether or not the body ends in '\n'; with the pooled scanner buffer
+// that must keep holding (the pool swap must not eat the last line).
+func TestHTTPLogsNoTrailingNewline(t *testing.T) {
+	s := New(testConfig())
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { s.Close() })
+
+	body := "first line here\nsecond line here\nfinal line zzunterminated"
+	resp, err := srv.Client().Post(srv.URL+"/topics/app/logs", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /logs = %d", resp.StatusCode)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ingested"] != 3 {
+		t.Fatalf("ingested = %d, want 3 (unterminated final line dropped?)", out["ingested"])
+	}
+	// The unterminated line is really in the store, bytes intact.
+	offs, err := s.Search("app", "zzunterminated", TimeRange{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 1 {
+		t.Fatalf("search for the final line found %d records, want 1", len(offs))
+	}
+	recs, err := s.Records("app", offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Raw != "final line zzunterminated" {
+		t.Fatalf("final line stored as %q", recs[0].Raw)
+	}
+}
+
+// TestHTTPSearchTemplatesParamRejections extends the query-route 400
+// matrix to the search and templates routes, which share the same
+// from/to/since validation.
+func TestHTTPSearchTemplatesParamRejections(t *testing.T) {
+	srv := newHTTPFixture(t)
+	bad := []string{
+		"from=tomorrow", "from=", "to=yesterday",
+		"from=2026-07-26T12:00:00Z&to=2026-07-26T11:00:00Z",
+		"since=eternity", "since=-5m", "since=5m&from=2026-07-26T11:00:00Z",
+		"since=5m&to=2026-07-26T13:00:00Z",
+	}
+	for _, qs := range bad {
+		for _, path := range []string{
+			"/topics/app/search?token=request&" + qs,
+			"/topics/app/templates?id=1&" + qs,
+		} {
+			resp := do(t, srv, "GET", path, "")
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("GET %s = %d, want 400", path, resp.StatusCode)
+			}
+		}
+	}
+	// Well-formed bounds still answer 200.
+	for _, path := range []string{
+		"/topics/app/search?token=request&since=15m",
+		"/topics/app/search?token=request&from=2026-07-26T11:00:00Z&to=2026-07-26T12:00:00Z",
+		"/topics/app/templates?id=1&since=15m",
+	} {
+		resp := do(t, srv, "GET", path, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSearchTemplatesTimeRange ingests three timestamped batches and
+// checks that search and templates honour time bounds — service API and
+// HTTP, hot and sealed.
+func TestSearchTemplatesTimeRange(t *testing.T) {
+	for _, sealed := range []bool{false, true} {
+		name := "hot"
+		if sealed {
+			name = "sealed"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg, step, base := advancingConfig()
+			if sealed {
+				cfg.SegmentBytes = 1 << 30
+			}
+			s := New(cfg)
+			defer s.Close()
+			if err := s.CreateTopic("app"); err != nil {
+				t.Fatal(err)
+			}
+			// Every line shares one shape and the token "marker".
+			for b := 0; b < 3; b++ {
+				lines := make([]string, 30)
+				for i := range lines {
+					lines[i] = fmt.Sprintf("marker event %d code %d", b*30+i, i%5)
+				}
+				if err := s.Ingest("app", lines); err != nil {
+					t.Fatal(err)
+				}
+				step(10 * time.Minute)
+			}
+			if err := s.Train("app"); err != nil {
+				t.Fatal(err)
+			}
+			if sealed {
+				if err := s.Compact("app"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rows, err := s.Query("app", 0, TimeRange{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ids []uint64
+			for _, r := range rows {
+				ids = append(ids, r.TemplateID)
+			}
+
+			cases := []struct {
+				tr   TimeRange
+				want int
+			}{
+				{TimeRange{}, 90},
+				{TimeRange{From: base.Add(5 * time.Minute)}, 60},
+				{TimeRange{From: base.Add(5 * time.Minute), To: base.Add(15 * time.Minute)}, 30},
+				{TimeRange{To: base.Add(-time.Minute)}, 0},
+				{TimeRange{From: base.Add(time.Hour)}, 0},
+			}
+			for _, tc := range cases {
+				offs, err := s.Search("app", "marker", tc.tr)
+				if err != nil {
+					t.Fatalf("Search(%+v): %v", tc.tr, err)
+				}
+				if len(offs) != tc.want {
+					t.Errorf("Search(%+v) = %d offsets, want %d", tc.tr, len(offs), tc.want)
+				}
+				toffs, err := s.ByTemplate("app", tc.tr, ids...)
+				if err != nil {
+					t.Fatalf("ByTemplate(%+v): %v", tc.tr, err)
+				}
+				if len(toffs) != tc.want {
+					t.Errorf("ByTemplate(%+v) = %d offsets, want %d", tc.tr, len(toffs), tc.want)
+				}
+			}
+
+			// Same through HTTP, including the since sugar (clock is
+			// frozen at base+30m).
+			srv := httptest.NewServer(s.Handler())
+			defer srv.Close()
+			count := func(path string) int {
+				t.Helper()
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b, _ := io.ReadAll(resp.Body)
+					t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, b)
+				}
+				var out struct{ Count int }
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					t.Fatal(err)
+				}
+				return out.Count
+			}
+			rfc := func(d time.Duration) string { return base.Add(d).Format(time.RFC3339) }
+			idQS := ""
+			for _, id := range ids {
+				idQS += fmt.Sprintf("&id=%d", id)
+			}
+			if got := count("/topics/app/search?token=marker&from=" + rfc(5*time.Minute)); got != 60 {
+				t.Errorf("HTTP search from+5m = %d, want 60", got)
+			}
+			if got := count("/topics/app/search?token=marker&since=25m"); got != 60 {
+				t.Errorf("HTTP search since=25m = %d, want 60", got)
+			}
+			if got := count("/topics/app/search?token=marker&from=" + rfc(5*time.Minute) + "&to=" + rfc(15*time.Minute)); got != 30 {
+				t.Errorf("HTTP search bounded window = %d, want 30", got)
+			}
+			if got := count("/topics/app/templates?x=1" + idQS + "&since=25m"); got != 60 {
+				t.Errorf("HTTP templates since=25m = %d, want 60", got)
+			}
+			if got := count("/topics/app/templates?x=1" + idQS + "&to=" + rfc(-time.Minute)); got != 0 {
+				t.Errorf("HTTP templates past-only window = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestQuerySamples: ?samples=1 inflates each row's SampleOffsets into
+// raw lines via the batched GetBatch path, and the field stays out of
+// the payload when not requested.
+func TestQuerySamples(t *testing.T) {
+	s := New(testConfig())
+	if err := s.CreateTopic("app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("app", genLines(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train("app"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { s.Close() })
+
+	resp, err := srv.Client().Get(srv.URL + "/topics/app/query?threshold=0.7&samples=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query?samples=1 = %d", resp.StatusCode)
+	}
+	var rows []TemplateRow
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no template rows")
+	}
+	for _, row := range rows {
+		if len(row.SampleLines) != len(row.SampleOffsets) {
+			t.Fatalf("row %d: %d sample lines for %d offsets", row.TemplateID, len(row.SampleLines), len(row.SampleOffsets))
+		}
+		// Each sample line is the raw record at the matching offset.
+		recs, err := s.Records("app", row.SampleOffsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range recs {
+			if row.SampleLines[i] != rec.Raw {
+				t.Fatalf("row %d sample %d = %q, store has %q", row.TemplateID, i, row.SampleLines[i], rec.Raw)
+			}
+		}
+	}
+
+	// Without samples=1 the field must not appear at all (omitempty).
+	resp2, err := srv.Client().Get(srv.URL + "/topics/app/query?threshold=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "SampleLines") {
+		t.Fatal("SampleLines serialized without samples=1")
+	}
+}

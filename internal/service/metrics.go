@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bytebrain/internal/logstore"
+	"bytebrain/internal/netingest"
 	"bytebrain/internal/obs"
 )
 
@@ -73,6 +74,11 @@ type serviceMetrics struct {
 	topicReservoir *obs.FuncVec
 	topicTrainings *obs.FuncVec
 	topicSegments  *obs.FuncVec
+
+	// Streaming TCP ingest (internal/netingest). Zero-label families:
+	// the per-frame hot path must not pay a labeled-series lookup, and
+	// the listener is service-wide anyway.
+	netIngest netingest.Metrics
 }
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
@@ -120,6 +126,18 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		topicReservoir: reg.GaugeFunc("bb_topic_reservoir_lines", "Lines buffered for the next training cycle.", "topic"),
 		topicTrainings: reg.GaugeFunc("bb_topic_trainings", "Completed training cycles.", "topic"),
 		topicSegments:  reg.GaugeFunc("bb_topic_segments", "Sealed segments on the topic's store.", "topic"),
+
+		netIngest: netingest.Metrics{
+			Connections:       reg.Counter("bb_netingest_connections_total", "TCP ingest connections accepted.").With(),
+			ActiveConnections: reg.Gauge("bb_netingest_active_connections", "TCP ingest connections currently open.").With(),
+			Frames:            reg.Counter("bb_netingest_frames_total", "Ingest frames (or raw batches) committed.").With(),
+			Lines:             reg.Counter("bb_netingest_lines_total", "Log lines ingested over TCP.").With(),
+			Bytes:             reg.Counter("bb_netingest_bytes_total", "Line payload bytes ingested over TCP.").With(),
+			Busy:              reg.Counter("bb_netingest_busy_total", "Frames dropped with a BUSY ack under backpressure.").With(),
+			Errors:            reg.Counter("bb_netingest_errors_total", "Protocol violations and per-frame ingest errors.").With(),
+			FrameSeconds:      reg.Histogram("bb_netingest_frame_seconds", "Frame queue-to-ack latency.", lat).With(),
+			InflightBytes:     reg.Gauge("bb_netingest_inflight_bytes", "Frame bytes queued between connection readers and ingest workers.").With(),
+		},
 	}
 }
 

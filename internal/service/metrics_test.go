@@ -96,10 +96,10 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if _, err := s.Query("app", 0.7, TimeRange{From: now.Add(-time.Hour), To: now.Add(time.Hour)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Search("app", "alpha"); err != nil {
+	if _, err := s.Search("app", "alpha", TimeRange{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ByTemplate("app", 1); err != nil {
+	if _, err := s.ByTemplate("app", TimeRange{}, 1); err != nil {
 		t.Fatal(err)
 	}
 	close(stop)

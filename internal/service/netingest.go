@@ -1,0 +1,37 @@
+package service
+
+import (
+	"errors"
+	"log"
+	"net"
+
+	"bytebrain/internal/netingest"
+)
+
+// StartNetIngest starts the streaming TCP ingest listener on addr
+// (":7171", "127.0.0.1:0", ...) and returns the bound address. Frames
+// are committed through the same synchronous group-commit path as
+// Service.Ingest, so an OK ack on the wire means the batch took the
+// store's durability path. The listener shares the service's metrics
+// registry (bb_netingest_* families) and is drained and closed first
+// thing in Close.
+func (s *Service) StartNetIngest(addr string) (net.Addr, error) {
+	s.ingMu.Lock()
+	closed := s.closed
+	s.ingMu.Unlock()
+	if closed {
+		return nil, errors.New("service: closed")
+	}
+	srv, err := netingest.Listen(addr, netingest.Config{
+		Ingest:  s.Ingest,
+		Metrics: &s.met.netIngest,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.netMu.Lock()
+	s.netServers = append(s.netServers, srv)
+	s.netMu.Unlock()
+	return srv.Addr(), nil
+}

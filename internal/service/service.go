@@ -27,6 +27,7 @@ import (
 
 	"bytebrain/internal/core"
 	"bytebrain/internal/logstore"
+	"bytebrain/internal/netingest"
 	"bytebrain/internal/obs"
 	"bytebrain/internal/segment"
 	"bytebrain/internal/template"
@@ -173,6 +174,11 @@ type Service struct {
 	// trainHook, when set by tests, runs inside every training cycle
 	// after the reservoir hand-off — while ingestion must stay live.
 	trainHook func(topic string)
+
+	// Streaming TCP ingest listeners started via StartNetIngest; closed
+	// ahead of the ingesters and stores in Close.
+	netMu      sync.Mutex
+	netServers []*netingest.Server
 }
 
 // modelSnapshot is the atomically published read side of a topic: the
@@ -456,6 +462,18 @@ func (st *topicState) newSnapshot(model *core.Model, matcher *core.Matcher, data
 // and flushes and closes every topic store.
 func (s *Service) Close() error {
 	var firstErr error
+	// Network listeners go first: their workers call Ingest
+	// synchronously, so draining them before the ingesters and stores
+	// means every acked frame is already committed when the stores shut.
+	s.netMu.Lock()
+	servers := s.netServers
+	s.netServers = nil
+	s.netMu.Unlock()
+	for _, srv := range servers {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	s.ingMu.Lock()
 	s.closed = true
 	for name, ing := range s.ingesters {
@@ -778,6 +796,11 @@ type TemplateRow struct {
 	Count int
 	// SampleOffsets holds up to 5 example record offsets.
 	SampleOffsets []int64
+	// SampleLines holds the raw lines behind SampleOffsets; populated
+	// only when the caller asks for samples (HTTP ?samples=1), fetched
+	// through the store's batched GetBatch path so offsets in the same
+	// sealed block share one payload decompression.
+	SampleLines []string `json:",omitempty"`
 }
 
 // Query groups a topic's records by template at the given precision
@@ -934,9 +957,11 @@ func (s *Service) QueryMerged(topicName string, threshold float64, tr TimeRange)
 }
 
 // Search returns the global offsets of records whose whitespace-delimited
-// tokens include token exactly. Sealed segments screen through their
-// bloom filters, so non-matching blocks are never decompressed.
-func (s *Service) Search(topicName, token string) ([]int64, error) {
+// tokens include token exactly, restricted to records whose timestamp
+// lies in tr (the zero TimeRange spans all time). Sealed segments
+// screen through their bloom filters and metadata time bounds, so
+// non-matching blocks are never decompressed.
+func (s *Service) Search(topicName, token string, tr TimeRange) ([]int64, error) {
 	if token == "" {
 		return nil, fmt.Errorf("service: empty search token")
 	}
@@ -945,15 +970,17 @@ func (s *Service) Search(topicName, token string) ([]int64, error) {
 		return nil, err
 	}
 	start := time.Now()
-	offs := st.store.Search(token)
-	s.observeQuery(st, queryKindSearch, TimeRange{}, start, len(offs))
+	offs := st.store.SearchRange(token, tr)
+	s.observeQuery(st, queryKindSearch, tr, start, len(offs))
 	return offs, nil
 }
 
 // ByTemplate returns the global offsets of records whose ingestion-time
-// template ID is any of ids. Sealed segments whose metadata lacks every
-// id are pruned without decompression.
-func (s *Service) ByTemplate(topicName string, ids ...uint64) ([]int64, error) {
+// template ID is any of ids, restricted to records whose timestamp lies
+// in tr (the zero TimeRange spans all time). Sealed segments whose
+// metadata lacks every id — or whose time bounds miss tr — are pruned
+// without decompression.
+func (s *Service) ByTemplate(topicName string, tr TimeRange, ids ...uint64) ([]int64, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("service: no template IDs given")
 	}
@@ -962,9 +989,52 @@ func (s *Service) ByTemplate(topicName string, ids ...uint64) ([]int64, error) {
 		return nil, err
 	}
 	start := time.Now()
-	offs := st.store.ByTemplate(ids...)
-	s.observeQuery(st, queryKindTemplate, TimeRange{}, start, len(offs))
+	offs := st.store.ByTemplateRange(tr, ids...)
+	s.observeQuery(st, queryKindTemplate, tr, start, len(offs))
 	return offs, nil
+}
+
+// Records fetches the records at the given global offsets, in input
+// order, through the store's batched read path: offsets landing in the
+// same sealed block share one payload decompression. It is the query
+// sample-fetch surface (TemplateRow.SampleOffsets → raw lines).
+func (s *Service) Records(topicName string, offsets []int64) ([]logstore.Record, error) {
+	st, err := s.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	return st.store.GetBatch(offsets)
+}
+
+// fillSampleLines resolves every row's SampleOffsets to raw lines with
+// a single batched store read: all rows' offsets concatenate into one
+// GetBatch call, so sample offsets landing in the same sealed block
+// cost one decompression between them instead of one each.
+func (s *Service) fillSampleLines(topicName string, rows []TemplateRow) error {
+	var offsets []int64
+	for i := range rows {
+		offsets = append(offsets, rows[i].SampleOffsets...)
+	}
+	if len(offsets) == 0 {
+		return nil
+	}
+	recs, err := s.Records(topicName, offsets)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for i := range rows {
+		n := len(rows[i].SampleOffsets)
+		if n == 0 {
+			continue
+		}
+		rows[i].SampleLines = make([]string, n)
+		for j := 0; j < n; j++ {
+			rows[i].SampleLines[j] = recs[pos+j].Raw
+		}
+		pos += n
+	}
+	return nil
 }
 
 // Model returns the topic's current model (nil before first training).

@@ -1,0 +1,170 @@
+// Benchmarks for the streaming TCP ingest path against the HTTP
+// baseline, plus the env-gated CI smoke test that enforces the
+// throughput win. Both paths drive the identical service configuration
+// (compacting store, real data dir, trained model) with the identical
+// batches, so the only variable is the transport: serial
+// request/response HTTP versus pipelined length-prefixed frames with
+// credit-based acks.
+//
+// The gap is widest on small batches, where per-request overhead
+// (headers, response encoding, connection bookkeeping) dominates the
+// actual parse+append work; large batches converge toward the shared
+// worker-bound ceiling.
+package bytebrain_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"bytebrain"
+	"bytebrain/internal/netingest"
+)
+
+// netBenchTopic builds the shared fixture: a trained "bench" topic on a
+// compacting store, plus the Zookeeper lines to feed it.
+func netBenchTopic(tb testing.TB) (*bytebrain.Service, []string) {
+	tb.Helper()
+	ds, err := bytebrain.GenerateLogHub("Zookeeper", 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	svc := bytebrain.NewService(bytebrain.ServiceConfig{
+		Parser:       bytebrain.Options{Seed: 1},
+		TrainVolume:  1 << 30,
+		DataDir:      tb.TempDir(),
+		SegmentBytes: 16 << 20,
+		SegmentCodec: "flate",
+	})
+	tb.Cleanup(func() { svc.Close() })
+	if err := svc.CreateTopic("bench"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := svc.Ingest("bench", ds.Lines); err != nil {
+		tb.Fatal(err)
+	}
+	if err := svc.Train("bench"); err != nil {
+		tb.Fatal(err)
+	}
+	return svc, ds.Lines
+}
+
+func BenchmarkHTTPIngest(b *testing.B) {
+	for _, size := range []int{8, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			svc, lines := netBenchTopic(b)
+			srv := httptest.NewServer(svc.Handler())
+			defer srv.Close()
+			client := srv.Client()
+			body := strings.Join(lines[:size], "\n")
+			url := srv.URL + "/topics/bench/logs"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("POST /logs = %d", resp.StatusCode)
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+		})
+	}
+}
+
+func BenchmarkNetIngest(b *testing.B) {
+	for _, size := range []int{8, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			svc, lines := netBenchTopic(b)
+			naddr, err := svc.StartNetIngest("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := netingest.Dial(naddr.String(), netingest.ClientOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			batch := lines[:size]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send("bench", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Flush inside the timed region: throughput counts acked
+			// frames, not bytes parked in the socket buffer.
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "logs/s")
+		})
+	}
+}
+
+// TestNetIngestSpeedup is the CI smoke gate for the TCP path: at the
+// small batch size the pipelined framed protocol must move at least 2x
+// the logs/s of the serial HTTP baseline on the same service. Gated by
+// env for the same reason as TestAllocBudget — it is a measurement, not
+// a unit test.
+func TestNetIngestSpeedup(t *testing.T) {
+	if os.Getenv("BYTEBRAIN_NET_SMOKE") == "" {
+		t.Skip("set BYTEBRAIN_NET_SMOKE=1 to enforce the TCP-vs-HTTP throughput gate (CI smoke step)")
+	}
+	const size = 8
+	svc, lines := netBenchTopic(t)
+	batch := lines[:size]
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	body := strings.Join(batch, "\n")
+	url := srv.URL + "/topics/bench/logs"
+	httpRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+
+	naddr, err := svc.StartNetIngest("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := netingest.Dial(naddr.String(), netingest.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tcpRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := c.Send("bench", batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	httpRate := float64(size) / httpRes.T.Seconds() * float64(httpRes.N)
+	tcpRate := float64(size) / tcpRes.T.Seconds() * float64(tcpRes.N)
+	ratio := tcpRate / httpRate
+	t.Logf("http: %.0f logs/s, tcp framed: %.0f logs/s, speedup %.2fx (gate 2x)", httpRate, tcpRate, ratio)
+	if ratio < 2 {
+		t.Fatalf("TCP ingest is %.2fx HTTP at batch=%d, want ≥2x", ratio, size)
+	}
+}
