@@ -2,6 +2,7 @@ package netingest
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -97,6 +98,12 @@ func (c *Client) fail(err error) error {
 // blocking on acks only when the pipeline window is full. Empty lines
 // are skipped. An OK return means the frames are written or queued, not
 // yet acked — call Flush for the durability barrier.
+//
+// A single line too large to fit in one frame cannot be split (the
+// protocol frames whole lines), so Send rejects it with a descriptive
+// error before any doomed frame hits the wire: lines before it are
+// framed and written, lines after it are not sent, and the connection
+// stays usable.
 func (c *Client) Send(topic string, lines []string) error {
 	if c.err != nil {
 		return c.err
@@ -113,6 +120,13 @@ func (c *Client) Send(topic string, lines []string) error {
 	}
 	for i, l := range lines {
 		sz := len(l) + 4
+		if len(topic)+sz > c.opts.MaxFrameBytes {
+			if err := flushChunk(i); err != nil {
+				return err
+			}
+			return fmt.Errorf("netingest: line %d is %d bytes and cannot fit in a frame (max body %d bytes with topic %q)",
+				i, len(l), c.opts.MaxFrameBytes, topic)
+		}
 		if body > 0 && len(topic)+body+sz > c.opts.MaxFrameBytes {
 			if err := flushChunk(i); err != nil {
 				return err
@@ -241,23 +255,34 @@ func DialRaw(addr, topic string) (*RawClient, error) {
 }
 
 // WriteLine sends one line (a trailing newline is appended; empty lines
-// are dropped, matching the server's framing).
+// are dropped, matching the server's framing). A line with embedded
+// newlines is split on them — the server frames the stream on '\n'
+// regardless, so each non-empty segment is counted as its own line to
+// keep the client-side total in step with the server's final ack.
 func (c *RawClient) WriteLine(line []byte) error {
 	if c.err != nil {
 		return c.err
 	}
-	if len(line) == 0 {
-		return nil
+	for len(line) > 0 {
+		seg := line
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			seg, line = line[:i], line[i+1:]
+		} else {
+			line = nil
+		}
+		if len(seg) == 0 {
+			continue
+		}
+		if _, err := c.bw.Write(seg); err != nil {
+			c.err = err
+			return err
+		}
+		if err := c.bw.WriteByte('\n'); err != nil {
+			c.err = err
+			return err
+		}
+		c.lines++
 	}
-	if _, err := c.bw.Write(line); err != nil {
-		c.err = err
-		return err
-	}
-	if err := c.bw.WriteByte('\n'); err != nil {
-		c.err = err
-		return err
-	}
-	c.lines++
 	return nil
 }
 

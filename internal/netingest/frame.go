@@ -25,7 +25,9 @@
 //
 // Status 0 (OK) means the frame was ingested durably. Status 1 (BUSY)
 // means the server drained the frame off the wire but dropped it under
-// backpressure — the client must resend it. Status 2 (ERR) means the
+// backpressure — the client must resend it; a frame on an otherwise
+// idle connection is never BUSY-acked, so resends always make progress
+// eventually. Status 2 (ERR) means the
 // frame was rejected; for protocol violations (bad magic, non-zero
 // flags, oversize body, malformed offsets) the server also closes the
 // connection, while per-frame ingest errors (e.g. unknown topic) keep

@@ -316,6 +316,137 @@ func TestBusyBackpressure(t *testing.T) {
 	}
 }
 
+// TestOversizeFrameAdmittedWhenIdle: a frame bigger than the whole
+// in-flight budget (but within MaxFrameBytes) must be admitted when the
+// connection is idle, not BUSY-acked forever — the regression here was a
+// permanent client livelock for frames in (MaxInflight, MaxFrameBytes].
+func TestOversizeFrameAdmittedWhenIdle(t *testing.T) {
+	srv, col := newTestServer(t, Config{
+		MaxInflight:   512,
+		MaxFrameBytes: 64 << 10,
+	})
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte(MagicFramed))
+	big := strings.Repeat("y", 2000) // frame body ~4x MaxInflight
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Two in a row: the budget must free up after the first drains, so
+	// oversize frames make progress one at a time, not just once.
+	for seq := uint32(0); seq < 2; seq++ {
+		enc, err := AppendFrame(nil, seq, "app", []string{big})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(enc)
+		for {
+			gotSeq, status := readAck(t, conn)
+			if gotSeq != seq {
+				t.Fatalf("ack seq = %d, want %d", gotSeq, seq)
+			}
+			if status == StatusOK {
+				break
+			}
+			if status != StatusBusy {
+				t.Fatalf("ack status = %d, want OK or BUSY", status)
+			}
+			// A BUSY here may only be transient (previous frame still
+			// draining); resend like the real client would. The test
+			// deadline catches a livelock.
+			conn.Write(enc)
+		}
+	}
+	if got := col.got("app"); len(got) != 2 || got[0] != big || got[1] != big {
+		t.Fatalf("ingested %d oversize lines, want 2", len(got))
+	}
+
+	// The bundled client must also ride through, end to end.
+	c, err := Dial(srv.Addr().String(), ClientOptions{MaxFrameBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send("app2", []string{big}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.got("app2"); len(got) != 1 || got[0] != big {
+		t.Fatalf("client path ingested %d lines, want 1", len(got))
+	}
+}
+
+// TestSendRejectsOversizedLine: a single line that cannot fit in one
+// frame fails Send with a descriptive error instead of wiring a frame
+// the server would reject as a protocol violation; the connection stays
+// usable afterwards.
+func TestSendRejectsOversizedLine(t *testing.T) {
+	srv, col := newTestServer(t, Config{})
+	c, err := Dial(srv.Addr().String(), ClientOptions{MaxFrameBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("z", 300)
+	err = c.Send("app", []string{"fits", huge})
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "cannot fit") {
+		t.Fatalf("error %q does not describe the oversized line", err)
+	}
+	if err := c.Send("app", []string{"after the error"}); err != nil {
+		t.Fatalf("Send after oversized-line error: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := col.got("app")
+	want := []string{"fits", "after the error"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ingested %v, want %v", got, want)
+	}
+}
+
+// TestRawClientEmbeddedNewlines: WriteLine splits embedded '\n' the way
+// the server frames the stream, so the final count ack matches even for
+// multi-line writes.
+func TestRawClientEmbeddedNewlines(t *testing.T) {
+	srv, col := newTestServer(t, Config{})
+	c, err := DialRaw(srv.Addr().String(), "raw-topic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][]byte{
+		[]byte("a\nb\n\nc"), // 3 lines; empty segment dropped
+		[]byte("\n\n"),      // nothing
+		[]byte("d\n"),       // 1 line; trailing newline
+		[]byte("e"),         // 1 line
+	} {
+		if err := c.WriteLine(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acked, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	if acked != len(want) {
+		t.Fatalf("acked %d lines, want %d", acked, len(want))
+	}
+	got := col.got("raw-topic")
+	if len(got) != len(want) {
+		t.Fatalf("ingested %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 // TestClientRidesThroughBusy proves the client's resend loop: a tiny
 // server budget plus a slow sink forces BUSY acks, and the client must
 // still deliver every line exactly once.

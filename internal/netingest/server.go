@@ -44,8 +44,10 @@ type Config struct {
 	// MaxFrameBytes bounds a frame body. 0 means DefaultMaxFrameBytes.
 	MaxFrameBytes int
 	// MaxInflight bounds bytes queued between a connection's reader and
-	// its worker; past it frames get BUSY acks. 0 means
-	// DefaultMaxInflight.
+	// its worker; past it frames get BUSY acks. A frame arriving on an
+	// idle connection is always admitted, even if it alone exceeds the
+	// budget, so any frame within MaxFrameBytes eventually makes
+	// progress. 0 means DefaultMaxInflight.
 	MaxInflight int64
 	// FrameQueue is the per-connection queued-frame cap (default 64).
 	FrameQueue int
@@ -244,8 +246,12 @@ func (s *Server) serveFramed(sc *srvConn, br *bufio.Reader) {
 		}
 		// Admission happens after the body is off the wire (a stream
 		// cannot skip bytes), so queued memory is bounded by
-		// MaxInflight plus this one frame.
-		if sc.inflight.Add(int64(n)) > s.cfg.MaxInflight {
+		// MaxInflight plus this one frame. A frame that lands on an
+		// idle connection (inflight was zero) is admitted even when it
+		// alone exceeds MaxInflight: otherwise a header-valid frame in
+		// (MaxInflight, MaxFrameBytes] would be BUSY-acked forever and
+		// a resending client would livelock.
+		if in := sc.inflight.Add(int64(n)); in > s.cfg.MaxInflight && in != int64(n) {
 			sc.inflight.Add(-int64(n))
 			putBuf(buf)
 			m.Busy.Inc()

@@ -31,6 +31,14 @@ func (s *Service) StartNetIngest(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.netMu.Lock()
+	if s.netClosed {
+		// Close drained the listener list between the entry check and
+		// here; this server would never be shut down, so shut it down
+		// now instead of leaking it against closed stores.
+		s.netMu.Unlock()
+		srv.Close()
+		return nil, errors.New("service: closed")
+	}
 	s.netServers = append(s.netServers, srv)
 	s.netMu.Unlock()
 	return srv.Addr(), nil

@@ -176,9 +176,13 @@ type Service struct {
 	trainHook func(topic string)
 
 	// Streaming TCP ingest listeners started via StartNetIngest; closed
-	// ahead of the ingesters and stores in Close.
+	// ahead of the ingesters and stores in Close. netClosed flips under
+	// netMu when Close drains the list, so a StartNetIngest racing with
+	// Close either registers before the drain or sees the flag and shuts
+	// its fresh listener down itself.
 	netMu      sync.Mutex
 	netServers []*netingest.Server
+	netClosed  bool
 }
 
 // modelSnapshot is the atomically published read side of a topic: the
@@ -468,6 +472,7 @@ func (s *Service) Close() error {
 	s.netMu.Lock()
 	servers := s.netServers
 	s.netServers = nil
+	s.netClosed = true
 	s.netMu.Unlock()
 	for _, srv := range servers {
 		if err := srv.Close(); err != nil && firstErr == nil {

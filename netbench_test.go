@@ -111,6 +111,21 @@ func BenchmarkNetIngest(b *testing.B) {
 	}
 }
 
+// bestRate measures fn reps times and returns the highest logs/s seen.
+// The gate compares transport capability, and the best of a few short
+// runs filters out the scheduler noise a single sample is exposed to on
+// a shared CI runner.
+func bestRate(size, reps int, fn func(b *testing.B)) float64 {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		res := testing.Benchmark(fn)
+		if r := float64(size) * float64(res.N) / res.T.Seconds(); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
 // TestNetIngestSpeedup is the CI smoke gate for the TCP path: at the
 // small batch size the pipelined framed protocol must move at least 2x
 // the logs/s of the serial HTTP baseline on the same service. Gated by
@@ -120,16 +135,20 @@ func TestNetIngestSpeedup(t *testing.T) {
 	if os.Getenv("BYTEBRAIN_NET_SMOKE") == "" {
 		t.Skip("set BYTEBRAIN_NET_SMOKE=1 to enforce the TCP-vs-HTTP throughput gate (CI smoke step)")
 	}
+	// Each transport gets its own identically-configured fresh fixture:
+	// measuring both against one shared service lets the first phase's
+	// accumulated store (and its background sealing) steal CPU from the
+	// second, which skews the ratio run to run.
 	const size = 8
-	svc, lines := netBenchTopic(t)
+	httpSvc, lines := netBenchTopic(t)
 	batch := lines[:size]
 
-	srv := httptest.NewServer(svc.Handler())
+	srv := httptest.NewServer(httpSvc.Handler())
 	defer srv.Close()
 	client := srv.Client()
 	body := strings.Join(batch, "\n")
 	url := srv.URL + "/topics/bench/logs"
-	httpRes := testing.Benchmark(func(b *testing.B) {
+	httpRate := bestRate(size, 3, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			resp, err := client.Post(url, "text/plain", strings.NewReader(body))
 			if err != nil {
@@ -140,7 +159,8 @@ func TestNetIngestSpeedup(t *testing.T) {
 		}
 	})
 
-	naddr, err := svc.StartNetIngest("127.0.0.1:0")
+	tcpSvc, _ := netBenchTopic(t)
+	naddr, err := tcpSvc.StartNetIngest("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +169,7 @@ func TestNetIngestSpeedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	tcpRes := testing.Benchmark(func(b *testing.B) {
+	tcpRate := bestRate(size, 3, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := c.Send("bench", batch); err != nil {
 				b.Fatal(err)
@@ -160,8 +180,6 @@ func TestNetIngestSpeedup(t *testing.T) {
 		}
 	})
 
-	httpRate := float64(size) / httpRes.T.Seconds() * float64(httpRes.N)
-	tcpRate := float64(size) / tcpRes.T.Seconds() * float64(tcpRes.N)
 	ratio := tcpRate / httpRate
 	t.Logf("http: %.0f logs/s, tcp framed: %.0f logs/s, speedup %.2fx (gate 2x)", httpRate, tcpRate, ratio)
 	if ratio < 2 {
