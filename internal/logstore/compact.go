@@ -475,9 +475,14 @@ func (s *CompactingStore) poisonRotateLocked(b *compactBlock) {
 		return
 	}
 	// Nothing was admitted to the block: discard it and its torn WAL.
+	// Close/remove failures here cannot lose data (the WAL is already
+	// poisoned and holds no admitted records) and recovery deletes an
+	// empty WAL on the next open, so this teardown is best-effort.
+	//bbvet:ignore durability discarding an empty poisoned WAL; nothing admitted, recovery re-deletes it
 	b.wal.close()
 	b.wal = nil
 	if b.walPath != "" {
+		//bbvet:ignore durability same empty poisoned WAL as above; remove is best-effort
 		os.Remove(b.walPath)
 		b.walPath = ""
 	}
@@ -583,11 +588,21 @@ func (s *CompactingStore) sealOne() bool {
 	b.seg = reader
 	b.hot = nil
 	if b.wal != nil {
-		b.wal.close()
+		// The segment is durable, so the WAL is redundant — but a close
+		// failure can leak the descriptor and block the delete below, so
+		// it is surfaced, not dropped.
+		if err := b.wal.close(); err != nil {
+			s.sealErr = fmt.Errorf("logstore: close sealed block %d wal: %w", b.idx, err)
+		}
 		b.wal = nil
 	}
 	if b.walPath != "" {
-		os.Remove(b.walPath)
+		// A lingering redundant WAL is cleaned up by recovery, but a
+		// remove failure there aborts the next open — surface it now
+		// while the operator can act on it.
+		if err := os.Remove(b.walPath); err != nil {
+			s.sealErr = fmt.Errorf("logstore: remove sealed block %d wal: %w", b.idx, err)
+		}
 		b.walPath = ""
 	}
 	return true
@@ -1334,8 +1349,7 @@ func (w *walWriter) close() error {
 		return w.f.Close()
 	}
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return err
+		return errors.Join(err, w.f.Close())
 	}
 	return w.f.Close()
 }

@@ -38,9 +38,21 @@ func WriteFile(path string, data []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("segment: rename %s: %w", path, err)
 	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
+	// The rename is durable only once the directory entry itself is on
+	// disk; a discarded dir fsync error would report a segment as
+	// persisted while the crash-recovery scan may never see it. The
+	// caller keeps the block hot on error, so failing here is safe and
+	// the write is retried.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("segment: open dir of %s: %w", path, err)
+	}
+	if err := dir.Sync(); err != nil {
 		dir.Close()
+		return fmt.Errorf("segment: sync dir of %s: %w", path, err)
+	}
+	if err := dir.Close(); err != nil {
+		return fmt.Errorf("segment: close dir of %s: %w", path, err)
 	}
 	return nil
 }

@@ -208,6 +208,12 @@ func (ing *Ingester) SubmitBatch(lines []string) error {
 		}
 		lines = lines[len(chunk):]
 		q := ing.queues[ing.next.Add(1)%uint64(len(ing.queues))]
+		// This send-under-RLock is the design: holding the read side of
+		// closeMu across the send is exactly what keeps Close from
+		// closing the queues mid-send (Close takes the write side), and
+		// the workers never take closeMu, so the send cannot deadlock —
+		// it only applies backpressure.
+		//bbvet:ignore lockblock send under closeMu.RLock is the close/send handshake; consumers never take closeMu
 		q <- chunk
 	}
 	return nil
