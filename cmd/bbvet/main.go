@@ -1,0 +1,107 @@
+// Command bbvet runs bytebrain's project-specific static-analysis
+// suite (see internal/lint) over the module and exits non-zero on
+// findings. It is wired into CI as a required step; run it locally
+// with:
+//
+//	go run ./cmd/bbvet ./...
+//
+// Exit codes: 0 clean, 1 findings (or malformed suppressions), 2 the
+// tree failed to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bytebrain/internal/lint"
+	"bytebrain/internal/lint/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bbvet [-list] [./...]\n\nbytebrain static-analysis suite. Always analyzes the whole module\ncontaining the working directory; the ./... argument is accepted for\nfamiliarity.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	modroot, err := findModRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbvet:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(modroot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbvet:", err)
+		os.Exit(2)
+	}
+	res, err := lint.RunAnalyzers(pkgs, analyzers, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range res.Findings {
+		fmt.Println(rel(modroot, f))
+	}
+	for _, f := range res.BadDirectives {
+		fmt.Println(rel(modroot, f))
+	}
+	if n := len(res.Suppressed); n > 0 {
+		var names []string
+		for name := range res.Suppressed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "bbvet: %d package(s); suppressions in effect:", len(pkgs))
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, " %s=%d", name, res.Suppressed[name])
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if len(res.Findings) > 0 || len(res.BadDirectives) > 0 {
+		fmt.Fprintf(os.Stderr, "bbvet: %d finding(s)\n", len(res.Findings)+len(res.BadDirectives))
+		os.Exit(1)
+	}
+}
+
+// rel rewrites the finding's path relative to the module root so CI
+// output is stable regardless of checkout location.
+func rel(modroot string, f lint.Finding) string {
+	if r, err := filepath.Rel(modroot, f.Pos.Filename); err == nil && !filepath.IsAbs(r) {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}
+
+func findModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,224 @@
+// Package durability implements the bbvet durability-errcheck analyzer:
+// on write paths (internal/logstore, internal/segment) the results of
+// os.Rename/os.Remove/os.Truncate, (*os.File).Sync/Close, and every
+// error-returning method on the WAL types (walWriter, walSink) must be
+// consumed. Discarding them is the PR 3 bug class — a quarantine rename
+// that failed silently and reported durable ingest anyway.
+//
+// Two idioms are exempt:
+//
+//   - defer f.Close() — the read-path convenience close, where the file
+//     was only read and the error carries no durability signal;
+//   - best-effort cleanup inside a block that ends by returning an
+//     already-raised error (e.g. f.Close(); os.Remove(tmp); return err)
+//     — the operation has failed and is being unwound, so the cleanup
+//     error cannot mask success.
+//
+// Writing `_ = f.Sync()` does NOT exempt: blanking the error is exactly
+// the bug, not an acknowledgement of it.
+package durability
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bytebrain/internal/lint"
+)
+
+// Analyzer is the durability-errcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:     "durability",
+	Doc:      "results of renames, removes, fsyncs and WAL writes on storage write paths must be consumed",
+	Packages: []string{"internal/logstore", "internal/segment"},
+	Run:      run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		exempt := cleanupRanges(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				// defer f.Close() is the read-path idiom; deferred
+				// renames/removes/syncs still count as discarded.
+				if name, ok := targetCall(pass, s.Call); ok && name != "Close" && name != "close" {
+					pass.Reportf(s.Call.Pos(), "error from deferred %s is discarded on a durability path", callLabel(s.Call, name))
+				}
+				return false
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := targetCall(pass, call); ok && !inRanges(exempt, call.Pos()) {
+					pass.Reportf(call.Pos(), "error from %s is discarded on a durability path", callLabel(call, name))
+				}
+				return true
+			case *ast.AssignStmt:
+				if !allBlank(s.Lhs) || len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := targetCall(pass, call); ok && !inRanges(exempt, call.Pos()) {
+					pass.Reportf(call.Pos(), "error from %s is blanked with _ on a durability path; check or record it", callLabel(call, name))
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= p && p < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// cleanupRanges returns the spans of branch bodies (if/else, switch and
+// select cases — never a whole function body) that end with a `return`
+// carrying a non-nil error value: the best-effort-cleanup-while-
+// unwinding exemption.
+func cleanupRanges(pass *lint.Pass, file *ast.File) []posRange {
+	var out []posRange
+	addList := func(list []ast.Stmt) {
+		if len(list) < 2 {
+			return
+		}
+		ret, ok := list[len(list)-1].(*ast.ReturnStmt)
+		if !ok || !returnsNonNilError(pass, ret) {
+			return
+		}
+		out = append(out, posRange{list[0].Pos(), ret.Pos()})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.IfStmt:
+			addList(b.Body.List)
+			if blk, ok := b.Else.(*ast.BlockStmt); ok {
+				addList(blk.List)
+			}
+		case *ast.CaseClause:
+			addList(b.Body)
+		case *ast.CommClause:
+			addList(b.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func returnsNonNilError(pass *lint.Pass, ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		if id, ok := r.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if tv, ok := pass.Info.Types[r]; ok && isErrorType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// targetCall reports whether call is a durability-relevant operation
+// that returns an error. The second return is the callee name used in
+// the finding message.
+func targetCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !returnsError(pass, call) {
+		return "", false
+	}
+	name := sel.Sel.Name
+	// os.Rename / os.Remove / os.RemoveAll / os.Truncate.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			if obj.Imported().Path() == "os" {
+				switch name {
+				case "Rename", "Remove", "RemoveAll", "Truncate":
+					return name, true
+				}
+			}
+			return "", false
+		}
+	}
+	recv := pass.Info.Types[sel.X].Type
+	if recv == nil {
+		return "", false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	// (*os.File).Sync / Close.
+	if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+		if name == "Sync" || name == "Close" {
+			return name, true
+		}
+		return "", false
+	}
+	// Every error-returning method on the WAL types of the package
+	// under analysis.
+	if obj.Pkg() == pass.Pkg {
+		switch obj.Name() {
+		case "walWriter", "walSink":
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func returnsError(pass *lint.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func callLabel(call *ast.CallExpr, name string) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + name
+	}
+	return name
+}

@@ -1,0 +1,29 @@
+package durability_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/durability"
+	"bytebrain/internal/lint/linttest"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	res := linttest.Run(t, durability.Analyzer, filepath.Join("testdata", "src", "logstore"))
+	if got := res.Suppressed["durability"]; got != 1 {
+		t.Errorf("suppressed count = %d, want 1", got)
+	}
+}
+
+func TestScope(t *testing.T) {
+	a := durability.Analyzer
+	for path, want := range map[string]bool{
+		"bytebrain/internal/logstore": true,
+		"bytebrain/internal/segment":  true,
+		"bytebrain/internal/service":  false,
+	} {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

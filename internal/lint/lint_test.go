@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"bytebrain/internal/lint"
+)
+
+// boomcheck flags every call to a function literally named boom —
+// a minimal analyzer to exercise the driver's suppression machinery.
+var boomcheck = &lint.Analyzer{
+	Name: "boomcheck",
+	Doc:  "flags calls to boom",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func loadSrc(t *testing.T, src string) *lint.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "directives.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &lint.Package{
+		PkgPath: "p",
+		Fset:    fset,
+		Files:   []*ast.File{file},
+		Types:   tpkg,
+		Info:    info,
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func boom() {}
+
+func f() {
+	boom() // line 6: unsuppressed
+	//bbvet:ignore boomcheck deliberate in this test
+	boom() // line 8: suppressed by the line above
+	boom() //bbvet:ignore boomcheck suppressed on the same line
+	//bbvet:ignore boomcheck
+	boom() // line 11: directive missing its reason
+	//bbvet:ignore all reasons apply to every analyzer
+	boom() // line 13: suppressed via the all keyword
+	//bbvet:ignore otheranalyzer wrong analyzer name
+	boom() // line 15: unsuppressed
+}
+`)
+	res, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{boomcheck}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, f := range res.Findings {
+		lines = append(lines, f.Pos.Line)
+	}
+	if len(lines) != 3 || lines[0] != 6 || lines[1] != 11 || lines[2] != 15 {
+		t.Errorf("finding lines = %v, want [6 11 15]", lines)
+	}
+	if got := res.Suppressed["boomcheck"]; got != 3 {
+		t.Errorf("suppressed = %d, want 3", got)
+	}
+	if len(res.BadDirectives) != 1 {
+		t.Fatalf("bad directives = %d, want 1: %v", len(res.BadDirectives), res.BadDirectives)
+	}
+	bd := res.BadDirectives[0]
+	if bd.Pos.Line != 10 || !strings.Contains(bd.Message, "no reason") {
+		t.Errorf("bad directive = %v, want line 10 mentioning the missing reason", bd)
+	}
+}
+
+func TestScopeEnforcement(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func boom() {}
+
+func f() { boom() }
+`)
+	scoped := &lint.Analyzer{
+		Name:     "boomcheck",
+		Doc:      boomcheck.Doc,
+		Packages: []string{"internal/elsewhere"},
+		Run:      boomcheck.Run,
+	}
+	res, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{scoped}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("scoped analyzer ran out of scope: %v", res.Findings)
+	}
+	res, err = lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{scoped}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 {
+		t.Errorf("scope filter applied with enforceScope=false: %v", res.Findings)
+	}
+}

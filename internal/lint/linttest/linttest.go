@@ -1,0 +1,191 @@
+// Package linttest runs a bbvet analyzer over a testdata fixture
+// package and checks its findings against // want "substr" comments,
+// the golden-findings idiom the analyzer tests share.
+//
+// A fixture lives in testdata/src/<name>/ and is type-checked as one
+// package. Imports are resolved first against sibling fixture
+// directories under the same testdata/src (so fixtures can share a stub
+// dependency, e.g. a fake obs package), then against the standard
+// library.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"bytebrain/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string // base name
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run type-checks the fixture package at dir (a testdata/src/<name>
+// directory), runs the analyzer on it, and fails t on any mismatch
+// between findings and // want comments. It returns the driver result
+// so callers can additionally assert on suppression counts.
+func Run(t *testing.T, a *lint.Analyzer, dir string) *lint.Result {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	res, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, f := range append(res.Findings, res.BadDirectives...) {
+		base := filepath.Base(f.Pos.Filename)
+		ok := false
+		for _, w := range wants {
+			if w.file == base && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	return res
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					wants = append(wants, &expectation{
+						file:   filepath.Base(pos.Filename),
+						line:   pos.Line,
+						substr: strings.ReplaceAll(q[1], `\"`, `"`),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture parses and type-checks one fixture directory.
+func loadFixture(dir string) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:    fset,
+		srcRoot: filepath.Dir(dir),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   map[string]*types.Package{},
+	}
+	files, info, tpkg, err := imp.check(filepath.Base(dir), dir)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{
+		PkgPath: filepath.Base(dir),
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// fixtureImporter resolves imports against sibling fixture dirs first,
+// then the standard library.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string // the testdata/src directory
+	std     types.ImporterFrom
+	cache   map[string]*types.Package
+}
+
+func (fi *fixtureImporter) check(pkgPath, dir string) ([]*ast.File, *types.Info, *types.Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: fi}
+	tpkg, err := conf.Check(pkgPath, fi.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, info, tpkg, nil
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := fi.cache[path]; ok {
+		return p, nil
+	}
+	if dir := filepath.Join(fi.srcRoot, filepath.FromSlash(path)); isDir(dir) {
+		_, _, tpkg, err := fi.check(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		fi.cache[path] = tpkg
+		return tpkg, nil
+	}
+	return fi.std.ImportFrom(path, fi.srcRoot, 0)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}

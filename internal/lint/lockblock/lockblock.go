@@ -1,0 +1,253 @@
+// Package lockblock implements the bbvet lock-across-blocking analyzer:
+// in internal/service and internal/logstore, no potentially-blocking
+// operation may run while a sync.Mutex or sync.RWMutex is held.
+//
+// Blocking under a lock is how the ingest path deadlocks or convoys:
+// a channel send that waits for a slow consumer, a net.Conn write that
+// waits for a stalled client, or a store Append that waits on group
+// commit — all while every other goroutine queues on the mutex.
+//
+// Flagged while a lock is held:
+//   - channel send / receive / range over a channel
+//   - select without a default case
+//   - Read/Write (and friends) on net.Conn-style types
+//   - Append* calls through the logstore Store/Compactor interfaces
+//
+// Non-blocking shapes are exempt: a select WITH a default case, and
+// concrete in-memory Append implementations (the CompactingStore
+// buffers its hot block under its own lock by design — only calls
+// through the interface, whose implementation the caller cannot see,
+// are findings).
+//
+// The tracking is a source-order walk, not a CFG: an Unlock inside a
+// conditional clears the held state for everything after it. That
+// trades a class of missed findings for zero false positives on the
+// unlock-early idiom.
+package lockblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bytebrain/internal/lint"
+)
+
+// Analyzer is the lock-across-blocking analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:     "lockblock",
+	Doc:      "no channel op, net.Conn I/O or interface Append* while a mutex is held",
+	Packages: []string{"internal/service", "internal/logstore"},
+	Run:      run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *lint.Pass
+	held map[string]bool
+}
+
+// checkFunc walks one function body in source order, tracking the set
+// of held mutexes. Function literals get a fresh tracker: they
+// overwhelmingly run on another goroutine (go/defer), which does not
+// inherit the caller's critical section.
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, held: map[string]bool{}}
+	c.inspect(body)
+}
+
+func (c *checker) inspect(n ast.Node) {
+	ast.Inspect(n, c.dispatch)
+}
+
+// dispatch handles one node under the current held-set; returns whether
+// ast.Inspect should descend.
+func (c *checker) dispatch(n ast.Node) bool {
+	switch s := n.(type) {
+	case *ast.FuncLit:
+		checkFunc(c.pass, s.Body)
+		return false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds the lock to function end; any other
+		// deferred call runs after the body, outside our source-order
+		// window — skip it either way.
+		return false
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			checkFunc(c.pass, lit.Body)
+		}
+		return false
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(c.held) > 0 {
+			c.pass.Reportf(s.Pos(), "select without default while %s is held", c.heldNames())
+		}
+		// The comm ops are covered: by the select-level finding when it
+		// blocks, or by the default case when it doesn't. Walk only the
+		// clause bodies.
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				for _, st := range cc.Body {
+					c.inspect(st)
+				}
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		if len(c.held) > 0 {
+			c.pass.Reportf(s.Pos(), "channel send while %s is held", c.heldNames())
+		}
+	case *ast.UnaryExpr:
+		if s.Op.String() == "<-" && len(c.held) > 0 {
+			c.pass.Reportf(s.Pos(), "channel receive while %s is held", c.heldNames())
+		}
+	case *ast.RangeStmt:
+		if len(c.held) > 0 && c.isChan(s.X) {
+			c.pass.Reportf(s.Pos(), "range over channel while %s is held", c.heldNames())
+		}
+	case *ast.CallExpr:
+		c.call(s)
+	}
+	return true
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if c.isMutex(sel.X) {
+		key := types.ExprString(sel.X)
+		switch name {
+		case "Lock", "RLock":
+			c.held[key] = true
+		case "Unlock", "RUnlock":
+			delete(c.held, key)
+		}
+		return
+	}
+	if len(c.held) == 0 {
+		return
+	}
+	if c.isNetType(sel.X) {
+		switch name {
+		case "Read", "Write", "ReadFrom", "WriteTo":
+			c.pass.Reportf(call.Pos(), "%s.%s (network I/O) while %s is held", types.ExprString(sel.X), name, c.heldNames())
+		}
+		return
+	}
+	if len(name) > 6 && name[:6] == "Append" && c.isStoreInterface(sel.X) {
+		c.pass.Reportf(call.Pos(), "store %s through the Store interface while %s is held; the implementation may block on group commit", name, c.heldNames())
+	}
+}
+
+func (c *checker) heldNames() string {
+	names := make([]string, 0, len(c.held))
+	for k := range c.held {
+		names = append(names, k)
+	}
+	// Deterministic order for multi-lock messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "+" + n
+	}
+	return out
+}
+
+func (c *checker) typeOf(expr ast.Expr) types.Type {
+	tv, ok := c.pass.Info.Types[expr]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func (c *checker) isMutex(expr ast.Expr) bool {
+	t := c.typeOf(expr)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func (c *checker) isChan(expr ast.Expr) bool {
+	t := c.typeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isNetType reports whether expr's type is declared in package net
+// (net.Conn, *net.TCPConn, ...).
+func (c *checker) isNetType(expr ast.Expr) bool {
+	t := c.typeOf(expr)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}
+
+// isStoreInterface reports whether expr is typed as one of the logstore
+// storage interfaces (Store, Compactor) — the shapes whose Append*
+// implementations may block on WAL group commit.
+func (c *checker) isStoreInterface(expr ast.Expr) bool {
+	t := c.typeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "logstore" {
+		return false
+	}
+	return obj.Name() == "Store" || obj.Name() == "Compactor"
+}

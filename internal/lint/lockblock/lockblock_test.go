@@ -1,0 +1,16 @@
+package lockblock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/linttest"
+	"bytebrain/internal/lint/lockblock"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	res := linttest.Run(t, lockblock.Analyzer, filepath.Join("testdata", "src", "logstore"))
+	if got := res.Suppressed["lockblock"]; got != 1 {
+		t.Errorf("suppressed count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package metricshygiene implements the bbvet metrics-hygiene analyzer
+// for the dependency-free internal/obs registry:
+//
+//   - every metric name passed to Registry.Counter/Gauge/Histogram/
+//     CounterFunc/GaugeFunc is a compile-time string constant with the
+//     bb_ prefix (dashboards and alert rules key on the literal name —
+//     a computed name silently forks a time series);
+//   - histogram units are coherent: a name ending in _seconds gets
+//     obs.LatencyBuckets, and LatencyBuckets histograms are named
+//     _seconds — mixed units are the classic "p99 of 3ms rendered as
+//     3000s" dashboard bug. Observing a histogram with a value built
+//     from Milliseconds()/Microseconds() is flagged for the same
+//     reason;
+//   - no metric name is registered at two distinct call sites: the obs
+//     registry panics at runtime on a kind/keys mismatch, this catches
+//     the plain duplicate before it ships.
+//
+// Bucket arguments are resolved through one level of variable
+// indirection (lat := obs.LatencyBuckets; var sizes = obs.SizeBuckets(…))
+// and only definite mismatches are reported.
+package metricshygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"bytebrain/internal/lint"
+)
+
+// Analyzer is the metrics-hygiene analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "metricshygiene",
+	Doc:  "obs metric names are bb_-prefixed constants, histograms observe seconds, no duplicate registration",
+	Run:  run,
+}
+
+var registerMethods = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"CounterFunc": true,
+	"GaugeFunc":   true,
+}
+
+func run(pass *lint.Pass) error {
+	decls := declExprs(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Observe" && isObsType(pass, sel.X) {
+				checkObserve(pass, call)
+				return true
+			}
+			if !registerMethods[sel.Sel.Name] || !isObsRegistry(pass, sel.X) {
+				return true
+			}
+			checkRegistration(pass, call, sel.Sel.Name, decls)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRegistration(pass *lint.Pass, call *ast.CallExpr, method string, decls map[types.Object]ast.Expr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	nameArg := call.Args[0]
+	tv, ok := pass.Info.Types[nameArg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(nameArg.Pos(), "metric name is not a compile-time string constant; dashboards key on literal names")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !strings.HasPrefix(name, "bb_") {
+		pass.Reportf(nameArg.Pos(), "metric name %q lacks the bb_ prefix", name)
+	}
+	// Duplicate registration across the whole run (Shared survives
+	// packages).
+	seenAny, ok := pass.Shared["names"]
+	if !ok {
+		seenAny = map[string]string{}
+		pass.Shared["names"] = seenAny
+	}
+	seen := seenAny.(map[string]string)
+	pos := pass.Fset.Position(nameArg.Pos()).String()
+	if prev, dup := seen[name]; dup {
+		pass.Reportf(nameArg.Pos(), "metric %q already registered at %s; the obs registry panics on conflicting re-registration", name, prev)
+	} else {
+		seen[name] = pos
+	}
+	if method != "Histogram" || len(call.Args) < 3 {
+		return
+	}
+	wantSeconds := strings.HasSuffix(name, "_seconds")
+	switch class := bucketClass(pass, call.Args[2], decls, 0); class {
+	case "latency":
+		if !wantSeconds {
+			pass.Reportf(nameArg.Pos(), "histogram %q uses obs.LatencyBuckets (seconds) but its name does not end in _seconds", name)
+		}
+	case "other":
+		if wantSeconds {
+			pass.Reportf(nameArg.Pos(), "histogram %q is named _seconds but does not use obs.LatencyBuckets", name)
+		}
+	}
+}
+
+// checkObserve flags Observe arguments built from sub-second integer
+// conversions — observing d.Milliseconds() on a seconds histogram.
+func checkObserve(pass *lint.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := inner.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Milliseconds" || sel.Sel.Name == "Microseconds" {
+			pass.Reportf(inner.Pos(), "histogram observed with %s(); obs histograms are unit-seconds, use .Seconds()", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// bucketClass classifies a Buckets expression: "latency" when it
+// resolves to obs.LatencyBuckets, "other" when it definitely resolves
+// to something else (SizeBuckets call, literal), "unknown" otherwise.
+func bucketClass(pass *lint.Pass, expr ast.Expr, decls map[types.Object]ast.Expr, depth int) string {
+	if depth > 4 {
+		return "unknown"
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if obj := pass.Info.Uses[e.Sel]; obj != nil && fromObs(obj) {
+			if e.Sel.Name == "LatencyBuckets" {
+				return "latency"
+			}
+			return "unknown"
+		}
+		return "unknown"
+	case *ast.CallExpr:
+		// A constructor call (obs.SizeBuckets(...), obs.Buckets(...))
+		// is definitely not the latency schedule.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil && fromObs(obj) {
+				return "other"
+			}
+		}
+		return "unknown"
+	case *ast.CompositeLit:
+		return "other"
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return "unknown"
+		}
+		if init, ok := decls[obj]; ok {
+			return bucketClass(pass, init, decls, depth+1)
+		}
+		return "unknown"
+	}
+	return "unknown"
+}
+
+func fromObs(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// declExprs maps every var object declared in this package to its
+// single initializer expression, covering both `var x = e` and
+// `x := e` forms; multi-value initializers are skipped.
+func declExprs(pass *lint.Pass) map[types.Object]ast.Expr {
+	out := map[types.Object]ast.Expr{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.ValueSpec:
+				if len(d.Names) == len(d.Values) {
+					for i, name := range d.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							out[obj] = d.Values[i]
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(d.Lhs) == len(d.Rhs) {
+					for i, lhs := range d.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if obj := pass.Info.Defs[id]; obj != nil {
+							out[obj] = d.Rhs[i]
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isObsRegistry reports whether expr is (a pointer to) the obs
+// Registry.
+func isObsRegistry(pass *lint.Pass, expr ast.Expr) bool {
+	return isObsNamed(pass, expr, "Registry")
+}
+
+// isObsType reports whether expr's type is any named type from the obs
+// package (Histogram, HistogramVec observers, ...).
+func isObsType(pass *lint.Pass, expr ast.Expr) bool {
+	return isObsNamed(pass, expr, "")
+}
+
+func isObsNamed(pass *lint.Pass, expr ast.Expr, want string) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return false
+	}
+	return want == "" || obj.Name() == want
+}

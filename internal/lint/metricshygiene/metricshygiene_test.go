@@ -1,0 +1,16 @@
+package metricshygiene_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/linttest"
+	"bytebrain/internal/lint/metricshygiene"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	res := linttest.Run(t, metricshygiene.Analyzer, filepath.Join("testdata", "src", "metricsfix"))
+	if got := res.Suppressed["metricshygiene"]; got != 1 {
+		t.Errorf("suppressed count = %d, want 1", got)
+	}
+}

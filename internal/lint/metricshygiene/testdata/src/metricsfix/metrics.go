@@ -1,0 +1,44 @@
+// Fixture for the metrics-hygiene analyzer: name constants, the bb_
+// prefix, histogram unit coherence, duplicate registration, and
+// Observe units.
+package metricsfix
+
+import (
+	"time"
+
+	"obs"
+)
+
+const goodName = "bb_requests_total"
+
+var reg = &obs.Registry{}
+
+var sizeBuckets = obs.SizeBuckets(1, 10, 100)
+
+func register() {
+	reg.Counter(goodName, "requests")
+	reg.Counter("bb_errors_total", "errors")
+	reg.Counter("errors_total", "errors") // want "lacks the bb_ prefix"
+	reg.Gauge(dynamicName(), "x")         // want "not a compile-time string constant"
+	reg.GaugeFunc("bb_up", "up", func() float64 { return 1 })
+
+	lat := obs.LatencyBuckets
+	reg.Histogram("bb_flush_seconds", "flush", lat)
+	reg.Histogram("bb_batch_records", "batch", sizeBuckets)
+	reg.Histogram("bb_wait_seconds", "wait", sizeBuckets)             // want "does not use obs.LatencyBuckets"
+	reg.Histogram("bb_ingest_latency", "latency", obs.LatencyBuckets) // want "does not end in _seconds"
+
+	reg.Counter("bb_errors_total", "dup") // want "already registered"
+}
+
+func dynamicName() string { return "bb_requests_total" }
+
+func observe(h *obs.Histogram, d time.Duration) {
+	h.Observe(d.Seconds())
+	h.Observe(float64(d.Milliseconds())) // want "Milliseconds"
+}
+
+func suppressed() {
+	//bbvet:ignore metricshygiene fixture exercises a counted suppression
+	reg.Counter("legacy_name", "grandfathered")
+}

@@ -1,0 +1,37 @@
+// Stub of bytebrain's internal/obs registry API, just enough surface
+// for the metrics-hygiene fixtures to type-check against.
+package obs
+
+type Buckets struct {
+	bounds []float64
+}
+
+var LatencyBuckets = Buckets{}
+
+func SizeBuckets(bounds ...int64) Buckets { return Buckets{} }
+
+type Registry struct{}
+
+type CounterVec struct{}
+
+type GaugeVec struct{}
+
+type HistogramVec struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, keys ...string) *CounterVec { return nil }
+
+func (r *Registry) Gauge(name, help string, keys ...string) *GaugeVec { return nil }
+
+func (r *Registry) Histogram(name, help string, buckets Buckets, keys ...string) *HistogramVec {
+	return nil
+}
+
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {}
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+func (v *HistogramVec) With(labels ...string) *Histogram { return &Histogram{} }
+
+func (h *Histogram) Observe(v float64) {}

@@ -1,0 +1,101 @@
+// Package snapshot implements the bbvet snapshot-discipline analyzer:
+// within one function, a given atomic.Pointer may be Load()ed at most
+// once, with the snapshot threaded through the rest of the operation.
+//
+// Re-loading mid-operation is the PR 2 bug class: two Loads of
+// topicState.snap in one request can observe different model
+// generations, so the second half of the request runs against a model
+// the first half never saw (torn match/cache decisions).
+//
+// One shape is exempt: a function that also CompareAndSwaps the same
+// pointer is running a CAS retry loop (load, attempt install, re-load
+// the winner on failure), where the re-load is the point.
+package snapshot
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bytebrain/internal/lint"
+)
+
+// Analyzer is the snapshot-discipline analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "snapshot",
+	Doc:  "an atomic.Pointer is Load()ed at most once per function; thread the snapshot through",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Name.Name, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc examines one function body. Function literals are separate
+// scopes — a closure captures its own view and frequently runs on a
+// different goroutine, so its Loads don't combine with the enclosing
+// function's.
+func checkFunc(pass *lint.Pass, name string, body *ast.BlockStmt) {
+	loads := map[string][]*ast.CallExpr{}
+	cas := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, name+" (func literal)", lit.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isAtomicPointer(pass, sel.X) {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Load":
+			loads[key] = append(loads[key], call)
+		case "CompareAndSwap", "Swap":
+			cas[key] = true
+		}
+		return true
+	})
+	for key, calls := range loads {
+		if len(calls) < 2 || cas[key] {
+			continue
+		}
+		for _, c := range calls[1:] {
+			pass.Reportf(c.Pos(), "%s.Load() called %d times in %s; load the snapshot once and thread it through", key, len(calls), name)
+		}
+	}
+}
+
+// isAtomicPointer reports whether expr has type sync/atomic.Pointer[T]
+// (directly or behind one pointer indirection).
+func isAtomicPointer(pass *lint.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}

@@ -1,0 +1,13 @@
+package snapshot_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/linttest"
+	"bytebrain/internal/lint/snapshot"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	linttest.Run(t, snapshot.Analyzer, filepath.Join("testdata", "src", "snapfix"))
+}

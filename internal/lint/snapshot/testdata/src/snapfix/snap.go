@@ -1,0 +1,66 @@
+// Fixture for the snapshot-discipline analyzer. doubleLoad
+// reintroduces the PR 2 bug in shape: one request loading the published
+// model snapshot twice can straddle a trainer publish and make the two
+// halves of the operation disagree about the model generation.
+package snapfix
+
+import "sync/atomic"
+
+type model struct {
+	gen int
+}
+
+type topicState struct {
+	snap  atomic.Pointer[model]
+	cache atomic.Pointer[model]
+}
+
+func doubleLoad(ts *topicState) int {
+	first := ts.snap.Load()
+	n := first.gen
+	second := ts.snap.Load() // want "ts.snap.Load() called 2 times"
+	return n + second.gen
+}
+
+func threaded(ts *topicState) int {
+	sn := ts.snap.Load()
+	return use(sn) + use(sn)
+}
+
+func use(m *model) int { return m.gen }
+
+// distinct pointers may each be loaded once.
+func twoPointers(ts *topicState) int {
+	a := ts.snap.Load()
+	b := ts.cache.Load()
+	return a.gen + b.gen
+}
+
+// casRetry is the exempt shape: the re-load after a lost
+// CompareAndSwap picks up the winner's value, which is the point.
+func casRetry(ts *topicState) *model {
+	m := ts.cache.Load()
+	if m == nil {
+		m = &model{}
+		if !ts.cache.CompareAndSwap(nil, m) {
+			m = ts.cache.Load()
+		}
+	}
+	return m
+}
+
+// closures are separate scopes: each invocation takes its own
+// snapshot.
+func perCall(ts *topicState) func() int {
+	n := ts.snap.Load().gen
+	return func() int {
+		return n + ts.snap.Load().gen
+	}
+}
+
+func tripleLoad(ts *topicState) int {
+	a := ts.snap.Load()
+	b := ts.snap.Load() // want "called 3 times"
+	c := ts.snap.Load() // want "called 3 times"
+	return a.gen + b.gen + c.gen
+}

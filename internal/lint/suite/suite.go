@@ -1,0 +1,25 @@
+// Package suite assembles the full bbvet analyzer set. It exists as
+// its own package (rather than a function in internal/lint) so the
+// driver framework stays import-cycle-free of the analyzers and so the
+// self-check test can run exactly what cmd/bbvet runs.
+package suite
+
+import (
+	"bytebrain/internal/lint"
+	"bytebrain/internal/lint/durability"
+	"bytebrain/internal/lint/lockblock"
+	"bytebrain/internal/lint/metricshygiene"
+	"bytebrain/internal/lint/snapshot"
+	"bytebrain/internal/lint/unsafeescape"
+)
+
+// Analyzers returns the bbvet suite in reporting order.
+func Analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		durability.Analyzer,
+		snapshot.Analyzer,
+		unsafeescape.Analyzer,
+		lockblock.Analyzer,
+		metricshygiene.Analyzer,
+	}
+}

@@ -1,0 +1,48 @@
+package suite_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"bytebrain/internal/lint"
+	"bytebrain/internal/lint/suite"
+)
+
+func TestSuiteSize(t *testing.T) {
+	if n := len(suite.Analyzers()); n < 5 {
+		t.Fatalf("suite has %d analyzers, the bbvet contract is at least 5", n)
+	}
+}
+
+// TestTreeIsClean runs the full bbvet suite over the module — the same
+// check CI's bbvet step performs — so a plain `go test ./...` also
+// fails on a new invariant violation.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis; the CI bbvet step covers short runs")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	modroot := filepath.Join(filepath.Dir(thisFile), "..", "..", "..")
+	loader, err := lint.NewLoader(modroot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.RunAnalyzers(pkgs, suite.Analyzers(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("finding: %s", f)
+	}
+	for _, f := range res.BadDirectives {
+		t.Errorf("malformed suppression: %s", f)
+	}
+}

@@ -1,0 +1,36 @@
+// Fixture for the unsafe-escape analyzer. leakView reintroduces the
+// PR 7 bug in shape: an unsafe.String view over a reused read buffer
+// built outside the one audited decode function, where nothing proves
+// the view cannot outlive the buffer.
+package netfix
+
+import "unsafe"
+
+// frameWorker is the allowlisted decode function (injected by the
+// test, mirroring the production allowlist for netingest).
+func frameWorker(data []byte) []string {
+	out := make([]string, 0, 1)
+	out = append(out, unsafe.String(&data[0], len(data)))
+	return out
+}
+
+func leakView(data []byte) string {
+	return unsafe.String(&data[0], len(data)) // want "unsafe.String outside the audited allowlist"
+}
+
+func leakSlice(p *byte, n int) []byte {
+	return unsafe.Slice(p, n) // want "unsafe.Slice outside the audited allowlist"
+}
+
+func rawPointer(p *int) unsafe.Pointer {
+	return unsafe.Pointer(p) // want "unsafe.Pointer outside the audited allowlist"
+}
+
+func copies(data []byte) string {
+	return string(data)
+}
+
+func suppressed(data []byte) string {
+	//bbvet:ignore unsafeescape fixture exercises a counted suppression
+	return unsafe.String(&data[0], len(data))
+}

@@ -1,0 +1,88 @@
+// Package unsafeescape implements the bbvet unsafe-escape analyzer:
+// every use of the unsafe package is allowlisted to specific, audited
+// functions; any other call site is a finding.
+//
+// This is the PR 7 bug class. The netingest fast path builds string
+// views over the connection's read buffer with unsafe.String — sound
+// only because the audited decode function copies the bytes exactly
+// once before the views are built, and nothing retains a view past the
+// batch call. A second unsafe call site added elsewhere has none of
+// that reasoning attached, so it fails the build until it is either
+// rewritten with a copy or explicitly audited into the allowlist here.
+package unsafeescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bytebrain/internal/lint"
+)
+
+// allowlist is the set of audited unsafe call sites in production code,
+// keyed by package path then enclosing function name. Additions require
+// the same review the netingest decode path got: prove the aliased
+// bytes cannot be retained past their buffer's reuse.
+var allowlist = map[string]map[string]bool{
+	"bytebrain/internal/netingest": {"frameWorker": true},
+}
+
+// Analyzer is the unsafe-escape analyzer with the production allowlist.
+var Analyzer = New(allowlist)
+
+// ProductionAllowlist exposes a copy of the audited call sites so tests
+// can pin them.
+func ProductionAllowlist() map[string][]string {
+	out := map[string][]string{}
+	for pkg, funcs := range allowlist {
+		for fn := range funcs {
+			out[pkg] = append(out[pkg], fn)
+		}
+	}
+	return out
+}
+
+// New builds the analyzer with an explicit allowlist (pkg path →
+// function names); the golden tests use it to exercise both sides.
+func New(allow map[string]map[string]bool) *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "unsafeescape",
+		Doc:  "unsafe.String/Slice/Pointer use is restricted to audited functions",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		return run(pass, allow)
+	}
+	return a
+}
+
+func run(pass *lint.Pass, allow map[string]map[string]bool) error {
+	allowed := allow[pass.Pkg.Path()]
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "unsafe" {
+					return true
+				}
+				if allowed[fn] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "unsafe.%s outside the audited allowlist (function %s); copy the bytes or audit this site into internal/lint/unsafeescape", sel.Sel.Name, fn)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package unsafeescape_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/linttest"
+	"bytebrain/internal/lint/unsafeescape"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	a := unsafeescape.New(map[string]map[string]bool{
+		"netfix": {"frameWorker": true},
+	})
+	res := linttest.Run(t, a, filepath.Join("testdata", "src", "netfix"))
+	if got := res.Suppressed["unsafeescape"]; got != 1 {
+		t.Errorf("suppressed count = %d, want 1", got)
+	}
+}
+
+// TestProductionAllowlist pins the audited call sites: growing this
+// list is a deliberate, reviewed act, not a side effect.
+func TestProductionAllowlist(t *testing.T) {
+	allow := unsafeescape.ProductionAllowlist()
+	if len(allow) != 1 {
+		t.Fatalf("allowlist covers %d packages, want 1: %v", len(allow), allow)
+	}
+	funcs := allow["bytebrain/internal/netingest"]
+	if len(funcs) != 1 || funcs[0] != "frameWorker" {
+		t.Fatalf("netingest allowlist = %v, want [frameWorker]", funcs)
+	}
+}
