@@ -1,0 +1,109 @@
+package netingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes through the framed-protocol
+// header+body decoder — the exact path that parses untrusted network
+// input — and checks the decoder's contract on every accepted frame:
+// line views tile the block exactly, no line is empty, and re-encoding
+// the decoded frame reproduces the input bytes.
+func FuzzFrameDecode(f *testing.F) {
+	valid, err := AppendFrame(nil, 7, "topic", []string{"alpha", "beta", "", "gamma"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:HeaderSize+3])
+	f.Add([]byte("BBF1 definitely not a frame"))
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < HeaderSize {
+			return
+		}
+		h := ParseHeader(data[:HeaderSize])
+		body := data[HeaderSize:]
+		// Mirror the server: it reads exactly BodyLen bytes after the
+		// header (bounded by its frame limit before any allocation).
+		if bl := h.BodyLen(); bl >= 0 && bl < len(body) {
+			body = body[:bl]
+		}
+		var fr Frame
+		if err := fr.Decode(h, body); err != nil {
+			return
+		}
+		if fr.Lines() != h.LineCount {
+			t.Fatalf("decoded %d lines, header says %d", fr.Lines(), h.LineCount)
+		}
+		if len(fr.Block) != h.BlockLen {
+			t.Fatalf("block is %d bytes, header says %d", len(fr.Block), h.BlockLen)
+		}
+		total := 0
+		var joined []byte
+		lines := make([]string, 0, fr.Lines())
+		for i := 0; i < fr.Lines(); i++ {
+			line := fr.Line(i)
+			if len(line) == 0 {
+				t.Fatalf("line %d is empty; empty lines are unrepresentable", i)
+			}
+			total += len(line)
+			joined = append(joined, line...)
+			lines = append(lines, string(line))
+		}
+		if total != h.BlockLen || !bytes.Equal(joined, fr.Block) {
+			t.Fatalf("lines do not tile the block: %d bytes of lines, block %d", total, h.BlockLen)
+		}
+		reenc, err := AppendFrame(nil, fr.Seq, string(fr.Topic), lines)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded frame: %v", err)
+		}
+		if want := data[:HeaderSize+h.BodyLen()]; !bytes.Equal(reenc, want) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", reenc, want)
+		}
+	})
+}
+
+// FuzzAppendFrameRoundTrip drives the encoder with arbitrary topics and
+// lines and checks that whatever AppendFrame accepts, Decode returns
+// verbatim (minus the empty lines the protocol cannot carry).
+func FuzzAppendFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(0), "t", "one", "", "three")
+	f.Add(uint32(1<<31), "topic/with/slash", "a", "b", "c")
+	f.Add(uint32(42), "", "x", "y", "z")
+
+	f.Fuzz(func(t *testing.T, seq uint32, topic, l1, l2, l3 string) {
+		lines := []string{l1, l2, l3}
+		enc, err := AppendFrame(nil, seq, topic, lines)
+		if err != nil {
+			return
+		}
+		var want []string
+		for _, l := range lines {
+			if l != "" {
+				want = append(want, l)
+			}
+		}
+		h := ParseHeader(enc[:HeaderSize])
+		if h.BodyLen() != len(enc)-HeaderSize {
+			t.Fatalf("header body length %d, encoded body %d", h.BodyLen(), len(enc)-HeaderSize)
+		}
+		var fr Frame
+		if err := fr.Decode(h, enc[HeaderSize:]); err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if fr.Seq != seq || string(fr.Topic) != topic {
+			t.Fatalf("seq/topic mismatch: %d %q", fr.Seq, fr.Topic)
+		}
+		if fr.Lines() != len(want) {
+			t.Fatalf("decoded %d lines, want %d", fr.Lines(), len(want))
+		}
+		for i, w := range want {
+			if string(fr.Line(i)) != w {
+				t.Fatalf("line %d = %q, want %q", i, fr.Line(i), w)
+			}
+		}
+	})
+}
