@@ -5,25 +5,63 @@
 //
 //	go run ./cmd/bbvet ./...
 //
-// Exit codes: 0 clean, 1 findings (or malformed suppressions), 2 the
-// tree failed to load or type-check.
+// Flags:
+//
+//	-list            list the analyzers and exit
+//	-json            emit the run as one JSON document on stdout
+//	-j N             worker count for loading and analysis (default GOMAXPROCS)
+//	-budget D        fail (exit 1) if the whole run exceeds duration D
+//
+// Exit codes: 0 clean, 1 findings (or malformed suppressions, or budget
+// exceeded), 2 the tree failed to load or type-check.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"time"
 
 	"bytebrain/internal/lint"
 	"bytebrain/internal/lint/suite"
 )
 
+// jsonReport is the -json document: everything CI or an editor plugin
+// needs to render a run without parsing the text output.
+type jsonReport struct {
+	Packages      int            `json:"packages"`
+	ElapsedMS     int64          `json:"elapsed_ms"`
+	LoadMS        int64          `json:"load_ms"`
+	Analyzers     []jsonAnalyzer `json:"analyzers"`
+	Suppressed    map[string]int `json:"suppressed,omitempty"`
+	Findings      []jsonFinding  `json:"findings"`
+	BadDirectives []jsonFinding  `json:"bad_directives,omitempty"`
+}
+
+type jsonAnalyzer struct {
+	Name      string `json:"name"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit the run as one JSON document on stdout")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for loading and analysis")
+	budget := flag.Duration("budget", 0, "fail if the whole run exceeds this duration (0 = no budget)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bbvet [-list] [./...]\n\nbytebrain static-analysis suite. Always analyzes the whole module\ncontaining the working directory; the ./... argument is accepted for\nfamiliarity.\n")
+		fmt.Fprintf(os.Stderr, "usage: bbvet [-list] [-json] [-j N] [-budget 30s] [./...]\n\nbytebrain static-analysis suite. Always analyzes the whole module\ncontaining the working directory; the ./... argument is accepted for\nfamiliarity.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,6 +74,7 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	modroot, err := findModRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbvet:", err)
@@ -46,38 +85,99 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbvet:", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.LoadAll()
+	pkgs, err := loader.LoadAllParallel(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbvet:", err)
 		os.Exit(2)
 	}
-	res, err := lint.RunAnalyzers(pkgs, analyzers, true)
+	loadElapsed := time.Since(start)
+	res, err := lint.RunAnalyzersParallel(pkgs, analyzers, true, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbvet:", err)
 		os.Exit(2)
 	}
-	for _, f := range res.Findings {
-		fmt.Println(rel(modroot, f))
-	}
-	for _, f := range res.BadDirectives {
-		fmt.Println(rel(modroot, f))
-	}
-	if n := len(res.Suppressed); n > 0 {
-		var names []string
-		for name := range res.Suppressed {
-			names = append(names, name)
+	elapsed := time.Since(start)
+	overBudget := *budget > 0 && elapsed > *budget
+
+	if *asJSON {
+		rep := jsonReport{
+			Packages:   len(pkgs),
+			ElapsedMS:  elapsed.Milliseconds(),
+			LoadMS:     loadElapsed.Milliseconds(),
+			Suppressed: res.Suppressed,
 		}
-		sort.Strings(names)
-		fmt.Fprintf(os.Stderr, "bbvet: %d package(s); suppressions in effect:", len(pkgs))
-		for _, name := range names {
-			fmt.Fprintf(os.Stderr, " %s=%d", name, res.Suppressed[name])
+		for _, a := range analyzers {
+			rep.Analyzers = append(rep.Analyzers, jsonAnalyzer{Name: a.Name, ElapsedMS: res.Timings[a.Name].Milliseconds()})
 		}
-		fmt.Fprintln(os.Stderr)
+		rep.Findings = toJSONFindings(modroot, res.Findings)
+		rep.BadDirectives = toJSONFindings(modroot, res.BadDirectives)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bbvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(rel(modroot, f))
+		}
+		for _, f := range res.BadDirectives {
+			fmt.Println(rel(modroot, f))
+		}
+		summary(os.Stderr, pkgs, analyzers, res, elapsed, loadElapsed)
+	}
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "bbvet: run took %s, over the %s budget\n", elapsed.Round(time.Millisecond), *budget)
 	}
 	if len(res.Findings) > 0 || len(res.BadDirectives) > 0 {
 		fmt.Fprintf(os.Stderr, "bbvet: %d finding(s)\n", len(res.Findings)+len(res.BadDirectives))
 		os.Exit(1)
 	}
+	if overBudget {
+		os.Exit(1)
+	}
+}
+
+// summary prints the human run report: package count, wall time split
+// into load and per-analyzer sweep times, and the suppression budget.
+func summary(w *os.File, pkgs []*lint.Package, analyzers []*lint.Analyzer, res *lint.Result, elapsed, load time.Duration) {
+	fmt.Fprintf(w, "bbvet: %d package(s) in %s (load %s)\n",
+		len(pkgs), elapsed.Round(time.Millisecond), load.Round(time.Millisecond))
+	fmt.Fprintf(w, "bbvet: analyzer times:")
+	for _, a := range analyzers {
+		fmt.Fprintf(w, " %s=%s", a.Name, res.Timings[a.Name].Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
+	if len(res.Suppressed) > 0 {
+		var names []string
+		for name := range res.Suppressed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "bbvet: suppressions in effect:")
+		for _, name := range names {
+			fmt.Fprintf(w, " %s=%d", name, res.Suppressed[name])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func toJSONFindings(modroot string, fs []lint.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		file := f.Pos.Filename
+		if r, err := filepath.Rel(modroot, file); err == nil && !filepath.IsAbs(r) {
+			file = r
+		}
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return out
 }
 
 // rel rewrites the finding's path relative to the module root so CI

@@ -1,0 +1,220 @@
+// Package ackcommit implements the bbvet ack-ordering analyzer: in
+// internal/netingest, a success acknowledgement (any call passing
+// StatusOK) must be dominated by a commit — an Ingest/Append/flush call
+// that actually hands the frame's lines to the store. An OK ack the
+// client can observe before the data is committed is a durability lie:
+// the client drops its copy, the server crashes, the lines are gone.
+//
+// The check is structural, on the function's CFG: for each OK-ack call
+// site there must exist a commit call whose basic block dominates the
+// ack's block (or which precedes the ack inside the same block). Since
+// every path to the ack then passes through the commit, the ack cannot
+// race ahead of it within the function.
+//
+// "Commit" is matched by callee name — Ingest, Append* (except the
+// wire-codec helper AppendAck), flush/Flush/commit/Commit — plus any
+// package-local function or closure variable whose body transitively
+// makes such a call (so serveRaw's `flush := func() error { ...
+// s.cfg.Ingest(...) ... }` counts at its call sites). Error acks
+// (StatusErr and friends) are exempt: reporting failure early is fine.
+package ackcommit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bytebrain/internal/lint"
+	"bytebrain/internal/lint/cfg"
+)
+
+// Analyzer is the ack-ordering analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:     "ackcommit",
+	Doc:      "an OK ack must be dominated by the store commit it reports",
+	Packages: []string{"internal/netingest"},
+	Run:      run,
+}
+
+func run(pass *lint.Pass) error {
+	committing := committingObjects(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body, committing)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body, committing)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// site is a call position paired with its basic block.
+type site struct {
+	pos   token.Pos
+	block *cfg.Block
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt, committing map[types.Object]bool) {
+	g := cfg.New(body)
+	var acks, commits []site
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isCommitCall(pass, call, committing) {
+					commits = append(commits, site{call.Pos(), b})
+				}
+				if isOKAck(pass, call) {
+					acks = append(acks, site{call.Pos(), b})
+				}
+				return true
+			})
+		}
+	}
+	if len(acks) == 0 {
+		return
+	}
+	g.Dominators()
+	for _, a := range acks {
+		ok := false
+		for _, c := range commits {
+			if c.block == a.block {
+				if c.pos < a.pos {
+					ok = true
+					break
+				}
+				continue
+			}
+			if g.Dominates(c.block, a.block) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(a.pos, "OK ack is not dominated by a store commit (Ingest/Append/flush); a client could observe success for data the store never accepted")
+		}
+	}
+}
+
+// isOKAck reports whether call passes StatusOK as an argument.
+func isOKAck(pass *lint.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		var id *ast.Ident
+		switch a := arg.(type) {
+		case *ast.Ident:
+			id = a
+		case *ast.SelectorExpr:
+			id = a.Sel
+		}
+		if id != nil && id.Name == "StatusOK" {
+			return true
+		}
+	}
+	return false
+}
+
+// isCommitName matches names that hand data to the store.
+func isCommitName(name string) bool {
+	switch name {
+	case "Ingest", "flush", "Flush", "commit", "Commit":
+		return true
+	}
+	// Append* is a commit family (AppendFrame, appendBatch, ...) except
+	// the wire-codec helper AppendAck, which encodes the ack itself.
+	return strings.HasPrefix(name, "Append") && name != "AppendAck"
+}
+
+// isCommitCall reports whether call commits data: by callee name, or by
+// resolving to a package-local committing function/closure.
+func isCommitCall(pass *lint.Pass, call *ast.CallExpr, committing map[types.Object]bool) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if isCommitName(fun.Name) {
+			return true
+		}
+		return committing[pass.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		if isCommitName(fun.Sel.Name) {
+			return true
+		}
+		if s, ok := pass.Info.Selections[fun]; ok {
+			return committing[s.Obj()]
+		}
+		return committing[pass.Info.Uses[fun.Sel]]
+	}
+	return false
+}
+
+// committingObjects computes, to a fixpoint, the package-local function
+// declarations and closure-bound variables whose bodies (transitively)
+// make a commit call.
+func committingObjects(pass *lint.Pass) map[types.Object]bool {
+	// Candidate bodies: FuncDecls by their object, and `v := func(){...}`
+	// closure bindings by the variable's object.
+	bodies := map[types.Object]*ast.BlockStmt{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					if obj := pass.Info.Defs[n.Name]; obj != nil {
+						bodies[obj] = n.Body
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil {
+						bodies[obj] = lit.Body
+					}
+				}
+			}
+			return true
+		})
+	}
+	committing := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, body := range bodies {
+			if committing[obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && isCommitCall(pass, call, committing) {
+					found = true
+				}
+				return true
+			})
+			if found {
+				committing[obj] = true
+				changed = true
+			}
+		}
+	}
+	return committing
+}

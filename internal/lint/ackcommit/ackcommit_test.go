@@ -1,0 +1,13 @@
+package ackcommit_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/ackcommit"
+	"bytebrain/internal/lint/linttest"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	linttest.Run(t, ackcommit.Analyzer, filepath.Join("testdata", "src", "ackfix"))
+}

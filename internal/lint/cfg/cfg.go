@@ -1,0 +1,595 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies — the foundation the path-sensitive bbvet analyzers
+// (lockbalance, errflow, ackcommit, goroutineleak) share. Like the rest
+// of internal/lint it is dependency-free: go/ast and go/token only, no
+// x/tools.
+//
+// A Graph is a set of basic blocks. Each block carries the AST nodes
+// evaluated in it, in source order; nodes are statements or the
+// condition/tag expressions of branch statements (an *ast.IfStmt never
+// appears wholesale — its Cond lands in the block that evaluates it and
+// its bodies become successor blocks). Nested *ast.FuncLit bodies are
+// opaque: a literal appears inside whatever node carries it, but its
+// body belongs to a different function and must be analyzed as its own
+// Graph (use Inspect, which refuses to descend into literals).
+//
+// Edges model if/else, for (init/cond/post), range, switch and type
+// switch (with fallthrough), select, labeled break/continue, goto,
+// return and panic. Deferred calls are NOT wired into exit edges —
+// *ast.DeferStmt nodes stay ordinary block nodes, because which defers
+// run at an exit depends on the path that reached it; path-sensitive
+// analyzers interpret them as path facts (exactly what lockbalance does
+// with defer mu.Unlock()).
+//
+// The graph exposes dominators via the Cooper–Harvey–Kennedy iterative
+// algorithm: Idom, Dominates, and reachability via CanReach.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the AST nodes evaluated in this block, in source order.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	// Blocks holds every block; Blocks[0] is Entry, Blocks[1] is Exit.
+	Blocks []*Block
+	// Entry is where control enters the function.
+	Entry *Block
+	// Exit is the synthetic block every return, panic and
+	// fall-off-the-end path converges to. It has no nodes.
+	Exit *Block
+
+	idom []*Block // lazily computed immediate dominators, by Index
+	rpo  []int    // reverse-postorder number per block, -1 if unreachable
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	g.Entry = g.newBlock()
+	g.Exit = g.newBlock()
+	b := &builder{g: g, labels: map[string]*labelTarget{}}
+	last := b.stmtList(g.Entry, body.List)
+	if last != nil {
+		addEdge(last, g.Exit)
+	}
+	b.patchGotos()
+	return g
+}
+
+func (g *Graph) newBlock() *Block {
+	blk := &Block{Index: len(g.Blocks)}
+	g.Blocks = append(g.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// labelTarget records the blocks a labeled break/continue/goto resolves
+// to.
+type labelTarget struct {
+	breakTo    *Block // labeled loop/switch/select exit
+	continueTo *Block // labeled loop post/header
+	gotoTo     *Block // block starting at the labeled statement
+}
+
+type builder struct {
+	g      *Graph
+	labels map[string]*labelTarget
+
+	// breakTo/continueTo are the innermost enclosing targets.
+	breakStack    []*Block
+	continueStack []*Block
+
+	// pendingGotos are goto statements seen before their label.
+	pendingGotos []pendingGoto
+
+	// labeledStmt is the label about to bind to the next loop/switch/
+	// select the builder enters (set while handling a LabeledStmt).
+	labeledStmt string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// stmtList threads the statements through cur, returning the block that
+// falls out the end (nil if control cannot fall through).
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/panic/branch: still build its
+			// graph so analyzers see its nodes, rooted in a fresh block
+			// with no predecessors.
+			cur = b.g.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		join := b.g.newBlock()
+		thenB := b.g.newBlock()
+		addEdge(cur, thenB)
+		if out := b.stmtList(thenB, s.Body.List); out != nil {
+			addEdge(out, join)
+		}
+		if s.Else != nil {
+			elseB := b.g.newBlock()
+			addEdge(cur, elseB)
+			if out := b.stmt(elseB, s.Else); out != nil {
+				addEdge(out, join)
+			}
+		} else {
+			addEdge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		header := b.g.newBlock()
+		addEdge(cur, header)
+		if s.Cond != nil {
+			header.Nodes = append(header.Nodes, s.Cond)
+		}
+		join := b.g.newBlock()
+		var post *Block
+		backTo := header
+		if s.Post != nil {
+			post = b.g.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			addEdge(post, header)
+			backTo = post
+		}
+		if s.Cond != nil {
+			addEdge(header, join)
+		}
+		body := b.g.newBlock()
+		addEdge(header, body)
+		b.pushLoop(join, backTo, s)
+		if out := b.stmtList(body, s.Body.List); out != nil {
+			addEdge(out, backTo)
+		}
+		b.popLoop()
+		return join
+
+	case *ast.RangeStmt:
+		header := b.g.newBlock()
+		addEdge(cur, header)
+		// The header evaluates the ranged expression and binds key/value;
+		// record the expression so analyzers see its uses.
+		header.Nodes = append(header.Nodes, s.X)
+		if s.Key != nil {
+			header.Nodes = append(header.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			header.Nodes = append(header.Nodes, s.Value)
+		}
+		join := b.g.newBlock()
+		addEdge(header, join)
+		body := b.g.newBlock()
+		addEdge(header, body)
+		b.pushLoop(join, header, s)
+		if out := b.stmtList(body, s.Body.List); out != nil {
+			addEdge(out, header)
+		}
+		b.popLoop()
+		return join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body.List, s)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, s.Body.List, s)
+
+	case *ast.SelectStmt:
+		join := b.g.newBlock()
+		b.breakStack = append(b.breakStack, join)
+		reachable := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			clause := b.g.newBlock()
+			addEdge(cur, clause)
+			if cc.Comm != nil {
+				clause.Nodes = append(clause.Nodes, cc.Comm)
+			}
+			if out := b.stmtList(clause, cc.Body); out != nil {
+				addEdge(out, join)
+				reachable = true
+			}
+		}
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no successor.
+			return nil
+		}
+		if !reachable && len(join.Preds) == 0 {
+			return nil
+		}
+		return join
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		addEdge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := b.breakTarget(s)
+			if target != nil {
+				addEdge(cur, target)
+			}
+			return nil
+		case token.CONTINUE:
+			target := b.continueTarget(s)
+			if target != nil {
+				addEdge(cur, target)
+			}
+			return nil
+		case token.GOTO:
+			if s.Label != nil {
+				if lt, ok := b.labels[s.Label.Name]; ok && lt.gotoTo != nil {
+					addEdge(cur, lt.gotoTo)
+				} else {
+					b.pendingGotos = append(b.pendingGotos, pendingGoto{from: cur, label: s.Label.Name})
+				}
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by switchBody via clause ordering; mark so the
+			// clause links to its successor.
+			cur.Nodes = append(cur.Nodes, s)
+			return cur
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		lblock := b.g.newBlock()
+		addEdge(cur, lblock)
+		lt := b.labels[s.Label.Name]
+		if lt == nil {
+			lt = &labelTarget{}
+			b.labels[s.Label.Name] = lt
+		}
+		lt.gotoTo = lblock
+		// Bind the label to the statement it precedes so labeled
+		// break/continue resolve inside b.stmt via the label map.
+		b.labeledStmt = s.Label.Name
+		out := b.stmt(lblock, s.Stmt)
+		b.labeledStmt = ""
+		return out
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanicCall(s.X) {
+			addEdge(cur, b.g.Exit)
+			return nil
+		}
+		return cur
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody builds the clause blocks of a switch/type-switch, honoring
+// fallthrough and break.
+func (b *builder) switchBody(cur *Block, clauses []ast.Stmt, owner ast.Stmt) *Block {
+	join := b.g.newBlock()
+	b.registerLabeled(join, nil)
+	b.breakStack = append(b.breakStack, join)
+	// Build clause entry blocks first so fallthrough can link forward.
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		entries[i] = b.g.newBlock()
+		addEdge(cur, entries[i])
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		addEdge(cur, join)
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		clause := entries[i]
+		for _, e := range cc.List {
+			clause.Nodes = append(clause.Nodes, e)
+		}
+		out := b.stmtList(clause, cc.Body)
+		if out == nil {
+			continue
+		}
+		// A clause ending in fallthrough links to the next clause's
+		// entry; otherwise it falls to the join.
+		if n := len(out.Nodes); n > 0 {
+			if br, ok := out.Nodes[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(entries) {
+				addEdge(out, entries[i+1])
+				continue
+			}
+		}
+		addEdge(out, join)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	return join
+}
+
+// pushLoop enters a loop context: break goes to join, continue to back.
+func (b *builder) pushLoop(join, back *Block, owner ast.Stmt) {
+	b.registerLabeled(join, back)
+	b.breakStack = append(b.breakStack, join)
+	b.continueStack = append(b.continueStack, back)
+}
+
+func (b *builder) popLoop() {
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+}
+
+// registerLabeled binds the pending label (if the owner statement was
+// labeled) to the loop/switch targets.
+func (b *builder) registerLabeled(breakTo, continueTo *Block) {
+	if b.labeledStmt == "" {
+		return
+	}
+	lt := b.labels[b.labeledStmt]
+	if lt == nil {
+		lt = &labelTarget{}
+		b.labels[b.labeledStmt] = lt
+	}
+	lt.breakTo = breakTo
+	lt.continueTo = continueTo
+	b.labeledStmt = ""
+}
+
+func (b *builder) breakTarget(s *ast.BranchStmt) *Block {
+	if s.Label != nil {
+		if lt := b.labels[s.Label.Name]; lt != nil {
+			return lt.breakTo
+		}
+		return nil
+	}
+	if n := len(b.breakStack); n > 0 {
+		return b.breakStack[n-1]
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(s *ast.BranchStmt) *Block {
+	if s.Label != nil {
+		if lt := b.labels[s.Label.Name]; lt != nil {
+			return lt.continueTo
+		}
+		return nil
+	}
+	if n := len(b.continueStack); n > 0 {
+		return b.continueStack[n-1]
+	}
+	return nil
+}
+
+func (b *builder) patchGotos() {
+	for _, pg := range b.pendingGotos {
+		if lt, ok := b.labels[pg.label]; ok && lt.gotoTo != nil {
+			addEdge(pg.from, lt.gotoTo)
+		} else {
+			// Unresolvable goto (malformed source): treat as exit so the
+			// block is terminated rather than silently falling through.
+			addEdge(pg.from, b.g.Exit)
+		}
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// --- dominators -------------------------------------------------------
+
+// computeRPO numbers reachable blocks in reverse postorder from Entry.
+func (g *Graph) computeRPO() {
+	g.rpo = make([]int, len(g.Blocks))
+	for i := range g.rpo {
+		g.rpo[i] = -1
+	}
+	var post []*Block
+	seen := make([]bool, len(g.Blocks))
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	n := len(post)
+	for i, b := range post {
+		g.rpo[b.Index] = n - 1 - i
+	}
+}
+
+// Dominators computes (and caches) immediate dominators with the
+// Cooper–Harvey–Kennedy iterative algorithm. Unreachable blocks have a
+// nil idom.
+func (g *Graph) Dominators() {
+	if g.idom != nil {
+		return
+	}
+	g.computeRPO()
+	g.idom = make([]*Block, len(g.Blocks))
+	g.idom[g.Entry.Index] = g.Entry
+
+	// Reachable blocks in reverse postorder.
+	order := make([]*Block, 0, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if g.rpo[b.Index] >= 0 {
+			order = append(order, b)
+		}
+	}
+	// Sort by RPO number (insertion sort: graphs are small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.rpo[order[j].Index] < g.rpo[order[j-1].Index]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for g.rpo[a.Index] > g.rpo[b.Index] {
+				a = g.idom[a.Index]
+			}
+			for g.rpo[b.Index] > g.rpo[a.Index] {
+				b = g.idom[b.Index]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if g.idom[p.Index] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && g.idom[b.Index] != newIdom {
+				g.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Idom returns b's immediate dominator (Entry's idom is Entry itself;
+// unreachable blocks return nil).
+func (g *Graph) Idom(b *Block) *Block {
+	g.Dominators()
+	return g.idom[b.Index]
+}
+
+// Dominates reports whether a dominates b (every path from Entry to b
+// passes through a). A block dominates itself. Unreachable blocks are
+// dominated by nothing and dominate nothing.
+func (g *Graph) Dominates(a, b *Block) bool {
+	g.Dominators()
+	if g.idom[a.Index] == nil || g.idom[b.Index] == nil {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := g.idom[b.Index]
+		if next == b { // reached Entry
+			return false
+		}
+		b = next
+	}
+}
+
+// CanReach reports whether control can flow from a to b (b reachable
+// from a by following successor edges; a reaches itself).
+func (g *Graph) CanReach(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(g.Blocks))
+	work := []*Block{a}
+	seen[a.Index] = true
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range cur.Succs {
+			if s == b {
+				return true
+			}
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// Inspect walks n in pre-order like ast.Inspect but never descends into
+// an *ast.FuncLit body: a literal's statements belong to a different
+// function's CFG. The literal node itself IS visited (so analyzers can
+// note its existence); its children are not.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			f(m)
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,423 @@
+package cfg_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"bytebrain/internal/lint/cfg"
+)
+
+// buildGraph parses a function body and returns its CFG plus a map from
+// mark("name") calls to the block containing them.
+func buildGraph(t *testing.T, body string) (*cfg.Graph, map[string]*cfg.Block) {
+	t.Helper()
+	src := "package p\n\nfunc mark(string) {}\nfunc cond() bool { return true }\nfunc f(ch chan int, xs []int, n int, err error) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	g := cfg.New(fn.Body)
+	marks := map[string]*cfg.Block{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+						name := strings.Trim(lit.Value, `"`)
+						if prev, dup := marks[name]; dup && prev != b {
+							t.Fatalf("marker %q appears in two blocks", name)
+						}
+						marks[name] = b
+					}
+				}
+				return true
+			})
+		}
+	}
+	return g, marks
+}
+
+type domTest struct {
+	name string
+	body string
+	// Relations between markers (or the pseudo-markers "entry"/"exit"):
+	// "a<b" a dominates b, "a!<b" a does not dominate b,
+	// "a>b" a can reach b, "a!>b" a cannot reach b.
+	rels []string
+}
+
+func TestDominatorsAndReachability(t *testing.T) {
+	tests := []domTest{
+		{
+			name: "if-else",
+			body: `
+mark("top")
+if cond() {
+	mark("then")
+} else {
+	mark("else")
+}
+mark("join")`,
+			rels: []string{
+				"top<then", "top<else", "top<join",
+				"then!<join", "else!<join",
+				"then>join", "else>join", "then!>else",
+				"entry<exit", "join>exit",
+			},
+		},
+		{
+			name: "if-no-else",
+			body: `
+mark("top")
+if cond() {
+	mark("then")
+}
+mark("join")`,
+			rels: []string{"top<join", "then!<join", "top>join", "then>join"},
+		},
+		{
+			name: "for-cond-loop",
+			body: `
+mark("top")
+for cond() {
+	mark("body")
+}
+mark("after")`,
+			rels: []string{
+				"top<body", "top<after", "body!<after",
+				"body>body", // back edge
+				"body>after", "after!>body",
+			},
+		},
+		{
+			name: "for-infinite-with-break",
+			body: `
+for {
+	if cond() {
+		mark("brk")
+		break
+	}
+	mark("body")
+}
+mark("after")`,
+			rels: []string{
+				"brk<after", // only exit is the break
+				"body!<after", "body>brk", "brk!>body",
+			},
+		},
+		{
+			name: "for-three-clause",
+			body: `
+for i := 0; i < n; i++ {
+	mark("body")
+}
+mark("after")`,
+			rels: []string{"body!<after", "body>after", "body>body"},
+		},
+		{
+			name: "range-loop",
+			body: `
+for _, x := range xs {
+	_ = x
+	mark("body")
+}
+mark("after")`,
+			rels: []string{"body!<after", "body>after", "body>body", "after!>body"},
+		},
+		{
+			name: "early-return",
+			body: `
+mark("top")
+if cond() {
+	mark("ret")
+	return
+}
+mark("rest")`,
+			rels: []string{
+				"top<rest", "ret!>rest", "ret>exit", "rest>exit",
+				"ret!<exit", "rest!<exit",
+			},
+		},
+		{
+			name: "panic-terminates",
+			body: `
+mark("top")
+if cond() {
+	mark("boom")
+	panic("x")
+}
+mark("rest")`,
+			rels: []string{"boom!>rest", "boom>exit", "top<rest"},
+		},
+		{
+			name: "switch-fallthrough",
+			body: `
+switch n {
+case 1:
+	mark("one")
+	fallthrough
+case 2:
+	mark("two")
+default:
+	mark("def")
+}
+mark("after")`,
+			rels: []string{
+				"one>two", // fallthrough edge
+				"two!>one", "def!>one",
+				"one!<after", "two!<after",
+				"one>after", "two>after", "def>after",
+			},
+		},
+		{
+			name: "switch-no-default-skips",
+			body: `
+mark("top")
+switch n {
+case 1:
+	mark("one")
+}
+mark("after")`,
+			rels: []string{"top<after", "one!<after", "top>after"},
+		},
+		{
+			name: "select",
+			body: `
+mark("top")
+select {
+case <-ch:
+	mark("recv")
+case ch <- 1:
+	mark("send")
+}
+mark("after")`,
+			rels: []string{
+				"top<recv", "top<send", "top<after",
+				"recv!<after", "send!<after", "recv>after", "send>after",
+			},
+		},
+		{
+			name: "defer-stays-in-block",
+			body: `
+mark("top")
+defer mark("deferred")
+mark("same")`,
+			rels: []string{"top<same"},
+		},
+		{
+			name: "labeled-continue",
+			body: `
+outer:
+for cond() {
+	for cond() {
+		if cond() {
+			mark("cont")
+			continue outer
+		}
+		mark("inner")
+	}
+	mark("tail")
+}
+mark("after")`,
+			rels: []string{
+				// continue outer loops back to the outer header, so cont
+				// reaches everything in the loop again — the discriminating
+				// fact is that it does NOT dominate the inner body.
+				"cont>after", "cont>cont", "inner>tail",
+				"cont!<inner", "cont!<tail",
+			},
+		},
+		{
+			name: "labeled-break",
+			body: `
+outer:
+for {
+	for cond() {
+		if cond() {
+			mark("brk")
+			break outer
+		}
+	}
+	mark("tail")
+}
+mark("after")`,
+			rels: []string{"brk>after", "brk!>tail", "brk<after", "after!>tail"},
+		},
+		{
+			name: "goto-backward",
+			body: `
+mark("top")
+again:
+mark("lbl")
+if cond() {
+	goto again
+}
+mark("after")`,
+			rels: []string{"lbl>lbl", "lbl<after", "top<lbl"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, marks := buildGraph(t, tc.body)
+			get := func(name string) *cfg.Block {
+				switch name {
+				case "entry":
+					return g.Entry
+				case "exit":
+					return g.Exit
+				}
+				b, ok := marks[name]
+				if !ok {
+					t.Fatalf("no marker %q (have %v)", name, markNames(marks))
+				}
+				return b
+			}
+			for _, rel := range tc.rels {
+				var a, b string
+				var dom, neg bool
+				switch {
+				case strings.Contains(rel, "!<"):
+					parts := strings.SplitN(rel, "!<", 2)
+					a, b, dom, neg = parts[0], parts[1], true, true
+				case strings.Contains(rel, "!>"):
+					parts := strings.SplitN(rel, "!>", 2)
+					a, b, dom, neg = parts[0], parts[1], false, true
+				case strings.Contains(rel, "<"):
+					parts := strings.SplitN(rel, "<", 2)
+					a, b, dom = parts[0], parts[1], true
+				case strings.Contains(rel, ">"):
+					parts := strings.SplitN(rel, ">", 2)
+					a, b = parts[0], parts[1]
+				default:
+					t.Fatalf("bad relation %q", rel)
+				}
+				ba, bb := get(a), get(b)
+				var got bool
+				var what string
+				if dom {
+					got = g.Dominates(ba, bb)
+					what = "dominates"
+				} else {
+					got = g.CanReach(ba, bb)
+					what = "reaches"
+				}
+				if got == neg {
+					t.Errorf("%s: %s %s %s = %v, want %v", tc.name, a, what, b, got, !neg)
+				}
+			}
+		})
+	}
+}
+
+func markNames(m map[string]*cfg.Block) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestSelfDominance pins the reflexive and entry properties.
+func TestSelfDominance(t *testing.T) {
+	g, marks := buildGraph(t, `
+mark("a")
+if cond() {
+	mark("b")
+}`)
+	for name, b := range marks {
+		if !g.Dominates(b, b) {
+			t.Errorf("block %q does not dominate itself", name)
+		}
+		if !g.Dominates(g.Entry, b) {
+			t.Errorf("entry does not dominate %q", name)
+		}
+	}
+	if g.Idom(g.Entry) != g.Entry {
+		t.Error("entry's idom is not itself")
+	}
+}
+
+// TestUnreachableAfterReturn pins that statements after a return land in
+// a predecessor-less block that dominates nothing.
+func TestUnreachableAfterReturn(t *testing.T) {
+	g, marks := buildGraph(t, `
+mark("live")
+return
+mark("dead")`)
+	dead := marks["dead"]
+	if dead == nil {
+		t.Fatal("no dead marker block")
+	}
+	if len(dead.Preds) != 0 {
+		t.Errorf("dead block has %d preds, want 0", len(dead.Preds))
+	}
+	if g.Dominates(dead, g.Exit) {
+		t.Error("unreachable block dominates exit")
+	}
+	if g.Dominates(g.Entry, dead) {
+		t.Error("entry dominates an unreachable block")
+	}
+}
+
+// TestInspectSkipsFuncLit pins that cfg.Inspect visits a literal but not
+// its body.
+func TestInspectSkipsFuncLit(t *testing.T) {
+	src := `package p
+func f() {
+	g := func() { inner() }
+	g()
+}
+func inner() {}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	sawLit, sawInner := false, false
+	cfg.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			sawLit = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "inner" {
+			sawInner = true
+		}
+		return true
+	})
+	if !sawLit {
+		t.Error("Inspect never visited the FuncLit node")
+	}
+	if sawInner {
+		t.Error("Inspect descended into the FuncLit body")
+	}
+}
+
+func ExampleGraph_Dominates() {
+	src := `package p
+func f(c bool) {
+	if c {
+		println("then")
+	}
+	println("join")
+}`
+	fset := token.NewFileSet()
+	file, _ := parser.ParseFile(fset, "x.go", src, 0)
+	g := cfg.New(file.Decls[0].(*ast.FuncDecl).Body)
+	fmt.Println(g.Dominates(g.Entry, g.Exit))
+	// Output: true
+}

@@ -1,0 +1,227 @@
+// Package dataflow is a small forward-dataflow framework over the
+// internal/lint/cfg graphs: facts are bits in a fixed-size set, blocks
+// get a transfer function, and a worklist iterates to fixpoint under a
+// union (may) or intersection (must) join. It is deliberately minimal —
+// gen/kill style lattices cover every bbvet analyzer shipped so far —
+// and, like the rest of internal/lint, has no dependencies beyond the
+// standard library.
+package dataflow
+
+import (
+	"math/bits"
+
+	"bytebrain/internal/lint/cfg"
+)
+
+// BitSet is a fixed-capacity set of fact indices.
+type BitSet []uint64
+
+// NewBitSet returns an empty set with capacity for n facts.
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Has reports whether fact i is in the set.
+func (s BitSet) Has(i int) bool {
+	return s[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Set adds fact i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes fact i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Copy returns an independent copy of the set.
+func (s BitSet) Copy() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two same-capacity sets hold the same facts.
+func (s BitSet) Equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every fact in o, reporting whether s changed.
+func (s BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith drops facts not in o, reporting whether s changed.
+func (s BitSet) IntersectWith(o BitSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] & o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Fill adds every fact in [0, n).
+func (s BitSet) Fill(n int) {
+	for i := 0; i < n/64; i++ {
+		s[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 {
+		s[n/64] |= (1 << uint(r)) - 1
+	}
+}
+
+// Count returns the number of facts in the set.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Join selects how predecessor OUT sets merge into a block's IN set.
+type Join int
+
+const (
+	// Union is a "may" analysis: a fact holds at block entry if it holds
+	// on ANY path in.
+	Union Join = iota
+	// Intersect is a "must" analysis: a fact holds only if it holds on
+	// EVERY path in.
+	Intersect
+)
+
+// Transfer maps a block's IN set to its OUT set. The implementation
+// must treat in as read-only and return a fresh (or reused-but-owned)
+// set; the framework never aliases the returned set with in.
+type Transfer func(b *cfg.Block, in BitSet) BitSet
+
+// Result holds the fixpoint solution.
+type Result struct {
+	// In[i] is the fact set at entry of block with Index i.
+	In []BitSet
+	// Out[i] is the fact set at exit of block with Index i.
+	Out []BitSet
+}
+
+// Forward solves a forward dataflow problem to fixpoint: nfacts is the
+// fact-domain size, entry the boundary set at the function entry, and
+// transfer the per-block flow function. Worklist order is reverse
+// postorder, so loop-free graphs converge in one pass.
+func Forward(g *cfg.Graph, nfacts int, join Join, entry BitSet, transfer Transfer) *Result {
+	n := len(g.Blocks)
+	res := &Result{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	top := func() BitSet {
+		s := NewBitSet(nfacts)
+		if join == Intersect {
+			s.Fill(nfacts)
+		}
+		return s
+	}
+	for i := range res.In {
+		res.In[i] = top()
+	}
+	res.In[g.Entry.Index] = entry.Copy()
+
+	// Reverse postorder via DFS postorder reversal.
+	var post []*cfg.Block
+	seen := make([]bool, n)
+	var dfs func(b *cfg.Block)
+	dfs = func(b *cfg.Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	order := make([]*cfg.Block, len(post))
+	for i, b := range post {
+		order[len(post)-1-i] = b
+	}
+
+	inWork := make([]bool, n)
+	work := make([]*cfg.Block, 0, len(order))
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b.Index] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		if b != g.Entry {
+			in := top()
+			first := true
+			for _, p := range b.Preds {
+				if res.Out[p.Index] == nil {
+					continue // predecessor not yet evaluated
+				}
+				if first && join == Intersect {
+					copy(in, res.Out[p.Index])
+					first = false
+					continue
+				}
+				first = false
+				if join == Union {
+					in.UnionWith(res.Out[p.Index])
+				} else {
+					in.IntersectWith(res.Out[p.Index])
+				}
+			}
+			res.In[b.Index] = in
+		}
+		out := transfer(b, res.In[b.Index])
+		if res.Out[b.Index] == nil || !out.Equal(res.Out[b.Index]) {
+			res.Out[b.Index] = out
+			for _, s := range b.Succs {
+				if !inWork[s.Index] {
+					inWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	// Blocks never evaluated (unreachable) keep empty/top In and nil
+	// Out; normalize Out so callers can index freely.
+	for i := range res.Out {
+		if res.Out[i] == nil {
+			res.Out[i] = NewBitSet(nfacts)
+		}
+	}
+	return res
+}
+
+// GenKill solves a classic gen/kill problem: OUT = gen ∪ (IN − kill).
+func GenKill(g *cfg.Graph, nfacts int, join Join, entry BitSet, genkill func(b *cfg.Block) (gen, kill BitSet)) *Result {
+	gens := make([]BitSet, len(g.Blocks))
+	kills := make([]BitSet, len(g.Blocks))
+	for _, b := range g.Blocks {
+		gens[b.Index], kills[b.Index] = genkill(b)
+	}
+	return Forward(g, nfacts, join, entry, func(b *cfg.Block, in BitSet) BitSet {
+		out := in.Copy()
+		for i := range out {
+			out[i] = (out[i] &^ kills[b.Index][i]) | gens[b.Index][i]
+		}
+		return out
+	})
+}

@@ -1,0 +1,397 @@
+// Package errflow implements the bbvet error-flow analyzer: on the
+// storage and network write paths (internal/logstore, internal/segment,
+// internal/netingest), an error ASSIGNED from a durability-relevant
+// call — a WAL write, an fsync, a rename/remove, an Ingest commit —
+// must be consumed on EVERY path before it is overwritten or falls out
+// of scope.
+//
+// This is the dataflow upgrade of the durability analyzer: durability
+// catches results that are discarded outright (`f.Sync()`, `_ =
+// f.Sync()`); errflow catches the sneakier shape where the error is
+// bound to a name and then lost on one path —
+//
+//	err := w.flush()
+//	if fast {
+//		return nil        // flush error vanishes on this path
+//	}
+//	return err
+//
+// or clobbered before anyone looks at it —
+//
+//	err := os.Rename(tmp, final)
+//	err = dir.Sync()          // rename failure overwritten unchecked
+//
+// A "use" is any read of the variable: a comparison, a return, an
+// argument (errors.Join, fmt.Errorf, an ack helper), a consuming
+// assignment. The analysis is a per-definition may-reach dataflow over
+// the function CFG (internal/lint/cfg + internal/lint/dataflow):
+// definition facts are generated at the assignment, killed by any use,
+// and reported if they survive to a redefinition (overwrite) or to the
+// function exit (dropped). Variables captured by a closure or having
+// their address taken are exempt — the closure may consume them later.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bytebrain/internal/lint"
+	"bytebrain/internal/lint/cfg"
+	"bytebrain/internal/lint/dataflow"
+)
+
+// Analyzer is the error-flow analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:     "errflow",
+	Doc:      "a durability-relevant error must be consumed on every path before overwrite or scope exit",
+	Packages: []string{"internal/logstore", "internal/segment", "internal/netingest"},
+	Run:      run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body, fn.Type)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body, fn.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// defFact is one tracked definition: an error variable assigned from a
+// durability-relevant call.
+type defFact struct {
+	obj   types.Object
+	pos   token.Pos
+	label string
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt, ftype *ast.FuncType) {
+	g := cfg.New(body)
+
+	// Variables referenced inside nested closures or address-taken are
+	// exempt: their consumption may happen outside this CFG.
+	exempt := exemptObjects(pass, body)
+
+	// Named results: a bare `return` implicitly reads them.
+	named := namedResults(pass, ftype)
+
+	// Collect definition facts.
+	var defs []defFact
+	defIndex := map[token.Pos]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				obj, label, ok := durabilityDef(pass, as)
+				if !ok || exempt[obj] {
+					return true
+				}
+				defIndex[as.Pos()] = len(defs)
+				defs = append(defs, defFact{obj: obj, pos: as.Pos(), label: label})
+				return true
+			})
+		}
+	}
+	if len(defs) == 0 {
+		return
+	}
+
+	factsOf := func(s dataflow.BitSet, obj types.Object) []int {
+		var out []int
+		for i, d := range defs {
+			if d.obj == obj && s.Has(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	apply := func(b *cfg.Block, in dataflow.BitSet, report bool) dataflow.BitSet {
+		s := in.Copy()
+		for _, n := range b.Nodes {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					// RHS reads happen before the LHS write.
+					for _, r := range m.Rhs {
+						useIdents(pass, r, defs, &s)
+					}
+					// Index/selector expressions on the left still read
+					// their bases; only the plain ident LHS is a write.
+					for _, l := range m.Lhs {
+						if _, ok := l.(*ast.Ident); !ok {
+							useIdents(pass, l, defs, &s)
+						}
+					}
+					for _, l := range m.Lhs {
+						id, ok := l.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := pass.Info.Uses[id]
+						if obj == nil {
+							continue // := definition of a fresh object
+						}
+						if live := factsOf(s, obj); len(live) > 0 {
+							if report {
+								for _, i := range live {
+									pass.Reportf(m.Pos(), "error from %s (line %d) may be overwritten before it is checked",
+										defs[i].label, pass.Fset.Position(defs[i].pos).Line)
+								}
+							}
+							for _, i := range live {
+								s.Clear(i)
+							}
+						}
+					}
+					// Finally, generate the fact if this assignment IS a
+					// tracked definition.
+					if i, ok := defIndex[m.Pos()]; ok {
+						s.Set(i)
+					}
+					return false // children handled above
+				case *ast.ReturnStmt:
+					if len(m.Results) == 0 {
+						// Bare return reads the named results.
+						for obj := range named {
+							for _, i := range factsOf(s, obj) {
+								s.Clear(i)
+							}
+						}
+					}
+					return true
+				case *ast.Ident:
+					useIdent(pass, m, defs, &s)
+					return true
+				}
+				return true
+			})
+		}
+		return s
+	}
+
+	res := dataflow.Forward(g, len(defs), dataflow.Union, dataflow.NewBitSet(len(defs)),
+		func(b *cfg.Block, in dataflow.BitSet) dataflow.BitSet { return apply(b, in, false) })
+
+	// Report overwrites on the fixpoint.
+	for _, b := range g.Blocks {
+		if b != g.Entry && len(b.Preds) == 0 {
+			continue
+		}
+		apply(b, res.In[b.Index], true)
+	}
+	// Report definitions that may reach the exit unread.
+	for i, d := range defs {
+		if res.In[g.Exit.Index].Has(i) {
+			pass.Reportf(d.pos, "error from %s is dropped on at least one path to return; check it or hand it on (return/errors.Join/ack)", d.label)
+		}
+	}
+}
+
+// useIdents kills facts for every tracked identifier read inside e.
+func useIdents(pass *lint.Pass, e ast.Expr, defs []defFact, s *dataflow.BitSet) {
+	cfg.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			useIdent(pass, id, defs, s)
+		}
+		return true
+	})
+}
+
+func useIdent(pass *lint.Pass, id *ast.Ident, defs []defFact, s *dataflow.BitSet) {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	for i, d := range defs {
+		if d.obj == obj {
+			s.Clear(i)
+		}
+	}
+}
+
+// durabilityDef reports whether as assigns the error result of a
+// durability-relevant call to a plain identifier, returning the
+// variable's object and a label for messages.
+func durabilityDef(pass *lint.Pass, as *ast.AssignStmt) (types.Object, string, bool) {
+	if len(as.Rhs) != 1 {
+		return nil, "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	label, ok := durabilityCall(pass, call)
+	if !ok {
+		return nil, "", false
+	}
+	// Find the error component of the call's type and its LHS ident.
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil, "", false
+	}
+	errIdx := -1
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				errIdx = i
+			}
+		}
+	} else if isErrorType(tv.Type) {
+		errIdx = 0
+	}
+	if errIdx < 0 || errIdx >= len(as.Lhs) {
+		return nil, "", false
+	}
+	id, ok := as.Lhs[errIdx].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, "", false
+	}
+	var obj types.Object
+	if as.Tok == token.DEFINE {
+		obj = pass.Info.Defs[id]
+	} else {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, label, true
+}
+
+// durabilityCall reports whether call is durability-relevant: the same
+// target set as the durability analyzer, plus the netingest Ingest
+// commit hook.
+func durabilityCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	// os.Rename / Remove / RemoveAll / Truncate.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			if obj.Imported().Path() == "os" {
+				switch name {
+				case "Rename", "Remove", "RemoveAll", "Truncate":
+					return "os." + name, true
+				}
+			}
+			return "", false
+		}
+	}
+	recv := typeOf(pass, sel.X)
+	if recv == nil {
+		return "", false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		// The netingest commit hook: a func-typed field named Ingest.
+		if name == "Ingest" {
+			if _, ok := recv.Underlying().(*types.Struct); ok {
+				return types.ExprString(sel.X) + ".Ingest", true
+			}
+		}
+		return "", false
+	}
+	obj := named.Obj()
+	label := types.ExprString(sel.X) + "." + name
+	// (*os.File).Sync / Close.
+	if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+		if name == "Sync" || name == "Close" {
+			return label, true
+		}
+		return "", false
+	}
+	// Error-returning methods on the package's WAL types, and the
+	// Config.Ingest commit hook (netingest).
+	if obj.Pkg() == pass.Pkg {
+		switch obj.Name() {
+		case "walWriter", "walSink":
+			return label, true
+		case "Config":
+			if name == "Ingest" {
+				return label, true
+			}
+		}
+	}
+	return "", false
+}
+
+// exemptObjects returns objects referenced inside nested function
+// literals or with their address taken anywhere in body.
+func exemptObjects(pass *lint.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	depth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if depth == 0 {
+				mark(n.Body)
+			}
+			depth++
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// namedResults returns the objects of the function's named results.
+func namedResults(pass *lint.Pass, ftype *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ftype == nil || ftype.Results == nil {
+		return out
+	}
+	for _, f := range ftype.Results.List {
+		for _, name := range f.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func typeOf(pass *lint.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,13 @@
+package errflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/errflow"
+	"bytebrain/internal/lint/linttest"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	linttest.Run(t, errflow.Analyzer, filepath.Join("testdata", "src", "errfix"))
+}

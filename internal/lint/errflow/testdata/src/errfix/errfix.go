@@ -1,0 +1,87 @@
+// Fixture for the error-flow analyzer: durability errors bound to a
+// variable and then lost. The bad shapes drop the error on one path or
+// clobber it before any read; the good shapes check it, return it, join
+// it, or hand it to a closure.
+package errfix
+
+import (
+	"errors"
+	"os"
+)
+
+// walWriter mirrors the storage WAL writer: its error results are
+// durability-relevant by type name.
+type walWriter struct {
+	f *os.File
+}
+
+func (w *walWriter) flush() error                 { return w.f.Sync() }
+func (w *walWriter) append(s string) (int, error) { return len(s), nil }
+
+// dropOnFastPath loses the flush error when fast is true: the early
+// return never reads err.
+func dropOnFastPath(w *walWriter, fast bool) error {
+	err := w.flush() // want "error from w.flush is dropped on at least one path to return"
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// clobbered overwrites the rename error before anything reads it, so a
+// failed rename is silently replaced by the (likely nil) sync error.
+func clobbered(dir *os.File, tmp, final string) error {
+	err := os.Rename(tmp, final)
+	err = dir.Sync() // want "error from os.Rename" "may be overwritten before it is checked"
+	return err
+}
+
+// checkedInline is the canonical good shape.
+func checkedInline(w *walWriter) error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// joined consumes both errors through errors.Join.
+func joined(w *walWriter, f *os.File) error {
+	werr := w.flush()
+	serr := f.Sync()
+	return errors.Join(werr, serr)
+}
+
+// tupleResult tracks the error component of a multi-result call.
+func tupleResult(w *walWriter, s string) (int, error) {
+	n, err := w.append(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// namedResult reads the named result implicitly through a bare return.
+func namedResult(w *walWriter) (err error) {
+	err = w.flush()
+	return
+}
+
+// captured is exempt: the closure may consume err after this function
+// has built it.
+func captured(w *walWriter) func() error {
+	var err error
+	later := func() error { return err }
+	err = w.flush()
+	return later
+}
+
+// reassignedAfterCheck is fine: every definition is read before the
+// next one lands.
+func reassignedAfterCheck(w *walWriter, f *os.File) error {
+	err := w.flush()
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	return err
+}

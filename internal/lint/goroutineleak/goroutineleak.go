@@ -1,0 +1,321 @@
+// Package goroutineleak implements the bbvet goroutine-termination
+// analyzer: in internal/service, internal/logstore and
+// internal/netingest, every goroutine started with `go` that runs an
+// unbounded loop must observe a termination signal somewhere in its
+// (transitive, same-package) body. This encodes the PR 7 leaked-
+// listener class: an accept/serve loop that nothing can ever stop keeps
+// a socket, a buffer pool and a connection map alive after Close.
+//
+// A goroutine body is the called function literal, or the package-local
+// function/method a `go f(...)` statement names; the scan follows
+// static same-package calls (and nested literals, which run inside the
+// goroutine or on goroutines it spawns) with a visited set.
+//
+// "Unbounded loop" means a `for`/`for cond` loop with no iteration
+// bound the analyzer can see: a three-clause for or a range over a
+// slice/map/array/integer is bounded; `for {}` and `for someCond()`
+// are not. A range over a channel is unbounded but is its own
+// termination signal (it ends when the channel closes).
+//
+// Termination signals, any one of which clears the goroutine:
+//
+//   - a channel receive, a range over a channel, or a select statement
+//     (a closed channel unblocks all three);
+//   - ctx.Done() / ctx.Err() on a context.Context;
+//   - a Load on a sync/atomic value (the Close-toggled-flag idiom);
+//   - a blocking accept/read whose error or ok result is actually
+//     consumed: Accept/Read*/Scan on a net/bufio/io value (or
+//     io.ReadFull and friends) with the error result bound to a
+//     non-blank name, or a bool Scan used as a loop/if condition.
+//     Close kicks these calls loose (closed listener, read deadline),
+//     which is exactly how the netingest reader goroutines wind down —
+//     but only if the code looks at the result, which is what the PR 7
+//     fixture gets wrong.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bytebrain/internal/lint"
+)
+
+// Analyzer is the goroutine-termination analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:     "goroutineleak",
+	Doc:      "every go statement's unbounded loop must observe a termination signal",
+	Packages: []string{"internal/service", "internal/logstore", "internal/netingest"},
+	Run:      run,
+}
+
+func run(pass *lint.Pass) error {
+	// Index the package's function declarations by object so `go s.f()`
+	// resolves to f's body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, decls, gs)
+			if body == nil {
+				return true // external or dynamic callee: nothing to prove
+			}
+			sc := &scanner{pass: pass, decls: decls, seen: map[*ast.BlockStmt]bool{}}
+			sc.scan(body)
+			if sc.unbounded && !sc.signal {
+				pass.Reportf(gs.Pos(), "goroutine runs an unbounded loop but never observes a termination signal (channel close, context, atomic flag, or checked accept/read error); it cannot be shut down")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the body a go statement runs: a literal's body, or
+// the declaration of a package-local function/method.
+func goBody(pass *lint.Pass, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd, ok := decls[pass.Info.Uses[fun]]; ok {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[fun]; ok {
+			if fd, ok := decls[s.Obj()]; ok {
+				return fd.Body
+			}
+		}
+		if fd, ok := decls[pass.Info.Uses[fun.Sel]]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// scanner walks a goroutine's transitive body recording whether it has
+// an unbounded loop and whether it observes a termination signal.
+type scanner struct {
+	pass  *lint.Pass
+	decls map[types.Object]*ast.FuncDecl
+	seen  map[*ast.BlockStmt]bool
+
+	unbounded bool
+	signal    bool
+}
+
+func (sc *scanner) scan(body *ast.BlockStmt) {
+	if sc.seen[body] {
+		return
+	}
+	sc.seen[body] = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			// Bounded only when all three clauses spell out an induction:
+			// init+cond+post is the canonical counted loop. Everything
+			// else is assumed unbounded.
+			if n.Init == nil || n.Cond == nil || n.Post == nil {
+				sc.unbounded = true
+			}
+			if n.Cond != nil && sc.checkedIOCond(n.Cond) {
+				sc.signal = true
+			}
+		case *ast.RangeStmt:
+			if sc.isChan(n.X) {
+				sc.unbounded = true
+				sc.signal = true // ends when the channel closes
+			}
+		case *ast.SelectStmt:
+			sc.signal = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				sc.signal = true
+			}
+		case *ast.IfStmt:
+			if sc.checkedIOCond(n.Cond) {
+				sc.signal = true
+			}
+		case *ast.AssignStmt:
+			if sc.checkedIOAssign(n) {
+				sc.signal = true
+			}
+		case *ast.CallExpr:
+			sc.call(n)
+		}
+		return true
+	})
+}
+
+// call classifies one call: context/atomic signals, and recursion into
+// same-package callees.
+func (sc *scanner) call(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fd, ok := sc.decls[sc.pass.Info.Uses[fun]]; ok {
+			sc.scan(fd.Body)
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if recv := sc.typeOf(fun.X); recv != nil {
+			switch {
+			case (name == "Done" || name == "Err") && typeInPkg(recv, "context"):
+				sc.signal = true
+				return
+			case name == "Load" && typeInPkg(recv, "sync/atomic"):
+				sc.signal = true
+				return
+			}
+		}
+		// atomic.LoadInt32(&x) style package calls.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := sc.pass.Info.Uses[id].(*types.PkgName); ok {
+				if pkg.Imported().Path() == "sync/atomic" && strings.HasPrefix(name, "Load") {
+					sc.signal = true
+					return
+				}
+			}
+		}
+		if s, ok := sc.pass.Info.Selections[fun]; ok {
+			if fd, ok := sc.decls[s.Obj()]; ok {
+				sc.scan(fd.Body)
+			}
+		}
+	}
+}
+
+// checkedIOAssign reports whether n binds the error result of a
+// blocking accept/read call to a non-blank name.
+func (sc *scanner) checkedIOAssign(n *ast.AssignStmt) bool {
+	if len(n.Rhs) != 1 {
+		return false
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok || !sc.isBlockingIO(call) {
+		return false
+	}
+	tv, ok := sc.pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	// Find the error component and require its LHS to be non-blank.
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len() && i < len(n.Lhs); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				id, ok := n.Lhs[i].(*ast.Ident)
+				return ok && id.Name != "_"
+			}
+		}
+		return false
+	}
+	if isErrorType(tv.Type) && len(n.Lhs) == 1 {
+		id, ok := n.Lhs[0].(*ast.Ident)
+		return ok && id.Name != "_"
+	}
+	return false
+}
+
+// checkedIOCond reports whether cond consumes a blocking call's result
+// directly (for sc.Scan() { ... }, if err := conn.Read(..); err != nil).
+func (sc *scanner) checkedIOCond(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && sc.isBlockingIO(call) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// blockingIONames are the method names whose return the runtime uses to
+// signal a closed listener/conn/stream.
+var blockingIONames = map[string]bool{
+	"Accept": true, "Read": true, "ReadFull": true, "ReadByte": true,
+	"ReadString": true, "ReadBytes": true, "ReadRune": true,
+	"ReadFrom": true, "ReadAll": true, "Scan": true, "Copy": true,
+}
+
+// isBlockingIO reports whether call is a blocking accept/read on a
+// net/bufio/io/os value (or an io package function).
+func (sc *scanner) isBlockingIO(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !blockingIONames[sel.Sel.Name] {
+		return false
+	}
+	// io.ReadFull / io.Copy package functions.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := sc.pass.Info.Uses[id].(*types.PkgName); ok {
+			p := pkg.Imported().Path()
+			return p == "io" || p == "bufio" || p == "net"
+		}
+	}
+	recv := sc.typeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	switch {
+	case typeInPkg(recv, "net"), typeInPkg(recv, "bufio"), typeInPkg(recv, "io"), typeInPkg(recv, "os"):
+		return true
+	}
+	// Interfaces embedding io.Reader etc. declared locally still
+	// terminate on close; accept any interface with a matching method
+	// whose signature returns an error.
+	if _, ok := recv.Underlying().(*types.Interface); ok {
+		return true
+	}
+	return false
+}
+
+func (sc *scanner) typeOf(e ast.Expr) types.Type {
+	tv, ok := sc.pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func (sc *scanner) isChan(e ast.Expr) bool {
+	t := sc.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// typeInPkg reports whether t (or its pointee) is a named type declared
+// in the package with the given path.
+func typeInPkg(t types.Type, path string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

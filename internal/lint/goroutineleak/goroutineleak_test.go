@@ -1,0 +1,13 @@
+package goroutineleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/goroutineleak"
+	"bytebrain/internal/lint/linttest"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	linttest.Run(t, goroutineleak.Analyzer, filepath.Join("testdata", "src", "leakfix"))
+}

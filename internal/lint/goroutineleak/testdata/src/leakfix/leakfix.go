@@ -1,0 +1,128 @@
+// Fixture for the goroutine-termination analyzer. The bad shapes
+// reintroduce the PR 7 leaked-listener race — an accept loop that
+// blanks the Accept error, so Close() can never stop it — plus a bare
+// busy-spin. The good shapes are every shutdown idiom the real tree
+// uses: checked accept/read errors, range over a channel, select on a
+// done channel, a context, and an atomic flag.
+package leakfix
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync/atomic"
+)
+
+type Server struct {
+	ln     net.Listener
+	ch     chan string
+	doneCh chan struct{}
+	stop   atomic.Bool
+	n      int
+}
+
+// Start reintroduces the PR 7 bug: acceptLoop discards the Accept
+// error, so a closed listener just yields an error forever and the
+// goroutine (and the socket it pins) never exits.
+func (s *Server) Start() {
+	go s.acceptLoop() // want "goroutine runs an unbounded loop but never observes a termination signal"
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, _ := s.ln.Accept()
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// spin is the minimal leak: an infinite loop with no exit condition at
+// all.
+func (s *Server) spin() {
+	go func() { // want "goroutine runs an unbounded loop but never observes a termination signal"
+		for {
+			s.n++
+		}
+	}()
+}
+
+// StartFixed is the corrected accept loop: the error is bound and
+// checked, so Close() unblocks Accept and the goroutine returns.
+func (s *Server) StartFixed() {
+	go s.acceptFixed()
+}
+
+func (s *Server) acceptFixed() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle reads until the scanner fails (EOF, close kick, deadline);
+// the Scan result in the loop condition is the termination signal.
+func (s *Server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		s.ch <- sc.Text()
+	}
+	conn.Close()
+}
+
+// drain ends when the channel is closed: range over a channel is its
+// own termination signal.
+func (s *Server) drain() {
+	go func() {
+		for line := range s.ch {
+			_ = line
+		}
+	}()
+}
+
+// selectLoop observes the done channel every iteration.
+func (s *Server) selectLoop() {
+	go func() {
+		for {
+			select {
+			case <-s.doneCh:
+				return
+			case line := <-s.ch:
+				_ = line
+			}
+		}
+	}()
+}
+
+// ctxLoop polls the context; cancel stops it.
+func (s *Server) ctxLoop(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			s.n++
+		}
+	}()
+}
+
+// flagLoop checks an atomic flag toggled by Close.
+func (s *Server) flagLoop() {
+	go func() {
+		for {
+			if s.stop.Load() {
+				return
+			}
+			s.n++
+		}
+	}()
+}
+
+// bounded loops need no signal: the iteration count is the bound.
+func (s *Server) warmup() {
+	go func() {
+		for i := 0; i < 64; i++ {
+			s.n += i
+		}
+	}()
+}

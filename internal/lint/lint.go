@@ -21,6 +21,18 @@
 //	                  latency histograms expose seconds, no name is
 //	                  registered twice
 //
+// On top of those source-order checks sit four path-sensitive analyzers
+// built on the internal/lint/cfg + internal/lint/dataflow engine:
+//
+//	lockbalance     — every Lock is released on every exit path, no
+//	                  double-lock or unlock-without-lock
+//	goroutineleak   — every go statement's unbounded loop observes a
+//	                  termination signal (the PR 7 leaked-listener class)
+//	errflow         — a durability error is consumed on every path
+//	                  before overwrite or scope exit
+//	ackcommit       — a netingest OK ack is dominated by the store
+//	                  commit it reports
+//
 // Deliberate exceptions are suppressed in source with
 //
 //	//bbvet:ignore <analyzer> <reason>
@@ -37,12 +49,17 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one bbvet check. Run is invoked once per loaded package,
 // in deterministic (sorted import path) order; cross-package state lives
 // in Pass.Shared, which the driver threads through every Run of the same
-// analyzer.
+// analyzer. Distinct analyzers may run concurrently (see
+// RunAnalyzersParallel), so Run must not mutate anything reachable from
+// the packages; Pass.Shared is private to one analyzer and needs no
+// locking.
 type Analyzer struct {
 	// Name is the analyzer identifier used in findings and in
 	// //bbvet:ignore directives.
@@ -114,6 +131,9 @@ type Result struct {
 	// are findings in their own right: an exception without a recorded
 	// rationale defeats the audit trail.
 	BadDirectives []Finding
+	// Timings is per-analyzer wall time for the Run sweep (not counting
+	// package loading).
+	Timings map[string]time.Duration
 }
 
 // ignoreDirective is one parsed //bbvet:ignore comment.
@@ -163,39 +183,83 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[in
 // findings. enforceScope=false runs every analyzer on every package
 // regardless of its Packages filter (the golden-test harness uses this).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, enforceScope bool) (*Result, error) {
-	res := &Result{Suppressed: make(map[string]int)}
-	shared := make(map[string]map[string]any, len(analyzers))
-	for _, a := range analyzers {
-		shared[a.Name] = make(map[string]any)
-	}
+	return RunAnalyzersParallel(pkgs, analyzers, enforceScope, 1)
+}
+
+// runAnalyzer sweeps one analyzer over every package in order, with its
+// own Shared map and findings slice. The per-analyzer package order is
+// the pkgs order (sorted import path), which is what the Shared contract
+// promises.
+func runAnalyzer(a *Analyzer, pkgs []*Package, enforceScope bool) ([]Finding, time.Duration, error) {
+	start := time.Now()
+	shared := make(map[string]any)
 	var findings []Finding
-	var directives []map[string]map[int]*ignoreDirective
 	for _, pkg := range pkgs {
-		directives = append(directives, collectDirectives(pkg.Fset, pkg.Files))
-		for _, a := range analyzers {
-			if enforceScope && !a.AppliesTo(pkg.PkgPath) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Shared:   shared[a.Name],
-				findings: &findings,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
+		if enforceScope && !a.AppliesTo(pkg.PkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Shared:   shared,
+			findings: &findings,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, 0, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 		}
 	}
+	return findings, time.Since(start), nil
+}
+
+// RunAnalyzersParallel is RunAnalyzers with the analyzers fanned out
+// across up to workers goroutines. Each analyzer still sees packages
+// sequentially in sorted order (its Shared contract); parallelism is
+// between analyzers, whose passes never share mutable state. Output is
+// deterministic regardless of workers: findings are merged and sorted
+// the same way as the sequential run.
+func RunAnalyzersParallel(pkgs []*Package, analyzers []*Analyzer, enforceScope bool, workers int) (*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	type sweep struct {
+		findings []Finding
+		elapsed  time.Duration
+		err      error
+	}
+	sweeps := make([]sweep, len(analyzers))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f, d, err := runAnalyzer(a, pkgs, enforceScope)
+			sweeps[i] = sweep{f, d, err}
+		}(i, a)
+	}
+	wg.Wait()
+
+	res := &Result{Suppressed: make(map[string]int), Timings: make(map[string]time.Duration, len(analyzers))}
+	var findings []Finding
+	for i, a := range analyzers {
+		if sweeps[i].err != nil {
+			return nil, sweeps[i].err
+		}
+		findings = append(findings, sweeps[i].findings...)
+		res.Timings[a.Name] = sweeps[i].elapsed
+	}
+
 	// Apply suppressions across the union of every package's directives
 	// (findings always point into the package that produced them, so a
 	// directive can only match its own file anyway).
 	merged := make(map[string]map[int]*ignoreDirective)
-	for _, dm := range directives {
-		for file, byLine := range dm {
+	for _, pkg := range pkgs {
+		for file, byLine := range collectDirectives(pkg.Fset, pkg.Files) {
 			if merged[file] == nil {
 				merged[file] = byLine
 				continue

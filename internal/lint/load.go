@@ -10,8 +10,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -30,13 +32,30 @@ type Package struct {
 // importer. Analysis covers non-test files only — the invariants bbvet
 // encodes are production-code invariants, and tests legitimately ignore
 // errors and use non-bb_ metric names.
+//
+// The loader is safe for concurrent use: LoadAll fans package checks out
+// across workers, the per-path cache is singleflighted (the first caller
+// checks, everyone else waits on its result), and the compiler's source
+// importer — which is not concurrency-safe — sits behind its own mutex.
+// token.FileSet and completed *types.Packages are safe to share.
 type Loader struct {
 	ModRoot string
 	ModPath string
 	Fset    *token.FileSet
 
 	std   types.ImporterFrom
-	cache map[string]*Package
+	stdMu sync.Mutex // srcimporter is not safe for concurrent Import calls
+
+	mu    sync.Mutex
+	cache map[string]*loadEntry
+}
+
+// loadEntry singleflights one package load: the creator closes done when
+// pkg/err are final; late arrivals block on done instead of re-checking.
+type loadEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader builds a loader for the module rooted at modroot (the
@@ -67,12 +86,19 @@ func NewLoader(modroot string) (*Loader, error) {
 		ModPath: modpath,
 		Fset:    fset,
 		std:     std,
-		cache:   map[string]*Package{},
+		cache:   map[string]*loadEntry{},
 	}, nil
 }
 
-// LoadAll loads every package in the module, sorted by import path.
+// LoadAll loads every package in the module, sorted by import path,
+// fanning the type-checking out across GOMAXPROCS workers.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadAllParallel(runtime.GOMAXPROCS(0))
+}
+
+// LoadAllParallel is LoadAll with an explicit worker count. The result
+// order is always the sorted-import-path order regardless of workers.
+func (l *Loader) LoadAllParallel(workers int) ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModRoot, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -94,8 +120,14 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
+	if workers < 1 {
+		workers = 1
+	}
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.ModRoot, dir)
 		if err != nil {
 			return nil, err
@@ -104,11 +136,19 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		if rel != "." {
 			pkgPath = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.load(pkgPath, dir)
+		wg.Add(1)
+		go func(i int, pkgPath, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = l.load(pkgPath, dir)
+		}(i, pkgPath, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
@@ -128,11 +168,27 @@ func hasGoFiles(dir string) bool {
 }
 
 // load parses and type-checks the package in dir, caching by import
-// path so diamond imports check once.
+// path so diamond imports check once. Concurrent loads of the same path
+// coalesce: whoever creates the cache entry does the work, later
+// callers wait on it (the import graph is acyclic, so waiting cannot
+// deadlock).
 func (l *Loader) load(pkgPath, dir string) (*Package, error) {
-	if p, ok := l.cache[pkgPath]; ok {
-		return p, nil
+	l.mu.Lock()
+	if e, ok := l.cache[pkgPath]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
 	}
+	e := &loadEntry{done: make(chan struct{})}
+	l.cache[pkgPath] = e
+	l.mu.Unlock()
+	e.pkg, e.err = l.check(pkgPath, dir)
+	close(e.done)
+	return e.pkg, e.err
+}
+
+// check does the actual parse + type-check for load.
+func (l *Loader) check(pkgPath, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -165,16 +221,14 @@ func (l *Loader) load(pkgPath, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
 	}
-	p := &Package{
+	return &Package{
 		PkgPath: pkgPath,
 		Dir:     dir,
 		Fset:    l.Fset,
 		Files:   files,
 		Types:   tpkg,
 		Info:    info,
-	}
-	l.cache[pkgPath] = p
-	return p, nil
+	}, nil
 }
 
 // moduleImporter resolves module-internal imports directly and defers
@@ -200,5 +254,9 @@ func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) 
 		}
 		return p.Types, nil
 	}
+	// The compiler's source importer mutates internal state on every
+	// Import; serialize it (it memoizes, so contention is first-hit only).
+	m.stdMu.Lock()
+	defer m.stdMu.Unlock()
 	return m.std.ImportFrom(path, srcDir, mode)
 }

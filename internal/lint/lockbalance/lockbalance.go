@@ -1,0 +1,281 @@
+// Package lockbalance implements the bbvet lock-balance analyzer: in
+// internal/service, internal/logstore and internal/netingest, every
+// sync.Mutex/RWMutex Lock must be released on EVERY path out of the
+// function — by a defer or per-branch Unlocks — and no path may Lock a
+// mutex it already holds or Unlock one it does not.
+//
+// This is the path-sensitive upgrade of lockblock's source-order
+// tracking: the analysis runs a may-held forward dataflow over the
+// function's CFG (internal/lint/cfg + internal/lint/dataflow), so an
+// Unlock inside one branch no longer hides a leak on the sibling
+// branch. Facts are Lock call sites; an Unlock or defer Unlock of the
+// same mutex expression kills them. At the function exit, any site
+// still (possibly) held is a finding, reported at the Lock itself.
+//
+// Approximations, deliberate:
+//
+//   - mutexes are keyed by the source expression (s.mu, c.wmu); an
+//     aliased copy (m := &s.mu) is tracked as a separate lock;
+//   - a defer mu.Unlock() releases the lock for balance purposes at the
+//     defer statement (it is guaranteed to run at exit of every path
+//     that executed it), so a re-Lock after a deferred unlock is not
+//     flagged as a double-lock;
+//   - RLock/RUnlock balance is checked (keyed separately from the write
+//     side), but double-RLock is not flagged: concurrent read locks are
+//     legal and recursive read helpers are common.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bytebrain/internal/lint"
+	"bytebrain/internal/lint/cfg"
+	"bytebrain/internal/lint/dataflow"
+)
+
+// Analyzer is the lock-balance analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:     "lockbalance",
+	Doc:      "every Lock is released on every exit path; no double-lock or unlock-without-lock",
+	Packages: []string{"internal/service", "internal/logstore", "internal/netingest"},
+	Run:      run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every function body in the file: declarations
+// plus all nested function literals (each literal is its own critical-
+// section scope — it usually runs on another goroutine or at defer
+// time).
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp is one Lock/Unlock event inside a block node.
+type lockOp struct {
+	key      string // mutex expression, "R:"-prefixed for the read side
+	acquire  bool
+	read     bool
+	deferred bool
+	pos      token.Pos
+	label    string // expression text for messages
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Collect lock ops per block node, in source order, and assign a
+	// fact index to every acquisition site.
+	type nodeOps struct{ ops []lockOp }
+	opsFor := make(map[ast.Node]*nodeOps)
+	var sites []lockOp
+	siteIndex := map[token.Pos]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			no := &nodeOps{}
+			collectOps(pass, n, &no.ops)
+			if len(no.ops) > 0 {
+				opsFor[n] = no
+				for _, op := range no.ops {
+					if op.acquire {
+						siteIndex[op.pos] = len(sites)
+						sites = append(sites, op)
+					}
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	sameKey := func(s dataflow.BitSet, key string) (int, bool) {
+		for i, site := range sites {
+			if site.key == key && s.Has(i) {
+				return i, true
+			}
+		}
+		return -1, false
+	}
+
+	apply := func(b *cfg.Block, in dataflow.BitSet, report bool) dataflow.BitSet {
+		s := in.Copy()
+		for _, n := range b.Nodes {
+			no := opsFor[n]
+			if no == nil {
+				continue
+			}
+			for _, op := range no.ops {
+				if op.acquire {
+					if report && !op.read {
+						if j, held := sameKey(s, op.key); held {
+							pass.Reportf(op.pos, "%s.Lock while the same mutex may already be held (locked at line %d): possible self-deadlock",
+								op.label, pass.Fset.Position(sites[j].pos).Line)
+						}
+					}
+					s.Set(siteIndex[op.pos])
+					continue
+				}
+				// Release (immediate or deferred): kill every held site of
+				// the same mutex.
+				if _, held := sameKey(s, op.key); !held && report && !op.deferred {
+					verb := "Unlock"
+					if op.read {
+						verb = "RUnlock"
+					}
+					pass.Reportf(op.pos, "%s.%s without a matching lock held on this path", op.label, verb)
+				}
+				for i, site := range sites {
+					if site.key == op.key {
+						s.Clear(i)
+					}
+				}
+			}
+		}
+		return s
+	}
+
+	res := dataflow.Forward(g, len(sites), dataflow.Union, dataflow.NewBitSet(len(sites)),
+		func(b *cfg.Block, in dataflow.BitSet) dataflow.BitSet { return apply(b, in, false) })
+
+	// Verification pass: re-walk each reachable block once with its
+	// fixpoint IN set, reporting double-locks and unmatched unlocks.
+	g.Dominators()
+	for _, b := range g.Blocks {
+		if b != g.Entry && len(b.Preds) == 0 {
+			continue // unreachable
+		}
+		apply(b, res.In[b.Index], true)
+	}
+
+	// Exit balance: any acquisition site still (possibly) held when the
+	// function returns is a leak on at least one path.
+	for i, site := range sites {
+		if res.In[g.Exit.Index].Has(i) {
+			verb := "Lock"
+			if site.read {
+				verb = "RLock"
+			}
+			pass.Reportf(site.pos, "%s.%s is not released on every path out of the function", site.label, verb)
+		}
+	}
+}
+
+// collectOps appends the mutex operations inside node n in source order.
+func collectOps(pass *lint.Pass, n ast.Node, out *[]lockOp) {
+	var walk func(m ast.Node) bool
+	walk = func(m ast.Node) bool {
+		if d, ok := m.(*ast.DeferStmt); ok {
+			// The deferred call's op is a release-at-exit; anything else
+			// deferred is still scanned normally.
+			if op, ok := mutexOp(pass, d.Call); ok {
+				op.deferred = true
+				if op.acquire {
+					// defer mu.Lock() is pathological; treat as immediate
+					// so the imbalance surfaces at exit.
+					op.deferred = false
+				}
+				*out = append(*out, op)
+				return false
+			}
+			return true
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := mutexOp(pass, call); ok {
+			*out = append(*out, op)
+		}
+		return true
+	}
+	cfg.Inspect(n, walk)
+}
+
+// mutexOp reports whether call is a Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex, sync.RWMutex or sync.Locker.
+func mutexOp(pass *lint.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	var acquire, read bool
+	switch name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	if !isSyncLock(pass, sel) {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	if read {
+		key = "R:" + key
+	}
+	return lockOp{
+		key:     key,
+		acquire: acquire,
+		read:    read,
+		pos:     call.Pos(),
+		label:   types.ExprString(sel.X),
+	}, true
+}
+
+// isSyncLock reports whether the selected method is declared by
+// package sync (covers embedded mutexes and sync.Locker values).
+func isSyncLock(pass *lint.Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := pass.Info.Selections[sel]; ok {
+		obj := s.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+	}
+	// Fallback: type of the receiver expression.
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package lockbalance_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bytebrain/internal/lint/linttest"
+	"bytebrain/internal/lint/lockbalance"
+)
+
+func TestGoldenFindings(t *testing.T) {
+	res := linttest.Run(t, lockbalance.Analyzer, filepath.Join("testdata", "src", "lockfix"))
+	if got := res.Suppressed["lockbalance"]; got != 1 {
+		t.Errorf("suppressed count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Fixture for the lock-balance analyzer: path-sensitive Lock/Unlock
+// pairing. The bad shapes are a lock leaked on an early-return path, a
+// double-lock, and an unlock with no lock held; the good shapes are
+// defer, per-branch balance, loops, and read locks.
+package lockfix
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type store struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	n     int
+}
+
+// leakOnError leaks the mutex when fail is true: the early return path
+// never unlocks.
+func (s *store) leakOnError(fail bool) error {
+	s.mu.Lock() // want "s.mu.Lock is not released on every path out of the function"
+	if fail {
+		return errFail
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// doubleLock re-locks a mutex the same goroutine already holds.
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "possible self-deadlock"
+	s.mu.Unlock()
+}
+
+// unlockTwice releases a mutex that is no longer held.
+func (s *store) unlockTwice() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want "s.mu.Unlock without a matching lock held on this path"
+}
+
+// readLeak leaks the read lock on the early-return path.
+func (s *store) readLeak(c bool) int {
+	s.state.RLock() // want "s.state.RLock is not released on every path out of the function"
+	if c {
+		return 1
+	}
+	s.state.RUnlock()
+	return 0
+}
+
+// deferred is the canonical good shape.
+func (s *store) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// branchBalanced unlocks on each path separately; no defer needed.
+func (s *store) branchBalanced(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.n = 0
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// loopBalanced locks and unlocks inside every iteration.
+func (s *store) loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// relock is legal after a full release: not a double-lock.
+func (s *store) relock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.n--
+	s.mu.Unlock()
+}
+
+// readThenWrite keys the read and write sides separately.
+func (s *store) readThenWrite() int {
+	s.state.RLock()
+	v := s.n
+	s.state.RUnlock()
+	s.state.Lock()
+	s.n = v + 1
+	s.state.Unlock()
+	return v
+}
+
+// lockForCaller hands the lock to its caller by contract; the leak
+// finding is suppressed with a reason.
+func (s *store) lockForCaller() {
+	//bbvet:ignore lockbalance lock intentionally handed to the caller; released by storeUnlock
+	s.mu.Lock()
+}
+
+func (s *store) storeUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}

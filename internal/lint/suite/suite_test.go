@@ -10,8 +10,8 @@ import (
 )
 
 func TestSuiteSize(t *testing.T) {
-	if n := len(suite.Analyzers()); n < 5 {
-		t.Fatalf("suite has %d analyzers, the bbvet contract is at least 5", n)
+	if n := len(suite.Analyzers()); n < 9 {
+		t.Fatalf("suite has %d analyzers, the bbvet contract is at least 9", n)
 	}
 }
 
@@ -35,7 +35,7 @@ func TestTreeIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := lint.RunAnalyzers(pkgs, suite.Analyzers(), true)
+	res, err := lint.RunAnalyzersParallel(pkgs, suite.Analyzers(), true, runtime.GOMAXPROCS(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,5 +44,25 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	for _, f := range res.BadDirectives {
 		t.Errorf("malformed suppression: %s", f)
+	}
+
+	// The parallel sweep must be a pure speedup: same findings, same
+	// suppression counts as the sequential driver.
+	seq, err := lint.RunAnalyzers(pkgs, suite.Analyzers(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Findings) != len(res.Findings) {
+		t.Errorf("sequential run found %d findings, parallel %d", len(seq.Findings), len(res.Findings))
+	}
+	for i := range seq.Findings {
+		if i < len(res.Findings) && seq.Findings[i] != res.Findings[i] {
+			t.Errorf("finding %d differs: sequential %s, parallel %s", i, seq.Findings[i], res.Findings[i])
+		}
+	}
+	for name, n := range seq.Suppressed {
+		if res.Suppressed[name] != n {
+			t.Errorf("suppressed[%s]: sequential %d, parallel %d", name, n, res.Suppressed[name])
+		}
 	}
 }
