@@ -1,0 +1,675 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fault sentinels. A fault hook returns one of these (or any other
+// error) to script what the N-th filesystem operation does:
+//
+//   - ErrPowerCut simulates pulling the plug at that operation: the
+//     operation fails, every later operation fails, and Restart()
+//     rebuilds the filesystem from its durable (synced) image.
+//   - ErrTornWrite makes a Write persist only the first half of its
+//     buffer and then fail — the short-write shape a full or failing
+//     disk produces.
+//   - ErrLieSync makes a Sync report success WITHOUT making the bytes
+//     durable, modeling hardware/volatile-cache fsync lies. The lie is
+//     only observable through a later crash image.
+//
+// Any other error (for example ErrNoSpace) simply fails the operation.
+var (
+	ErrPowerCut  = errors.New("fsx: simulated power cut")
+	ErrTornWrite = errors.New("fsx: torn write")
+	ErrLieSync   = errors.New("fsx: lying fsync")
+)
+
+// OpKind classifies a filesystem operation for fault hooks.
+type OpKind uint8
+
+// Operation kinds, in no particular order. Every FS and File method
+// counts as exactly one operation (one hook consultation) per call.
+const (
+	OpCreate OpKind = iota
+	OpOpen
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpTruncate
+	OpReadDir
+	OpMkdirAll
+	OpStat
+	OpSyncDir
+	OpReadFile
+	OpWriteFile
+)
+
+var opNames = [...]string{
+	OpCreate: "create", OpOpen: "open", OpRead: "read", OpWrite: "write",
+	OpSync: "sync", OpClose: "close", OpRename: "rename", OpRemove: "remove",
+	OpTruncate: "truncate", OpReadDir: "readdir", OpMkdirAll: "mkdirall",
+	OpStat: "stat", OpSyncDir: "syncdir", OpReadFile: "readfile",
+	OpWriteFile: "writefile",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// OpInfo describes one filesystem operation to a fault hook.
+type OpInfo struct {
+	// Index is the 1-based sequence number of this operation since the
+	// FaultFS was created. The counter is monotone across Restart.
+	Index int64
+	Kind  OpKind
+	Path  string
+}
+
+// Hook inspects an operation about to execute and returns nil to let
+// it proceed or an error to inject a fault (see the sentinels above).
+type Hook func(OpInfo) error
+
+// memFile is the backing object for one file. Entries reference the
+// object, so a rename preserves content identity. data is the live
+// content; synced is how much of it is durable — a crash image
+// truncates the file to its synced prefix.
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// memDir is one directory: the live entry map mutates immediately, the
+// durable map only through SyncDir (in StrictDirs mode) and is what a
+// crash image restores.
+type memDir struct {
+	live    map[string]*memFile
+	durable map[string]*memFile
+}
+
+func newMemDir() *memDir {
+	return &memDir{live: map[string]*memFile{}, durable: map[string]*memFile{}}
+}
+
+// FaultFS is a deterministic in-memory FS with scripted fault
+// injection and crash-image semantics. Zero value is not usable; call
+// NewFaultFS.
+//
+// Durability model:
+//   - File bytes are durable up to the last successful Sync (the
+//     synced prefix). Restart truncates every file to it.
+//   - Directory entries (create/rename/remove) are durable immediately
+//     by default; with StrictDirs they are durable only after a
+//     SyncDir of the containing directory — the strict POSIX model the
+//     crash matrix runs under.
+//   - Directories themselves (MkdirAll) are durable immediately; the
+//     engine creates them once at open and recreates them on reopen,
+//     so modeling torn mkdir adds nothing.
+type FaultFS struct {
+	// StrictDirs makes entry operations durable only after SyncDir.
+	// Set before use; not synchronized.
+	StrictDirs bool
+
+	mu   sync.Mutex
+	dirs map[string]*memDir
+	ops  int64
+	hook Hook
+	down bool
+}
+
+// NewFaultFS returns an empty fault-injecting filesystem.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{dirs: map[string]*memDir{}}
+}
+
+// SetHook installs the fault hook consulted (under the FS lock) by
+// every subsequent operation. Passing nil clears it.
+func (f *FaultFS) SetHook(h Hook) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = h
+}
+
+// CrashAt arms a power cut at exactly operation index k.
+func (f *FaultFS) CrashAt(k int64) {
+	f.SetHook(func(op OpInfo) error {
+		if op.Index == k {
+			return ErrPowerCut
+		}
+		return nil
+	})
+}
+
+// FailAt arms a one-shot fault: operation index k fails with err;
+// everything else proceeds.
+func (f *FaultFS) FailAt(k int64, err error) {
+	f.SetHook(func(op OpInfo) error {
+		if op.Index == k {
+			return err
+		}
+		return nil
+	})
+}
+
+// Ops returns the number of operations attempted so far (faulted
+// operations count; operations refused because the FS is down after a
+// power cut do not).
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Down reports whether a power cut has downed the filesystem.
+func (f *FaultFS) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// Restart simulates the machine coming back after a power cut: live
+// state is discarded, every directory reverts to its durable entry
+// map, every file truncates to its synced prefix, and the FS is
+// writable again. The operation counter keeps counting (so an armed
+// exact-index hook does not re-fire) and the hook stays installed.
+func (f *FaultFS) Restart() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = false
+	for _, d := range f.dirs {
+		live := make(map[string]*memFile, len(d.durable))
+		for name, mf := range d.durable {
+			if mf.synced < len(mf.data) {
+				mf.data = mf.data[:mf.synced]
+			}
+			live[name] = mf
+		}
+		d.live = live
+	}
+}
+
+// op counts one operation and consults the hook. Callers hold f.mu.
+func (f *FaultFS) op(kind OpKind, path string) error {
+	if f.down {
+		return &fs.PathError{Op: kind.String(), Path: path, Err: ErrPowerCut}
+	}
+	f.ops++
+	if f.hook == nil {
+		return nil
+	}
+	err := f.hook(OpInfo{Index: f.ops, Kind: kind, Path: path})
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrPowerCut) {
+		f.down = true
+	}
+	return err
+}
+
+func clean(name string) string { return filepath.Clean(name) }
+
+// dir returns the directory holding name's entry, or nil.
+func (f *FaultFS) dirOf(name string) (*memDir, string) {
+	d := f.dirs[clean(filepath.Dir(name))]
+	return d, filepath.Base(name)
+}
+
+// entryDurable records an entry-map mutation as durable when the FS is
+// in lenient mode; in StrictDirs mode durable maps change only via
+// SyncDir.
+func (f *FaultFS) entrySync(d *memDir) {
+	if f.StrictDirs {
+		return
+	}
+	d.durable = make(map[string]*memFile, len(d.live))
+	for k, v := range d.live {
+		d.durable[k] = v
+	}
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpMkdirAll, path); err != nil {
+		return err
+	}
+	f.mkdirAllLocked(path)
+	return nil
+}
+
+func (f *FaultFS) mkdirAllLocked(path string) {
+	p := clean(path)
+	for {
+		if _, ok := f.dirs[p]; !ok {
+			f.dirs[p] = newMemDir()
+		}
+		parent := filepath.Dir(p)
+		if parent == p {
+			return
+		}
+		p = parent
+	}
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	return f.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	kind := OpOpen
+	if flag&os.O_CREATE != 0 {
+		kind = OpCreate
+	}
+	if err := f.op(kind, name); err != nil {
+		return nil, err
+	}
+	d, base := f.dirOf(name)
+	if d == nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	if _, isDir := f.dirs[clean(name)]; isDir {
+		if flag&(os.O_WRONLY|os.O_RDWR) != 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: errors.New("is a directory")}
+		}
+		return &faultDirHandle{fs: f, path: clean(name)}, nil
+	}
+	mf := d.live[base]
+	switch {
+	case mf == nil && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case mf != nil && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	case mf == nil:
+		mf = &memFile{}
+		d.live[base] = mf
+		f.entrySync(d)
+	}
+	if flag&os.O_TRUNC != 0 {
+		mf.data = mf.data[:0]
+		if mf.synced > 0 {
+			mf.synced = 0
+		}
+	}
+	h := &faultFile{
+		fs:       f,
+		path:     clean(name),
+		f:        mf,
+		appendTo: flag&os.O_APPEND != 0,
+		writable: flag&(os.O_WRONLY|os.O_RDWR) != 0,
+		readable: flag&os.O_WRONLY == 0,
+	}
+	return h, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	return f.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	d, base := f.dirOf(name)
+	if d == nil || d.live[base] == nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	mf := d.live[base]
+	out := make([]byte, len(mf.data))
+	copy(out, mf.data)
+	return out, nil
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpWriteFile, name); err != nil {
+		return err
+	}
+	d, base := f.dirOf(name)
+	if d == nil {
+		return &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	mf := d.live[base]
+	if mf == nil {
+		mf = &memFile{}
+		d.live[base] = mf
+		f.entrySync(d)
+	}
+	// os.WriteFile does not fsync: the new bytes are NOT durable.
+	mf.data = append(mf.data[:0], data...)
+	mf.synced = 0
+	return nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpRename, oldpath); err != nil {
+		return err
+	}
+	od, ob := f.dirOf(oldpath)
+	nd, nb := f.dirOf(newpath)
+	if od == nil || od.live[ob] == nil {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	if nd == nil {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: fs.ErrNotExist}
+	}
+	mf := od.live[ob]
+	delete(od.live, ob)
+	nd.live[nb] = mf
+	f.entrySync(od)
+	f.entrySync(nd)
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpRemove, name); err != nil {
+		return err
+	}
+	if _, isDir := f.dirs[clean(name)]; isDir {
+		if n := len(f.dirs[clean(name)].live); n > 0 {
+			return &fs.PathError{Op: "remove", Path: name, Err: errors.New("directory not empty")}
+		}
+		delete(f.dirs, clean(name))
+		return nil
+	}
+	d, base := f.dirOf(name)
+	if d == nil || d.live[base] == nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(d.live, base)
+	f.entrySync(d)
+	return nil
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpTruncate, name); err != nil {
+		return err
+	}
+	d, base := f.dirOf(name)
+	if d == nil || d.live[base] == nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	mf := d.live[base]
+	if int(size) < len(mf.data) {
+		mf.data = mf.data[:size]
+	} else {
+		for int64(len(mf.data)) < size {
+			mf.data = append(mf.data, 0)
+		}
+	}
+	if mf.synced > len(mf.data) {
+		mf.synced = len(mf.data)
+	}
+	return nil
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	p := clean(name)
+	d, ok := f.dirs[p]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	var out []fs.DirEntry
+	for base, mf := range d.live {
+		out = append(out, &faultDirEntry{name: base, size: int64(len(mf.data))})
+	}
+	for dp := range f.dirs {
+		if dp != p && filepath.Dir(dp) == p {
+			out = append(out, &faultDirEntry{name: filepath.Base(dp), dir: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpStat, name); err != nil {
+		return nil, err
+	}
+	return f.statLocked(name)
+}
+
+func (f *FaultFS) statLocked(name string) (fs.FileInfo, error) {
+	if _, isDir := f.dirs[clean(name)]; isDir {
+		return &faultFileInfo{name: filepath.Base(clean(name)), dir: true}, nil
+	}
+	d, base := f.dirOf(name)
+	if d == nil || d.live[base] == nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return &faultFileInfo{name: base, size: int64(len(d.live[base].data))}, nil
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(OpSyncDir, name); err != nil {
+		return err
+	}
+	d, ok := f.dirs[clean(name)]
+	if !ok {
+		return &fs.PathError{Op: "syncdir", Path: name, Err: fs.ErrNotExist}
+	}
+	d.durable = make(map[string]*memFile, len(d.live))
+	for k, v := range d.live {
+		d.durable[k] = v
+	}
+	return nil
+}
+
+// DumpPaths returns every live file path, sorted — a debugging aid for
+// matrix failures.
+func (f *FaultFS) DumpPaths() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for dp, d := range f.dirs {
+		for base := range d.live {
+			out = append(out, filepath.Join(dp, base))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// faultFile is an open handle onto a memFile.
+type faultFile struct {
+	fs       *FaultFS
+	path     string
+	f        *memFile
+	off      int64
+	appendTo bool
+	writable bool
+	readable bool
+	closed   bool
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.writable {
+		return 0, &fs.PathError{Op: "write", Path: h.path, Err: fs.ErrClosed}
+	}
+	err := h.fs.op(OpWrite, h.path)
+	n := len(p)
+	torn := false
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrTornWrite):
+		// Persist the first half, then fail: the caller sees a short,
+		// failed write with garbage it must not trust on disk.
+		n, torn = len(p)/2, true
+	default:
+		return 0, err
+	}
+	if h.appendTo {
+		h.off = int64(len(h.f.data))
+	}
+	for int64(len(h.f.data)) < h.off {
+		h.f.data = append(h.f.data, 0)
+	}
+	h.f.data = append(h.f.data[:h.off], p[:n]...)
+	h.off += int64(n)
+	if torn {
+		return n, fmt.Errorf("write %s: %w", h.path, ErrTornWrite)
+	}
+	return n, nil
+}
+
+func (h *faultFile) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed || !h.readable {
+		return 0, &fs.PathError{Op: "read", Path: h.path, Err: fs.ErrClosed}
+	}
+	if err := h.fs.op(OpRead, h.path); err != nil {
+		return 0, err
+	}
+	if h.off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return &fs.PathError{Op: "sync", Path: h.path, Err: fs.ErrClosed}
+	}
+	err := h.fs.op(OpSync, h.path)
+	switch {
+	case err == nil:
+		h.f.synced = len(h.f.data)
+		return nil
+	case errors.Is(err, ErrLieSync):
+		// Report success without durability: only a later crash image
+		// reveals the lie.
+		return nil
+	default:
+		return err
+	}
+}
+
+func (h *faultFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return &fs.PathError{Op: "close", Path: h.path, Err: fs.ErrClosed}
+	}
+	if err := h.fs.op(OpClose, h.path); err != nil {
+		return err
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *faultFile) Stat() (fs.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.op(OpStat, h.path); err != nil {
+		return nil, err
+	}
+	return &faultFileInfo{name: filepath.Base(h.path), size: int64(len(h.f.data))}, nil
+}
+
+// faultDirHandle supports read-only opens of directories (the os-level
+// open-dir-then-fsync idiom callers should express as SyncDir).
+type faultDirHandle struct {
+	fs   *FaultFS
+	path string
+}
+
+func (h *faultDirHandle) Read(p []byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: h.path, Err: errors.New("is a directory")}
+}
+
+func (h *faultDirHandle) Write(p []byte) (int, error) {
+	return 0, &fs.PathError{Op: "write", Path: h.path, Err: errors.New("is a directory")}
+}
+
+func (h *faultDirHandle) Sync() error { return h.fs.SyncDir(h.path) }
+
+func (h *faultDirHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.fs.op(OpClose, h.path)
+}
+
+func (h *faultDirHandle) Stat() (fs.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.op(OpStat, h.path); err != nil {
+		return nil, err
+	}
+	return h.fs.statLocked(h.path)
+}
+
+type faultFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i *faultFileInfo) Name() string { return i.name }
+func (i *faultFileInfo) Size() int64  { return i.size }
+func (i *faultFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i *faultFileInfo) ModTime() time.Time { return time.Time{} }
+func (i *faultFileInfo) IsDir() bool        { return i.dir }
+func (i *faultFileInfo) Sys() any           { return nil }
+
+type faultDirEntry struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (e *faultDirEntry) Name() string { return e.name }
+func (e *faultDirEntry) IsDir() bool  { return e.dir }
+func (e *faultDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e *faultDirEntry) Info() (fs.FileInfo, error) {
+	return &faultFileInfo{name: e.name, size: e.size, dir: e.dir}, nil
+}

@@ -1,0 +1,108 @@
+// Package fsx is the filesystem seam for the storage engine. Every
+// write path in internal/segment and internal/logstore goes through an
+// fsx.FS instead of calling the os package directly, so tests can swap
+// in a deterministic fault-injecting filesystem (FaultFS) that scripts
+// ENOSPC, torn writes, lying fsyncs, and whole-process power cuts at
+// the granularity of a single filesystem operation.
+//
+// The default implementation (OS) is a zero-cost passthrough to the os
+// package: production behavior is byte-for-byte unchanged.
+package fsx
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// ErrNoSpace is the disk-full error (ENOSPC). Fault schedules inject
+// it and the storage engine tests for it with errors.Is to decide when
+// a failure means "degrade to read-only" rather than "retry".
+var ErrNoSpace error = syscall.ENOSPC
+
+// File is the subset of *os.File the storage engine writes through.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes the file's bytes to stable storage. Bytes written
+	// but not synced do not survive a crash image.
+	Sync() error
+	Close() error
+	Stat() (fs.FileInfo, error)
+}
+
+// FS is the filesystem operations surface of the storage engine.
+// Semantics match the corresponding os functions; SyncDir fsyncs a
+// directory so that entry operations (create/rename/remove) inside it
+// become durable.
+type FS interface {
+	// Create opens name for writing, truncating it if it exists
+	// (os.O_CREATE|os.O_TRUNC|os.O_WRONLY, mode 0o644).
+	Create(name string) (File, error)
+	// OpenFile is the generalized open (os.OpenFile).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(path string, perm fs.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs the directory at name, making entry
+	// creations/renames/removals inside it durable.
+	SyncDir(name string) error
+}
+
+// OS returns the passthrough filesystem backed by the os package.
+func OS() FS { return osFS{} }
+
+// OrOS returns fsys, or the os-backed default when fsys is nil. Option
+// structs use it so a zero value means "the real filesystem".
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return osFS{}
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error)             { return os.Open(name) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,314 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	path := filepath.Join(dir, "a.txt")
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestFaultFSBasicOps(t *testing.T) {
+	fsys := NewFaultFS()
+	if err := fsys.MkdirAll("/top/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Create("/top/sub/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile("/top/sub/a.txt")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	// Append mode resumes at the end.
+	f, err = fsys.OpenFile("/top/sub/a.txt", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if data, _ := fsys.ReadFile("/top/sub/a.txt"); string(data) != "hello world!" {
+		t.Fatalf("after append: %q", data)
+	}
+	// Sequential reads through a handle.
+	rf, err := fsys.Open("/top/sub/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rf)
+	if err != nil || string(got) != "hello world!" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	// ReadDir sees files and subdirectories.
+	ents, err := fsys.ReadDir("/top")
+	if err != nil || len(ents) != 1 || !ents[0].IsDir() || ents[0].Name() != "sub" {
+		t.Fatalf("ReadDir(/top) = %v, %v", ents, err)
+	}
+	// Missing files answer like os does.
+	if _, err := fsys.ReadFile("/top/sub/nope"); !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+	if _, err := fsys.Open("/top/sub/nope"); !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+	// Rename changes the visible name, not the content.
+	if err := fsys.Rename("/top/sub/a.txt", "/top/sub/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fsys.ReadFile("/top/sub/b.txt"); string(data) != "hello world!" {
+		t.Fatalf("after rename: %q", data)
+	}
+	if err := fsys.Remove("/top/sub/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat("/top/sub/b.txt"); !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist after remove, got %v", err)
+	}
+}
+
+func TestFaultFSTruncate(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/f")
+	f.Write([]byte("0123456789"))
+	f.Sync()
+	f.Close()
+	if err := fsys.Truncate("/d/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fsys.ReadFile("/d/f")
+	if string(data) != "0123" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	// Crash image respects the truncation (synced clamped down).
+	fsys.Restart()
+	data, _ = fsys.ReadFile("/d/f")
+	if string(data) != "0123" {
+		t.Fatalf("after truncate+restart: %q", data)
+	}
+}
+
+func TestCrashImageDropsUnsyncedBytes(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/f")
+	f.Write([]byte("durable."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+	fsys.Restart()
+	data, err := fsys.ReadFile("/d/f")
+	if err != nil || string(data) != "durable." {
+		t.Fatalf("post-crash content = %q, %v", data, err)
+	}
+}
+
+func TestPowerCutDownsFilesystem(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/f")
+	f.Write([]byte("x"))
+	f.Sync()
+	next := fsys.Ops() + 1
+	fsys.CrashAt(next)
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("want power cut, got %v", err)
+	}
+	// Everything after the cut fails too, without advancing the counter.
+	before := fsys.Ops()
+	if _, err := fsys.ReadFile("/d/f"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("want power cut on later op, got %v", err)
+	}
+	if fsys.Ops() != before {
+		t.Fatal("downed fs must not count ops")
+	}
+	if !fsys.Down() {
+		t.Fatal("fs should report down")
+	}
+	fsys.Restart()
+	if data, err := fsys.ReadFile("/d/f"); err != nil || string(data) != "x" {
+		t.Fatalf("post-restart = %q, %v", data, err)
+	}
+}
+
+func TestStrictDirsEntryDurability(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.StrictDirs = true
+	fsys.MkdirAll("/d", 0o755)
+	// File created and fsynced, but the directory entry never synced:
+	// the crash image must not contain it.
+	f, _ := fsys.Create("/d/lost")
+	f.Write([]byte("bytes"))
+	f.Sync()
+	f.Close()
+	// Second file whose entry IS made durable.
+	g, _ := fsys.Create("/d/kept")
+	g.Write([]byte("bytes"))
+	g.Sync()
+	g.Close()
+	// SyncDir at this point makes BOTH entries durable; to isolate, use
+	// two directories instead.
+	fsys.MkdirAll("/e", 0o755)
+	h, _ := fsys.Create("/e/kept")
+	h.Write([]byte("ok"))
+	h.Sync()
+	h.Close()
+	if err := fsys.SyncDir("/e"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Restart()
+	if _, err := fsys.Stat("/d/lost"); !os.IsNotExist(err) {
+		t.Fatalf("unsynced entry survived crash: %v", err)
+	}
+	if data, err := fsys.ReadFile("/e/kept"); err != nil || string(data) != "ok" {
+		t.Fatalf("dir-synced entry lost: %q, %v", data, err)
+	}
+}
+
+func TestStrictDirsRenameNeedsSyncDir(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.StrictDirs = true
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/x.tmp")
+	f.Write([]byte("seg"))
+	f.Sync()
+	f.Close()
+	fsys.SyncDir("/d")
+	if err := fsys.Rename("/d/x.tmp", "/d/x"); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncDir: crash reverts to the pre-rename entry.
+	fsys.Restart()
+	if _, err := fsys.Stat("/d/x"); !os.IsNotExist(err) {
+		t.Fatalf("un-dir-synced rename survived: %v", err)
+	}
+	if data, err := fsys.ReadFile("/d/x.tmp"); err != nil || string(data) != "seg" {
+		t.Fatalf("old entry should persist: %q, %v", data, err)
+	}
+	// Now do it durably.
+	if err := fsys.Rename("/d/x.tmp", "/d/x"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SyncDir("/d")
+	fsys.Restart()
+	if data, err := fsys.ReadFile("/d/x"); err != nil || string(data) != "seg" {
+		t.Fatalf("durable rename lost: %q, %v", data, err)
+	}
+}
+
+func TestTornWriteFault(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/f")
+	next := fsys.Ops() + 1
+	fsys.FailAt(next, ErrTornWrite)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn write error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write persisted %d bytes, want 5", n)
+	}
+	data, _ := fsys.ReadFile("/d/f")
+	if string(data) != "01234" {
+		t.Fatalf("on-disk garbage = %q", data)
+	}
+}
+
+func TestLyingFsync(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/f")
+	f.Write([]byte("gone"))
+	next := fsys.Ops() + 1
+	fsys.FailAt(next, ErrLieSync)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying fsync must report success, got %v", err)
+	}
+	fsys.Restart()
+	data, err := fsys.ReadFile("/d/f")
+	if err != nil || len(data) != 0 {
+		t.Fatalf("lied-about bytes survived the crash: %q, %v", data, err)
+	}
+}
+
+func TestFailAtENOSPCIsTransient(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.MkdirAll("/d", 0o755)
+	f, _ := fsys.Create("/d/f")
+	next := fsys.Ops() + 1
+	fsys.FailAt(next, ErrNoSpace)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("fault must be one-shot, got %v", err)
+	}
+}
+
+func TestOpCountingIsDeterministic(t *testing.T) {
+	run := func() int64 {
+		fsys := NewFaultFS()
+		fsys.MkdirAll("/d", 0o755)
+		f, _ := fsys.Create("/d/f")
+		f.Write([]byte("abc"))
+		f.Sync()
+		f.Close()
+		fsys.SyncDir("/d")
+		fsys.ReadFile("/d/f")
+		return fsys.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a == 0 {
+		t.Fatalf("op counts differ: %d vs %d", a, b)
+	}
+}

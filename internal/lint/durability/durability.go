@@ -1,6 +1,8 @@
 // Package durability implements the bbvet durability-errcheck analyzer:
-// on write paths (internal/logstore, internal/segment) the results of
-// os.Rename/os.Remove/os.Truncate, (*os.File).Sync/Close, and every
+// on write paths (internal/logstore, internal/segment, internal/fsx)
+// the results of os.Rename/os.Remove/os.Truncate, (*os.File).Sync/Close,
+// the mutating fsx.FS methods and fsx.File Write/Sync/Close (the
+// filesystem seam those paths actually write through), and every
 // error-returning method on the WAL types (walWriter, walSink) must be
 // consumed. Discarding them is the PR 3 bug class — a quarantine rename
 // that failed silently and reported durable ingest anyway.
@@ -30,7 +32,7 @@ import (
 var Analyzer = &lint.Analyzer{
 	Name:     "durability",
 	Doc:      "results of renames, removes, fsyncs and WAL writes on storage write paths must be consumed",
-	Packages: []string{"internal/logstore", "internal/segment"},
+	Packages: []string{"internal/logstore", "internal/segment", "internal/fsx"},
 	Run:      run,
 }
 
@@ -186,6 +188,25 @@ func targetCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
 	if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
 		if name == "Sync" || name == "Close" {
 			return name, true
+		}
+		return "", false
+	}
+	// The fsx filesystem seam: mutating FS methods and the write-side
+	// File methods carry the same durability weight as their os
+	// counterparts. Matching by package name keeps the analyzer working
+	// against both the real internal/fsx and test fixtures.
+	if obj.Pkg() != nil && obj.Pkg().Name() == "fsx" {
+		switch obj.Name() {
+		case "FS":
+			switch name {
+			case "Rename", "Remove", "Truncate", "MkdirAll", "SyncDir", "WriteFile":
+				return name, true
+			}
+		case "File":
+			switch name {
+			case "Write", "Sync", "Close":
+				return name, true
+			}
 		}
 		return "", false
 	}

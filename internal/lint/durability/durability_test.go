@@ -20,6 +20,7 @@ func TestScope(t *testing.T) {
 	for path, want := range map[string]bool{
 		"bytebrain/internal/logstore": true,
 		"bytebrain/internal/segment":  true,
+		"bytebrain/internal/fsx":      true,
 		"bytebrain/internal/service":  false,
 	} {
 		if got := a.AppliesTo(path); got != want {

@@ -1,0 +1,35 @@
+// Fixture for the fsx seam: discarding an error from the filesystem
+// interface the write paths actually go through is the same bug class
+// as discarding the os call it replaced.
+package logstore
+
+import "fsx"
+
+func fsxQuarantine(fsys fsx.FS, path string) {
+	fsys.Rename(path, path+".bad")       // want "fsys.Rename"
+	fsys.Remove(path + ".tmp")           // want "fsys.Remove"
+	fsys.SyncDir(path)                   // want "fsys.SyncDir"
+	_ = fsys.WriteFile(path, nil, 0o644) // want "blanked with _"
+}
+
+func fsxWritePath(fsys fsx.FS, f fsx.File, path string, data []byte) error {
+	defer f.Close() // exempt: read-path defer
+	f.Write(data)   // want "f.Write"
+	f.Sync()        // want "f.Sync"
+	if err := fsys.MkdirAll(path, 0o755); err != nil {
+		fsys.Remove(path) // exempt: cleanup while unwinding an error
+		return err
+	}
+	return fsys.Truncate(path, 0)
+}
+
+func fsxDeferredSync(f fsx.File) {
+	defer f.Sync() // want "deferred f.Sync"
+}
+
+func fsxChecked(fsys fsx.FS, path string) error {
+	if err := fsys.Rename(path, path+".bad"); err != nil {
+		return err
+	}
+	return fsys.SyncDir(path)
+}

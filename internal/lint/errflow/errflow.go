@@ -45,7 +45,7 @@ import (
 var Analyzer = &lint.Analyzer{
 	Name:     "errflow",
 	Doc:      "a durability-relevant error must be consumed on every path before overwrite or scope exit",
-	Packages: []string{"internal/logstore", "internal/segment", "internal/netingest"},
+	Packages: []string{"internal/logstore", "internal/segment", "internal/netingest", "internal/fsx"},
 	Run:      run,
 }
 
@@ -315,6 +315,24 @@ func durabilityCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
 	if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
 		if name == "Sync" || name == "Close" {
 			return label, true
+		}
+		return "", false
+	}
+	// The fsx filesystem seam: mutating FS methods and write-side File
+	// methods, matched by package name so fixtures with a stub fsx
+	// package exercise the same paths as the real internal/fsx.
+	if obj.Pkg() != nil && obj.Pkg().Name() == "fsx" {
+		switch obj.Name() {
+		case "FS":
+			switch name {
+			case "Rename", "Remove", "Truncate", "MkdirAll", "SyncDir", "WriteFile":
+				return label, true
+			}
+		case "File":
+			switch name {
+			case "Write", "Sync", "Close":
+				return label, true
+			}
 		}
 		return "", false
 	}

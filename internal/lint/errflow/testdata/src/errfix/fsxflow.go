@@ -1,0 +1,29 @@
+// Fixture for the fsx seam: errors from the filesystem interface bound
+// to a variable and then lost flow exactly like their os counterparts.
+package errfix
+
+import "fsx"
+
+// fsxDropOnFastPath loses the rename error when fast is true.
+func fsxDropOnFastPath(fsys fsx.FS, tmp, final string, fast bool) error {
+	err := fsys.Rename(tmp, final) // want "error from fsys.Rename is dropped on at least one path to return"
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// fsxClobbered overwrites the sync error before anything reads it.
+func fsxClobbered(fsys fsx.FS, f fsx.File, dir string) error {
+	err := f.Sync()
+	err = fsys.SyncDir(dir) // want "error from f.Sync" "may be overwritten before it is checked"
+	return err
+}
+
+// fsxChecked is the canonical good shape.
+func fsxChecked(fsys fsx.FS, f fsx.File, dir string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

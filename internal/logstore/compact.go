@@ -12,8 +12,32 @@ import (
 	"sync"
 	"time"
 
+	"bytebrain/internal/fsx"
 	"bytebrain/internal/segment"
 )
+
+// ErrDegraded marks a store that has flipped into degraded read-only
+// mode after a disk-full error or a persistent seal failure: appends
+// fail fast wrapping this sentinel (check with errors.Is), queries keep
+// serving, and a background probe re-arms writes once the disk
+// recovers.
+var ErrDegraded = errors.New("logstore: store degraded (read-only)")
+
+// Degrader is implemented by stores that can shed writes under disk
+// pressure. Degraded reports whether the store currently rejects
+// appends and, if so, the failure that drove it there. For a sharded
+// store the bool is "fully degraded" (every shard); use ShardStats for
+// per-shard state.
+type Degrader interface {
+	Degraded() (bool, error)
+}
+
+// isDiskFull reports whether err is the out-of-space condition that
+// retrying cannot fix — the signal to degrade immediately instead of
+// burning retries.
+func isDiskFull(err error) bool {
+	return errors.Is(err, fsx.ErrNoSpace)
+}
 
 // CompactConfig tunes a CompactingStore.
 type CompactConfig struct {
@@ -60,6 +84,7 @@ type CompactingStore struct {
 	name string
 	cfg  CompactConfig
 	m    *Metrics // never nil (withDefaults); fields may be
+	fs   fsx.FS   // never nil (withDefaults)
 
 	mu               sync.Mutex
 	blocks           []*compactBlock
@@ -74,6 +99,9 @@ type CompactingStore struct {
 	idleCh  chan struct{} // closed and replaced whenever seal work finishes
 	sealErr error         // most recent seal/rotation failure; cleared by Seal
 	readErr error         // most recent sealed-segment read failure on a query path
+
+	degraded    bool  // read-only mode: appends fail fast with ErrDegraded
+	degradedErr error // what drove the store into degraded mode
 }
 
 // compactBlock is one contiguous offset range of the topic, either still
@@ -107,6 +135,7 @@ func OpenCompacting(name string, cfg CompactConfig) (*CompactingStore, error) {
 		name:   name,
 		cfg:    cfg,
 		m:      cfg.Opts.Metrics,
+		fs:     cfg.Opts.FS,
 		sealCh: make(chan struct{}, 1),
 		doneCh: make(chan struct{}),
 		idleCh: make(chan struct{}),
@@ -161,6 +190,9 @@ func (s *CompactingStore) flushLoop() {
 			// the block from memory exactly like a failed append.
 			b.wal.poison(err)
 			s.poisonRotateLocked(b)
+			if isDiskFull(err) {
+				s.setDegradedLocked(err)
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -186,15 +218,18 @@ func (s *CompactingStore) maybeFsyncLocked() {
 	if err := b.wal.flush(); err != nil {
 		b.wal.poison(err)
 		s.poisonRotateLocked(b)
+		if isDiskFull(err) {
+			s.setDegradedLocked(err)
+		}
 	}
 }
 
 // recover rebuilds the block list from cfg.Dir.
 func (s *CompactingStore) recover() error {
-	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.cfg.Dir, 0o755); err != nil {
 		return fmt.Errorf("logstore: compacting open %s: %w", s.cfg.Dir, err)
 	}
-	entries, err := os.ReadDir(s.cfg.Dir)
+	entries, err := s.fs.ReadDir(s.cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("logstore: compacting list %s: %w", s.cfg.Dir, err)
 	}
@@ -220,7 +255,7 @@ func (s *CompactingStore) recover() error {
 			return fmt.Errorf("logstore: compacting open %s: found plain disk-topic file %s; this topic was persisted without the segment store (unset SegmentBytes, or use a fresh data dir)", s.cfg.Dir, n)
 		case strings.HasSuffix(n, segment.TmpSuffix):
 			// Torn segment write from a crash; the WAL still has the data.
-			if err := os.Remove(filepath.Join(s.cfg.Dir, n)); err != nil {
+			if err := s.fs.Remove(filepath.Join(s.cfg.Dir, n)); err != nil {
 				return fmt.Errorf("logstore: compacting recover: remove torn segment %s: %w", n, err)
 			}
 		case strings.HasPrefix(n, sealedPrefix) && strings.HasSuffix(n, sealedSuffix):
@@ -248,14 +283,14 @@ func (s *CompactingStore) recover() error {
 	var next int64
 	for _, i := range idxs {
 		if path, ok := segIdx[i]; ok {
-			r, err := segment.OpenFile(path)
+			r, err := segment.OpenFileFS(s.fs, path)
 			if err != nil && walIdx[i] != "" {
 				// Unreadable segment but its WAL survived (crash hit
 				// between segment rename and WAL delete): move the bad
 				// file aside and recover the block from the WAL below. A
 				// failed quarantine must abort recovery — the bad file
 				// would shadow the WAL again on the next open.
-				if rerr := os.Rename(path, path+".bad"); rerr != nil {
+				if rerr := s.fs.Rename(path, path+".bad"); rerr != nil {
 					return fmt.Errorf("logstore: compacting recover: quarantine %s: %w", filepath.Base(path), rerr)
 				}
 			} else if err != nil {
@@ -268,7 +303,7 @@ func (s *CompactingStore) recover() error {
 				// The segment is good; its same-index WAL (if the crash
 				// left one) is now redundant.
 				if wal := walIdx[i]; wal != "" {
-					if err := os.Remove(wal); err != nil {
+					if err := s.fs.Remove(wal); err != nil {
 						return fmt.Errorf("logstore: compacting recover: remove redundant wal %s: %w", filepath.Base(wal), err)
 					}
 				}
@@ -282,11 +317,11 @@ func (s *CompactingStore) recover() error {
 		// re-queue for sealing, except that the newest one may resume
 		// as the live hot block (see below).
 		hot := NewTopic(s.name)
-		if err := replayWAL(walIdx[i], hot, s.m); err != nil {
+		if err := replayWAL(s.fs, walIdx[i], hot, s.m); err != nil {
 			return err
 		}
 		if hot.Len() == 0 {
-			if err := os.Remove(walIdx[i]); err != nil {
+			if err := s.fs.Remove(walIdx[i]); err != nil {
 				return fmt.Errorf("logstore: compacting recover: remove empty wal %s: %w", filepath.Base(walIdx[i]), err)
 			}
 			continue
@@ -301,7 +336,7 @@ func (s *CompactingStore) recover() error {
 	if n := len(s.blocks); n > 0 {
 		last := s.blocks[n-1]
 		if last.hot != nil && last.hot.Bytes() < s.cfg.SegmentBytes {
-			w, err := openWAL(last.walPath, s.m)
+			w, err := openWAL(s.fs, last.walPath, s.m)
 			if err != nil {
 				return err
 			}
@@ -323,8 +358,11 @@ func (s *CompactingStore) startHotLocked() error {
 	b := &compactBlock{idx: idx, first: first, hot: NewTopic(s.name)}
 	if s.cfg.Dir != "" {
 		path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s%06d%s", walPrefix, idx, walSuffix))
-		w, err := openWAL(path, s.m)
+		w, err := openWAL(s.fs, path, s.m)
 		if err != nil {
+			if isDiskFull(err) {
+				s.setDegradedLocked(err)
+			}
 			return err
 		}
 		b.wal = w
@@ -340,6 +378,9 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, errors.New("logstore: compacting store closed")
+	}
+	if s.degraded {
+		return 0, fmt.Errorf("logstore: append %s: %w (cause: %v)", s.name, ErrDegraded, s.degradedErr)
 	}
 	b := s.blocks[len(s.blocks)-1]
 	if b.hot == nil || b.sealing {
@@ -361,6 +402,9 @@ func (s *CompactingStore) Append(ts time.Time, raw string, templateID uint64) (i
 	if b.wal != nil {
 		if err := b.wal.append(ts, raw, templateID); err != nil {
 			s.poisonRotateLocked(b)
+			if isDiskFull(err) {
+				s.setDegradedLocked(err)
+			}
 			return 0, fmt.Errorf("logstore: wal append: %w", err)
 		}
 		s.walDirty = true
@@ -399,6 +443,9 @@ func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, 
 	if s.closed {
 		return 0, errors.New("logstore: compacting store closed")
 	}
+	if s.degraded {
+		return 0, fmt.Errorf("logstore: append %s: %w (cause: %v)", s.name, ErrDegraded, s.degradedErr)
+	}
 	s.m.BatchRecords.Observe(int64(len(recs)))
 	b := s.blocks[len(s.blocks)-1]
 	if b.hot == nil || b.sealing {
@@ -430,6 +477,9 @@ func (s *CompactingStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, 
 			}
 			if err != nil {
 				s.poisonRotateLocked(b)
+				if isDiskFull(err) {
+					s.setDegradedLocked(err)
+				}
 				return first, fmt.Errorf("logstore: wal append: %w", err)
 			}
 		} else {
@@ -483,7 +533,7 @@ func (s *CompactingStore) poisonRotateLocked(b *compactBlock) {
 	b.wal = nil
 	if b.walPath != "" {
 		//bbvet:ignore durability same empty poisoned WAL as above; remove is best-effort
-		os.Remove(b.walPath)
+		s.fs.Remove(b.walPath)
 		b.walPath = ""
 	}
 	for i, bb := range s.blocks {
@@ -502,10 +552,16 @@ func (s *CompactingStore) kickSealer() {
 }
 
 // sealLoop is the background compactor: it converts seal-pending hot
-// blocks into compressed segments, oldest first, then swaps them into the
-// block list.
+// blocks into compressed segments, oldest first, then swaps them into
+// the block list. Seal failures retry with capped exponential backoff;
+// disk-full or retry exhaustion degrades the store to read-only, after
+// which the loop doubles as the recovery probe, periodically re-trying
+// the pending work (plus a scratch probe write) until the disk heals.
 func (s *CompactingStore) sealLoop() {
 	defer s.sealWG.Done()
+	probe := time.NewTimer(s.cfg.Opts.ProbeInterval)
+	probe.Stop() // armed only while degraded
+	defer probe.Stop()
 	for {
 		select {
 		case <-s.doneCh:
@@ -514,18 +570,190 @@ func (s *CompactingStore) sealLoop() {
 			// block, whose admitted records may exist nowhere durable
 			// until its seal completes (the select races Close's doneCh
 			// against the kick the poisoning append sent).
-			for s.sealOne() {
-			}
+			s.remarkFailed()
+			s.drainSeals(true)
 			return
 		case <-s.sealCh:
+		case <-probe.C:
+			s.probeRecovery()
 		}
-		for s.sealOne() {
+		s.drainSeals(false)
+		if deg, _ := s.Degraded(); deg {
+			probe.Reset(s.cfg.Opts.ProbeInterval)
 		}
 		s.mu.Lock()
 		close(s.idleCh)
 		s.idleCh = make(chan struct{})
 		s.mu.Unlock()
 	}
+}
+
+// drainSeals seals every pending block, oldest first. A failed attempt
+// is retried up to SealMaxRetries times with capped exponential backoff
+// (the block keeps serving from memory, and sealing stays cleared
+// during the backoff so WaitIdle/Close cannot hang on the retry timer);
+// a disk-full error or retry exhaustion degrades the store instead.
+// During the final shutdown drain the backoff cannot watch doneCh (it
+// is already closed), so it sleeps unconditionally — bounded by
+// SealMaxRetries.
+func (s *CompactingStore) drainSeals(final bool) {
+	fails := 0
+	for {
+		attempted, err := s.sealOne()
+		if !attempted {
+			return
+		}
+		if err == nil {
+			fails = 0
+			continue
+		}
+		fails++
+		if isDiskFull(err) || fails > s.cfg.Opts.SealMaxRetries {
+			s.setDegraded(err)
+			return
+		}
+		s.m.SealRetries.Inc()
+		d := s.cfg.Opts.SealRetryBase << (fails - 1)
+		if d > s.cfg.Opts.SealRetryMax {
+			d = s.cfg.Opts.SealRetryMax
+		}
+		if final {
+			time.Sleep(d)
+		} else {
+			select {
+			case <-time.After(d):
+			case <-s.doneCh:
+				// Shutdown interrupts the backoff; the doneCh branch of
+				// sealLoop runs the final drain, which re-marks the block.
+				return
+			}
+		}
+		s.remarkFailed()
+	}
+}
+
+// remarkFailed re-queues blocks whose seal attempt failed (sealing was
+// cleared to keep WaitIdle honest) so the next drain retries them.
+func (s *CompactingStore) remarkFailed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.blocks) == 0 {
+		return
+	}
+	for _, b := range s.blocks[:len(s.blocks)-1] {
+		if b.hot != nil && !b.sealing {
+			b.sealing = true
+		}
+	}
+}
+
+// setDegraded flips the store into degraded read-only mode.
+func (s *CompactingStore) setDegraded(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setDegradedLocked(err)
+}
+
+func (s *CompactingStore) setDegradedLocked(err error) {
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	s.degradedErr = err
+	s.m.DegradedEnters.Inc()
+	// Wake the seal loop so it arms the recovery probe timer.
+	s.kickSealer()
+}
+
+// Degraded implements Degrader.
+func (s *CompactingStore) Degraded() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedErr
+}
+
+// probeRecovery is the degraded store's way back: re-try every pending
+// seal, rotate a poisoned hot WAL onto a fresh file, and prove the disk
+// writable with a scratch file. Only when all of it succeeds does the
+// store re-open for appends; any failure leaves it degraded and the
+// caller re-arms the probe timer.
+func (s *CompactingStore) probeRecovery() {
+	if deg, _ := s.Degraded(); !deg {
+		return
+	}
+	// Retry the backlog first: these writes are the real probe — if the
+	// pending segments land, the disk is back.
+	s.remarkFailed()
+	for {
+		attempted, err := s.sealOne()
+		if err != nil {
+			return // still sick; stay degraded
+		}
+		if !attempted {
+			break
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A tail block left with a poisoned (or failed-to-open) WAL must
+	// rotate before appends resume, or the first append would fail fast
+	// on the poison and bounce the store straight back into degraded.
+	b := s.blocks[len(s.blocks)-1]
+	switch {
+	case b.hot == nil || b.sealing:
+		if err := s.startHotLocked(); err != nil {
+			return
+		}
+	case b.wal != nil && b.wal.poisoned():
+		s.poisonRotateLocked(b)
+		tail := s.blocks[len(s.blocks)-1]
+		if tail.hot == nil || tail.sealing || (s.cfg.Dir != "" && tail.wal == nil) {
+			return // rotation failed; stay degraded
+		}
+	case b.wal == nil && s.cfg.Dir != "":
+		// Hot records with no WAL at all (a failed rotation path): get a
+		// fresh durable tail and persist this block from memory.
+		if err := s.startHotLocked(); err != nil {
+			return
+		}
+		if b.hot.Len() > 0 {
+			b.sealing = true
+		}
+	}
+	if err := s.probeWriteLocked(); err != nil {
+		return
+	}
+	s.degraded = false
+	s.degradedErr = nil
+	s.kickSealer() // the rotation above may have queued a seal
+}
+
+// probeWriteLocked proves the data directory writable: create, write,
+// fsync, and remove a scratch file. Memory-only stores trivially pass.
+func (s *CompactingStore) probeWriteLocked() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	path := filepath.Join(s.cfg.Dir, ".probe")
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("bytebrain disk probe\n")); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(path)
+		return err
+	}
+	return s.fs.Remove(path)
 }
 
 // sealableLocked returns the block the compactor may seal next, or nil.
@@ -547,13 +775,16 @@ func (s *CompactingStore) sealableLocked() *compactBlock {
 	return nil
 }
 
-// sealOne seals the oldest pending block; false when none is pending.
-func (s *CompactingStore) sealOne() bool {
+// sealOne seals the oldest pending block. attempted is false when no
+// block is pending; err carries a failed attempt (the block stays hot,
+// its sealing flag cleared, and sealErr records the failure — the
+// caller decides between retry and degrade).
+func (s *CompactingStore) sealOne() (attempted bool, _ error) {
 	s.mu.Lock()
 	b := s.sealableLocked()
 	if b == nil {
 		s.mu.Unlock()
-		return false
+		return false, nil
 	}
 	s.mu.Unlock()
 
@@ -577,12 +808,12 @@ func (s *CompactingStore) sealOne() bool {
 	defer s.mu.Unlock()
 	if err != nil {
 		// Keep serving the block from memory and record the failure.
-		// sealing is cleared so the drain loop does not spin on it;
-		// Seal (the forced-compaction path) re-marks failed blocks for
-		// another attempt.
+		// sealing is cleared so WaitIdle and the drain loop do not hang
+		// on it; drainSeals (retry/backoff) and Seal (the forced
+		// compaction path) re-mark failed blocks for another attempt.
 		b.sealing = false
 		s.sealErr = err
-		return true
+		return true, err
 	}
 	s.m.Seals.Inc()
 	b.seg = reader
@@ -600,12 +831,12 @@ func (s *CompactingStore) sealOne() bool {
 		// A lingering redundant WAL is cleaned up by recovery, but a
 		// remove failure there aborts the next open — surface it now
 		// while the operator can act on it.
-		if err := os.Remove(b.walPath); err != nil {
+		if err := s.fs.Remove(b.walPath); err != nil {
 			s.sealErr = fmt.Errorf("logstore: remove sealed block %d wal: %w", b.idx, err)
 		}
 		b.walPath = ""
 	}
-	return true
+	return true, nil
 }
 
 // sealRecords encodes one block and, when persistent, writes it
@@ -627,7 +858,7 @@ func (s *CompactingStore) sealRecords(b *compactBlock, recs []segment.Record) (*
 	}
 	if s.cfg.Dir != "" {
 		path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s%06d%s", sealedPrefix, b.idx, sealedSuffix))
-		if err := segment.WriteFile(path, blob); err != nil {
+		if err := segment.WriteFileFS(s.fs, path, blob); err != nil {
 			return nil, err
 		}
 	}
@@ -1221,15 +1452,25 @@ type walWriter struct {
 	path string
 	m    *Metrics // never nil; instruments fsyncs and admitted records
 	mu   sync.Mutex
-	f    *os.File
+	f    fsx.File
 	w    walSink
 	err  error // poisoned: first append failure, sticky
 }
 
-func openWAL(path string, m *Metrics) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fsys fsx.FS, path string, m *Metrics) (*walWriter, error) {
+	_, statErr := fsys.Stat(path)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: open wal: %w", err)
+	}
+	if statErr != nil {
+		// Fresh WAL file: its directory entry must be durable before any
+		// record in it is acked, or a crash could fsync record bytes into
+		// a file the post-crash recovery scan never sees.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("logstore: open wal: sync dir: %w", err)
+		}
 	}
 	if m == nil {
 		m = &Metrics{}
@@ -1356,11 +1597,11 @@ func (w *walWriter) close() error {
 
 // replayWAL loads a write-ahead log into a Topic, truncating a torn tail
 // (the crash case) like DiskTopic replay does.
-func replayWAL(path string, into *Topic, m *Metrics) error {
+func replayWAL(fsys fsx.FS, path string, into *Topic, m *Metrics) error {
 	if m == nil {
 		m = &Metrics{}
 	}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return fmt.Errorf("logstore: replay wal %s: %w", path, err)
 	}
@@ -1378,7 +1619,7 @@ func replayWAL(path string, into *Topic, m *Metrics) error {
 			if errors.Is(err, errTornRecord) {
 				m.RecoveredRecords.Add(recovered)
 				m.WALTornTails.Inc()
-				return os.Truncate(path, goodBytes)
+				return fsys.Truncate(path, goodBytes)
 			}
 			return fmt.Errorf("logstore: replay wal %s at %d: %w", path, goodBytes, err)
 		}

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bytebrain/internal/fsx"
 )
 
 // Store is the record-storage interface the service writes through. Topic
@@ -105,10 +107,11 @@ func (m memStore) Close() error { return nil }
 // the segments (tolerating a truncated tail from a crash) to recover.
 type DiskTopic struct {
 	dir string
+	fs  fsx.FS
 
 	mu      sync.Mutex
 	mem     *Topic // authoritative in-memory indexes
-	seg     *os.File
+	seg     fsx.File
 	segW    *bufio.Writer
 	segIdx  int
 	segLen  int64
@@ -128,11 +131,18 @@ const (
 // replaying existing segments. A torn final record — the crash case — is
 // truncated away.
 func OpenDiskTopic(dir string) (*DiskTopic, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenDiskTopicFS(fsx.OS(), dir)
+}
+
+// OpenDiskTopicFS is OpenDiskTopic over an explicit filesystem seam.
+func OpenDiskTopicFS(fsys fsx.FS, dir string) (*DiskTopic, error) {
+	fsys = fsx.OrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logstore: open %s: %w", dir, err)
 	}
 	t := &DiskTopic{
 		dir:    dir,
+		fs:     fsys,
 		mem:    NewTopic(filepath.Base(dir)),
 		maxSeg: defaultMaxSeg,
 	}
@@ -156,7 +166,7 @@ func OpenDiskTopic(dir string) (*DiskTopic, error) {
 }
 
 func (t *DiskTopic) segmentFiles() ([]string, error) {
-	entries, err := os.ReadDir(t.dir)
+	entries, err := t.fs.ReadDir(t.dir)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: list %s: %w", t.dir, err)
 	}
@@ -192,7 +202,7 @@ func (t *DiskTopic) segmentFiles() ([]string, error) {
 // tolerateTail is true, a truncated final record is cut off (crash
 // recovery); anywhere else it is corruption.
 func (t *DiskTopic) replaySegment(path string, tolerateTail bool) error {
-	f, err := os.Open(path)
+	f, err := t.fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("logstore: replay %s: %w", path, err)
 	}
@@ -207,7 +217,7 @@ func (t *DiskTopic) replaySegment(path string, tolerateTail bool) error {
 		if err != nil {
 			if tolerateTail && errors.Is(err, errTornRecord) {
 				// Crash mid-append: truncate the torn tail.
-				return os.Truncate(path, goodBytes)
+				return t.fs.Truncate(path, goodBytes)
 			}
 			return fmt.Errorf("logstore: replay %s at %d: %w", path, goodBytes, err)
 		}
@@ -255,7 +265,7 @@ func readRecord(r *bufio.Reader) (Record, int64, error) {
 
 func (t *DiskTopic) openSegmentLocked() error {
 	path := filepath.Join(t.dir, fmt.Sprintf("%s%06d%s", segmentPrefix, t.segIdx, segmentSuffix))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := t.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("logstore: open segment: %w", err)
 	}
@@ -452,6 +462,7 @@ func (t *DiskTopic) CountSince(cut time.Time) int { return t.mem.CountSince(cut)
 // so a checkpoint can never be silently overwritten by a later snapshot.
 type DiskInternal struct {
 	dir    string
+	fs     fsx.FS
 	mu     sync.Mutex
 	idxs   []int // write indexes present on disk, ascending
 	next   int   // strictly greater than every index ever written
@@ -462,18 +473,37 @@ func snapshotPath(dir string, idx int) string {
 	return filepath.Join(dir, fmt.Sprintf("model-%06d.bin", idx))
 }
 
+// snapshotTmpSuffix marks an in-progress snapshot write; files carrying
+// it are torn leftovers after a crash and are removed on open.
+const snapshotTmpSuffix = ".tmp"
+
 // OpenDiskInternal opens (or creates) the snapshot directory and indexes
 // existing snapshots.
 func OpenDiskInternal(dir string) (*DiskInternal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenDiskInternalFS(fsx.OS(), dir)
+}
+
+// OpenDiskInternalFS is OpenDiskInternal over an explicit filesystem
+// seam. Stale snapshot temp files (a crash mid-checkpoint) are removed
+// rather than accumulating forever.
+func OpenDiskInternalFS(fsys fsx.FS, dir string) (*DiskInternal, error) {
+	fsys = fsx.OrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logstore: open internal %s: %w", dir, err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	in := &DiskInternal{dir: dir}
+	in := &DiskInternal{dir: dir, fs: fsys}
 	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), snapshotTmpSuffix) {
+			// Torn checkpoint write from a crash: never a valid snapshot.
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("logstore: open internal: remove stale %s: %w", e.Name(), err)
+			}
+			continue
+		}
 		var idx int
 		if _, err := fmt.Sscanf(e.Name(), "model-%d.bin", &idx); err == nil &&
 			strings.HasPrefix(e.Name(), "model-") && strings.HasSuffix(e.Name(), ".bin") {
@@ -505,19 +535,46 @@ func (in *DiskInternal) pruneLocked() {
 		}
 		// A failed remove keeps the index tracked; the next prune
 		// retries instead of leaking the file forever.
-		if err := os.Remove(snapshotPath(in.dir, idx)); err != nil && !os.IsNotExist(err) {
+		if err := in.fs.Remove(snapshotPath(in.dir, idx)); err != nil && !os.IsNotExist(err) {
 			kept = append(kept, idx)
 		}
 	}
 	in.idxs = kept
 }
 
-// AppendSnapshot writes one model snapshot file, then applies retention.
+// AppendSnapshot writes one model snapshot file atomically (temp file,
+// fsync, rename, directory fsync — a crash leaves either the previous
+// checkpoint intact or the new one complete, never a torn file), then
+// applies retention.
 func (in *DiskInternal) AppendSnapshot(ts time.Time, data []byte) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if err := os.WriteFile(snapshotPath(in.dir, in.next), data, 0o644); err != nil {
+	path := snapshotPath(in.dir, in.next)
+	tmp := path + snapshotTmpSuffix
+	f, err := in.fs.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("logstore: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		in.fs.Remove(tmp)
+		return fmt.Errorf("logstore: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		in.fs.Remove(tmp)
+		return fmt.Errorf("logstore: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		in.fs.Remove(tmp)
+		return fmt.Errorf("logstore: snapshot close: %w", err)
+	}
+	if err := in.fs.Rename(tmp, path); err != nil {
+		in.fs.Remove(tmp)
+		return fmt.Errorf("logstore: snapshot rename: %w", err)
+	}
+	if err := in.fs.SyncDir(in.dir); err != nil {
+		return fmt.Errorf("logstore: snapshot sync dir: %w", err)
 	}
 	in.idxs = append(in.idxs, in.next)
 	in.next++
@@ -533,11 +590,31 @@ func (in *DiskInternal) LatestSnapshot() ([]byte, error) {
 		return nil, ErrNoSnapshot
 	}
 	path := snapshotPath(in.dir, in.idxs[len(in.idxs)-1])
-	data, err := os.ReadFile(path)
+	data, err := in.fs.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("logstore: read snapshot: %w", err)
 	}
 	return data, nil
+}
+
+// QuarantineLatest implements SnapshotStore: it retires the newest
+// snapshot (renaming the file to .bad on disk) so LatestSnapshot falls
+// back to the previous checkpoint — the recovery path for a snapshot
+// that no longer unmarshals. It reports ErrNoSnapshot when none is
+// retained.
+func (in *DiskInternal) QuarantineLatest() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.idxs) == 0 {
+		return ErrNoSnapshot
+	}
+	idx := in.idxs[len(in.idxs)-1]
+	path := snapshotPath(in.dir, idx)
+	if err := in.fs.Rename(path, path+".bad"); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("logstore: quarantine snapshot: %w", err)
+	}
+	in.idxs = in.idxs[:len(in.idxs)-1]
+	return nil
 }
 
 // Snapshots returns the retained snapshot count.

@@ -488,6 +488,12 @@ type SnapshotStore interface {
 	Snapshots() int
 	// SetRetention installs a pruning policy and applies it immediately.
 	SetRetention(r Retention)
+	// QuarantineLatest retires the newest snapshot so LatestSnapshot
+	// falls back to the previous checkpoint. Recovery calls it when the
+	// newest snapshot fails to unmarshal (a torn or corrupt checkpoint),
+	// so reopening never fails unrecoverably on bad snapshot bytes.
+	// Returns ErrNoSnapshot when none is retained.
+	QuarantineLatest() error
 }
 
 var (
@@ -562,6 +568,22 @@ func (in *Internal) LatestSnapshot() ([]byte, error) {
 	cp := make([]byte, len(in.snapshots[last]))
 	copy(cp, in.snapshots[last])
 	return cp, nil
+}
+
+// QuarantineLatest implements SnapshotStore: it drops the newest
+// in-memory snapshot.
+func (in *Internal) QuarantineLatest() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.snapshots) == 0 {
+		return ErrNoSnapshot
+	}
+	last := len(in.snapshots) - 1
+	in.snapshots[last] = nil
+	in.snapshots = in.snapshots[:last]
+	in.times = in.times[:last]
+	in.idxs = in.idxs[:last]
+	return nil
 }
 
 // LatestSnapshotTime returns when the newest snapshot was stored.

@@ -3,13 +3,15 @@ package logstore
 import (
 	"time"
 
+	"bytebrain/internal/fsx"
 	"bytebrain/internal/obs"
 )
 
 // StoreOptions carries cross-cutting store tuning that every store kind
-// accepts: the metrics handle bundle and the WAL fsync policy. The zero
-// value is fully functional (no metrics, fsync only on seal/Flush/Close —
-// the historical behavior).
+// accepts: the metrics handle bundle, the WAL fsync policy, the
+// filesystem seam, and the seal retry/degraded-mode policy. The zero
+// value is fully functional (no metrics, real filesystem, fsync only on
+// seal/Flush/Close — the historical behavior).
 type StoreOptions struct {
 	// Metrics receives the store's counters; nil means no instrumentation
 	// (every instrument method on a nil handle or field is a no-op).
@@ -21,13 +23,43 @@ type StoreOptions struct {
 	// hot WAL every interval when appends happened since the last sync,
 	// bounding the unsynced window by wall clock.
 	FsyncInterval time.Duration
+	// FS is the filesystem every store write goes through; nil means the
+	// real filesystem (fsx.OS()). Tests swap in an fsx.FaultFS.
+	FS fsx.FS
+	// SealRetryBase is the first backoff after a failed seal attempt
+	// (doubling up to SealRetryMax); ≤ 0 means 50ms.
+	SealRetryBase time.Duration
+	// SealRetryMax caps the seal retry backoff; ≤ 0 means 2s.
+	SealRetryMax time.Duration
+	// SealMaxRetries is how many times a failing seal is retried before
+	// the store degrades to read-only; ≤ 0 means 4, < 0 via -1 means 0.
+	SealMaxRetries int
+	// ProbeInterval is how often a degraded store re-probes the disk to
+	// re-arm writes; ≤ 0 means 2s.
+	ProbeInterval time.Duration
 }
 
 // withMetrics defaults Metrics so store internals never nil-check the
-// bundle itself (individual instruments stay nil-safe no-ops).
+// bundle itself (individual instruments stay nil-safe no-ops), and
+// fills the filesystem and degraded-mode policy defaults.
 func (o StoreOptions) withMetrics() StoreOptions {
 	if o.Metrics == nil {
 		o.Metrics = &Metrics{}
+	}
+	o.FS = fsx.OrOS(o.FS)
+	if o.SealRetryBase <= 0 {
+		o.SealRetryBase = 50 * time.Millisecond
+	}
+	if o.SealRetryMax <= 0 {
+		o.SealRetryMax = 2 * time.Second
+	}
+	if o.SealMaxRetries == 0 {
+		o.SealMaxRetries = 4
+	} else if o.SealMaxRetries < 0 {
+		o.SealMaxRetries = 0
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
 	}
 	return o
 }
@@ -53,9 +85,11 @@ type Metrics struct {
 	WALTornTails      *obs.Counter // WALs truncated at a torn record
 
 	// Compaction.
-	BatchRecords *obs.Histogram // AppendBatch size distribution
-	Seals        *obs.Counter   // blocks sealed into segments
-	SealSeconds  *obs.Histogram // seal (encode+write) latency
+	BatchRecords   *obs.Histogram // AppendBatch size distribution
+	Seals          *obs.Counter   // blocks sealed into segments
+	SealSeconds    *obs.Histogram // seal (encode+write) latency
+	SealRetries    *obs.Counter   // failed seal attempts that were retried
+	DegradedEnters *obs.Counter   // transitions into degraded read-only mode
 
 	// Query pushdown: every sealed-block visit on a query path either
 	// decodes the payload (the segment's own BlockReads counter) or is

@@ -3,12 +3,12 @@ package logstore
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"bytebrain/internal/fsx"
 	"bytebrain/internal/segment"
 )
 
@@ -72,12 +72,12 @@ func OpenSharded(name string, cfg ShardConfig) (*ShardedStore, error) {
 	if cfg.Shards < 1 || cfg.Shards > MaxShards {
 		return nil, fmt.Errorf("logstore: sharded open %s: shard count %d outside [1,%d]", name, cfg.Shards, MaxShards)
 	}
+	cfg.Opts = cfg.Opts.withMetrics()
 	if cfg.Dir != "" {
-		if err := checkShardLayout(cfg.Dir, cfg.Shards); err != nil {
+		if err := checkShardLayout(cfg.Opts.FS, cfg.Dir, cfg.Shards); err != nil {
 			return nil, err
 		}
 	}
-	cfg.Opts = cfg.Opts.withMetrics()
 	s := &ShardedStore{name: name, m: cfg.Opts.Metrics, shards: make([]Store, cfg.Shards)}
 	for i := range s.shards {
 		sub, err := openShard(name, i, cfg)
@@ -85,7 +85,9 @@ func OpenSharded(name string, cfg ShardConfig) (*ShardedStore, error) {
 			for _, prev := range s.shards[:i] {
 				prev.Close()
 			}
-			return nil, err
+			// Name the failing shard: "open failed" without the shard
+			// index sends an operator hunting through N directories.
+			return nil, fmt.Errorf("logstore: sharded open %s: shard %03d: %w", name, i, err)
 		}
 		s.shards[i] = sub
 	}
@@ -95,11 +97,11 @@ func OpenSharded(name string, cfg ShardConfig) (*ShardedStore, error) {
 // checkShardLayout guards against silently hiding records behind a
 // layout change: Dir must hold only shard-<i> directories with i below
 // the configured shard count.
-func checkShardLayout(dir string, shards int) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func checkShardLayout(fsys fsx.FS, dir string, shards int) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("logstore: sharded open %s: %w", dir, err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("logstore: sharded list %s: %w", dir, err)
 	}
@@ -142,7 +144,7 @@ func OpenStore(name, dir string, segmentBytes int64, codec segment.Codec, opts .
 	case dir == "":
 		return NewStore(name), nil
 	default:
-		return OpenDiskTopic(dir)
+		return OpenDiskTopicFS(o.FS, dir)
 	}
 }
 
@@ -158,12 +160,39 @@ func openShard(name string, i int, cfg ShardConfig) (Store, error) {
 // Shards returns the shard count.
 func (s *ShardedStore) Shards() int { return len(s.shards) }
 
-// Append implements Store, round-robining across shards. Ingestion
-// pipelines that want zero cross-shard contention use AppendShard with a
-// fixed queue→shard assignment instead.
+// shardDegraded reports whether shard i has degraded to read-only.
+// Shards without a degrade concept (plain topics) never degrade.
+func (s *ShardedStore) shardDegraded(i int) bool {
+	d, ok := s.shards[i].(Degrader)
+	if !ok {
+		return false
+	}
+	deg, _ := d.Degraded()
+	return deg
+}
+
+// routeShard picks the shard for an un-pinned append: the round-robin
+// choice, unless it has degraded and a healthy sibling exists — a
+// single full disk must not wedge writes that other shards can still
+// take. When every shard is degraded the original pick is returned and
+// its ErrDegraded propagates.
+func (s *ShardedStore) routeShard(pick int) int {
+	n := len(s.shards)
+	for off := 0; off < n; off++ {
+		i := (pick + off) % n
+		if !s.shardDegraded(i) {
+			return i
+		}
+	}
+	return pick
+}
+
+// Append implements Store, round-robining across healthy shards.
+// Ingestion pipelines that want zero cross-shard contention use
+// AppendShard with a fixed queue→shard assignment instead.
 func (s *ShardedStore) Append(ts time.Time, raw string, templateID uint64) (int64, error) {
 	shard := int((s.next.Add(1) - 1) % uint64(len(s.shards)))
-	return s.AppendShard(shard, ts, raw, templateID)
+	return s.AppendShard(s.routeShard(shard), ts, raw, templateID)
 }
 
 // AppendShard appends to one specific shard and returns the namespaced
@@ -205,12 +234,38 @@ func (s *ShardedStore) AppendBatch(ts time.Time, recs []BatchRecord) (int64, err
 		return s.AppendShardBatch(0, ts, recs)
 	}
 	start := s.next.Add(uint64(len(recs))) - uint64(len(recs))
+	// Snapshot degraded flags once per batch (not per record — Degraded
+	// takes the shard's mutex) and remap degraded picks to the next
+	// healthy shard.
+	route := make([]int, n)
+	for i := range route {
+		route[i] = i
+	}
+	for i := 0; i < n; i++ {
+		if s.shardDegraded(i) {
+			route[i] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		if route[i] >= 0 {
+			continue
+		}
+		for off := 1; off < n; off++ {
+			if j := (i + off) % n; route[j] == j {
+				route[i] = j
+				break
+			}
+		}
+		if route[i] < 0 {
+			route[i] = i // every shard degraded: let ErrDegraded surface
+		}
+	}
 	parts := make([][]BatchRecord, n)
 	for i, r := range recs {
-		sh := int((start + uint64(i)) % uint64(n))
+		sh := route[int((start+uint64(i))%uint64(n))]
 		parts[sh] = append(parts[sh], r)
 	}
-	firstShard := int(start % uint64(n))
+	firstShard := route[int(start%uint64(n))]
 	var first int64
 	for k := 0; k < n; k++ {
 		if len(parts[k]) == 0 {
@@ -527,6 +582,45 @@ func (s *ShardedStore) SegmentStats() SegmentStats {
 	return out
 }
 
+var _ Degrader = (*ShardedStore)(nil)
+
+// Degraded implements Degrader: the sharded store is degraded only when
+// EVERY shard has degraded — while any healthy shard remains, un-pinned
+// appends route around the sick ones and ingest stays available. The
+// error reported is the first degraded shard's cause, annotated with
+// its index.
+func (s *ShardedStore) Degraded() (bool, error) {
+	var firstErr error
+	deg := 0
+	for i, sub := range s.shards {
+		d, ok := sub.(Degrader)
+		if !ok {
+			return false, nil // a plain topic shard never degrades
+		}
+		if isDeg, err := d.Degraded(); isDeg {
+			deg++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %03d: %w", i, err)
+			}
+		}
+	}
+	if deg == len(s.shards) && deg > 0 {
+		return true, firstErr
+	}
+	return false, nil
+}
+
+// DegradedShards counts shards currently in degraded read-only mode.
+func (s *ShardedStore) DegradedShards() int {
+	n := 0
+	for i := range s.shards {
+		if s.shardDegraded(i) {
+			n++
+		}
+	}
+	return n
+}
+
 // Flush forces buffered durability writes (WALs, disk-topic buffers) to
 // the OS on every shard that has them.
 func (s *ShardedStore) Flush() error {
@@ -558,6 +652,10 @@ type ShardStat struct {
 	SealedRecords   int   `json:",omitempty"`
 	HotRecords      int   `json:",omitempty"`
 	CompressedBytes int64 `json:",omitempty"`
+	// Degraded marks a shard that has entered read-only mode (disk
+	// full or persistent seal failure); un-pinned appends route around
+	// it while it lasts.
+	Degraded bool `json:",omitempty"`
 }
 
 // ShardStats reports per-shard counters, index-ascending.
@@ -565,6 +663,7 @@ func (s *ShardedStore) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(s.shards))
 	for i, sub := range s.shards {
 		st := ShardStat{Shard: i, Records: sub.Len(), Bytes: sub.Bytes()}
+		st.Degraded = s.shardDegraded(i)
 		if cs, ok := sub.(Compactor); ok {
 			sst := cs.SegmentStats()
 			st.Segments = sst.Segments

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"os"
+
+	"bytebrain/internal/fsx"
 )
 
 // failFlushSink makes the final buffered flush fail with a
@@ -22,7 +24,7 @@ func (f *failFlushSink) Flush() error { return errInjected }
 // also failed: both failures must reach the caller.
 func TestWALCloseJoinsFlushAndCloseErrors(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(filepath.Join(dir, walPrefix+"000000"+walSuffix), nil)
+	w, err := openWAL(fsx.OS(), filepath.Join(dir, walPrefix+"000000"+walSuffix), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

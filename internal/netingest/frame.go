@@ -65,6 +65,13 @@ const (
 	StatusErr  byte = 2 // rejected
 )
 
+// ErrBusy is the error a Config.Ingest hook returns (wrapped or not) to
+// have the frame acked StatusBusy instead of StatusErr: the batch was
+// shed — for example the store degraded to read-only on a full disk —
+// and the client should back off and resend rather than treat the
+// frame as rejected.
+var ErrBusy = errors.New("netingest: ingest busy; resend")
+
 // Defaults for the server-side limits.
 const (
 	// DefaultMaxFrameBytes bounds a single frame body (topic + offsets +

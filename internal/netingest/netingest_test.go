@@ -654,3 +654,64 @@ func TestCloseDrainsAdmittedFrames(t *testing.T) {
 		t.Fatalf("acked %d distinct frames, want 3", len(acked))
 	}
 }
+
+// TestBusyAckOnErrBusy: a sink returning ErrBusy (wrapped) — e.g. the
+// store degraded to read-only on a full disk — must come back as a BUSY
+// ack in both modes, telling clients to back off and resend, not as the
+// terminal ERR status. The connection stays open and healthy frames
+// still flow.
+func TestBusyAckOnErrBusy(t *testing.T) {
+	col := &collector{}
+	sink := func(topic string, lines []string) error {
+		if topic == "full" {
+			return fmt.Errorf("store degraded: %w", ErrBusy)
+		}
+		return col.ingest(topic, lines)
+	}
+	srv, err := Listen("127.0.0.1:0", Config{Ingest: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte(MagicFramed))
+	enc, _ := AppendFrame(nil, 1, "full", []string{"shed me"})
+	conn.Write(enc)
+	enc2, _ := AppendFrame(nil, 2, "app", []string{"kept"})
+	conn.Write(enc2)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if seq, status := readAck(t, conn); seq != 1 || status != StatusBusy {
+		t.Fatalf("ack 1 = (%d, %d), want (1, BUSY)", seq, status)
+	}
+	if seq, status := readAck(t, conn); seq != 2 || status != StatusOK {
+		t.Fatalf("ack 2 = (%d, %d), want (2, OK)", seq, status)
+	}
+	if got := col.got("app"); len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("app lines = %v", got)
+	}
+
+	// Raw mode: the single final ack carries BUSY too.
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.Write([]byte(MagicRaw))
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len("full")))
+	raw.Write(hdr[:])
+	raw.Write([]byte("full"))
+	raw.Write([]byte("a line\n"))
+	if cw, ok := raw.(*net.TCPConn); ok {
+		cw.CloseWrite()
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, status := readAck(t, raw); status != StatusBusy {
+		t.Fatalf("raw ack status = %d, want BUSY", status)
+	}
+}

@@ -329,6 +329,16 @@ func (s *Server) frameWorker(sc *srvConn, frames <-chan pendingFrame) {
 		nlines, nbytes := len(lines), len(f.Block)
 		release(p, n)
 		if err := s.cfg.Ingest(topic, lines); err != nil {
+			if errors.Is(err, ErrBusy) {
+				// The sink shed the batch (e.g. store degraded on a
+				// full disk): BUSY tells the client to back off and
+				// resend instead of treating the frame as rejected.
+				m.Busy.Inc()
+				if sc.ack(p.h.Seq, StatusBusy) != nil {
+					dead = true
+				}
+				continue
+			}
 			m.Errors.Inc()
 			if sc.ack(p.h.Seq, StatusErr) != nil {
 				dead = true
@@ -402,9 +412,7 @@ func (s *Server) serveRaw(sc *srvConn, br *bufio.Reader) {
 		batchBytes += uint32(len(line))
 		if len(batch) == rawBatchLines {
 			if err := flush(); err != nil {
-				m.Errors.Inc()
-				s.logf("netingest: %s: raw ingest: %v", sc.conn.RemoteAddr(), err)
-				sc.ack(total, StatusErr)
+				s.rawIngestFail(sc, total, err)
 				return
 			}
 		}
@@ -415,12 +423,25 @@ func (s *Server) serveRaw(sc *srvConn, br *bufio.Reader) {
 		return
 	}
 	if err := flush(); err != nil {
-		m.Errors.Inc()
-		s.logf("netingest: %s: raw ingest: %v", sc.conn.RemoteAddr(), err)
-		sc.ack(total, StatusErr)
+		s.rawIngestFail(sc, total, err)
 		return
 	}
 	sc.ack(total, StatusOK)
+}
+
+// rawIngestFail acks a raw-mode ingest failure: BUSY when the sink shed
+// the batch (client backs off and resends from the acked count), ERR
+// otherwise.
+func (s *Server) rawIngestFail(sc *srvConn, total uint32, err error) {
+	m := s.cfg.Metrics
+	if errors.Is(err, ErrBusy) {
+		m.Busy.Inc()
+		sc.ack(total, StatusBusy)
+		return
+	}
+	m.Errors.Inc()
+	s.logf("netingest: %s: raw ingest: %v", sc.conn.RemoteAddr(), err)
+	sc.ack(total, StatusErr)
 }
 
 // maxPooledBuf caps what goes back into the body-buffer pool; rare

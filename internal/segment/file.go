@@ -2,40 +2,47 @@ package segment
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"bytebrain/internal/fsx"
 )
 
 // TmpSuffix marks an in-progress segment write. Files carrying it are
 // never valid segments; recovery deletes them.
 const TmpSuffix = ".tmp"
 
-// WriteFile persists an encoded segment atomically: the blob is written
-// to path+TmpSuffix, fsynced, then renamed into place and the directory
-// fsynced. A crash at any point leaves either no file or a complete,
-// checksummed segment — never a torn one.
+// WriteFile persists an encoded segment atomically on the real
+// filesystem. See WriteFileFS.
 func WriteFile(path string, data []byte) error {
+	return WriteFileFS(fsx.OS(), path, data)
+}
+
+// WriteFileFS persists an encoded segment atomically through fsys: the
+// blob is written to path+TmpSuffix, fsynced, then renamed into place
+// and the directory fsynced. A crash at any point leaves either no
+// file or a complete, checksummed segment — never a torn one.
+func WriteFileFS(fsys fsx.FS, path string, data []byte) error {
 	tmp := path + TmpSuffix
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("segment: write %s: %w", path, err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: write %s: %w", path, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: sync %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: close %s: %w", path, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("segment: rename %s: %w", path, err)
 	}
 	// The rename is durable only once the directory entry itself is on
@@ -43,23 +50,20 @@ func WriteFile(path string, data []byte) error {
 	// persisted while the crash-recovery scan may never see it. The
 	// caller keeps the block hot on error, so failing here is safe and
 	// the write is retried.
-	dir, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return fmt.Errorf("segment: open dir of %s: %w", path, err)
-	}
-	if err := dir.Sync(); err != nil {
-		dir.Close()
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
 		return fmt.Errorf("segment: sync dir of %s: %w", path, err)
-	}
-	if err := dir.Close(); err != nil {
-		return fmt.Errorf("segment: close dir of %s: %w", path, err)
 	}
 	return nil
 }
 
-// OpenFile reads and parses a segment file.
+// OpenFile reads and parses a segment file from the real filesystem.
 func OpenFile(path string) (*Reader, error) {
-	data, err := os.ReadFile(path)
+	return OpenFileFS(fsx.OS(), path)
+}
+
+// OpenFileFS reads and parses a segment file through fsys.
+func OpenFileFS(fsys fsx.FS, path string) (*Reader, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("segment: open %s: %w", path, err)
 	}

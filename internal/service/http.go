@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bytebrain/internal/logstore"
 )
 
 // scanBufPool leases the 64 KiB initial scanner buffer the /logs
@@ -52,9 +55,23 @@ var scanBufPool = sync.Pool{
 //	GET  /topics/{name}/stats          operational counters
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /healthz                      liveness
+//	GET  /readyz                       readiness: 503 while any topic's
+//	                                   store is degraded to read-only
+//	                                   (disk full / persistent seal
+//	                                   failure); queries keep serving
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if deg := s.DegradedTopics(); len(deg) > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"ready": false, "degraded": deg})
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -302,6 +319,12 @@ func parseTimeRange(q url.Values, now func() time.Time) (tr TimeRange, errMsg st
 
 func httpTopicError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	if errors.Is(err, logstore.ErrDegraded) {
+		// Degraded read-only mode sheds ingest with 503 so load
+		// balancers retry elsewhere; queries are unaffected.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	if strings.Contains(err.Error(), "unknown topic") {
 		status = http.StatusNotFound
 	} else if strings.Contains(err.Error(), "no trained model") {

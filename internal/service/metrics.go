@@ -63,6 +63,9 @@ type serviceMetrics struct {
 	storeBatchRecords  *obs.HistogramVec
 	storeSeals         *obs.CounterVec
 	storeSealSeconds   *obs.HistogramVec
+	storeSealRetries   *obs.CounterVec
+	storeDegradedSum   *obs.CounterVec
+	storeDegraded      *obs.FuncVec
 	shardAppends       *obs.CounterVec
 	blocksPruned       *obs.CounterVec
 	blocksRead         *obs.FuncVec
@@ -116,6 +119,9 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		storeBatchRecords:  reg.Histogram("bb_store_batch_records", "Store-level append batch sizes in records.", batchSizeBuckets, "topic"),
 		storeSeals:         reg.Counter("bb_store_seals_total", "Hot blocks sealed into compressed segments.", "topic"),
 		storeSealSeconds:   reg.Histogram("bb_store_seal_seconds", "Block seal (encode + write) duration.", lat, "topic"),
+		storeSealRetries:   reg.Counter("bb_seal_retries_total", "Failed seal attempts retried with backoff.", "topic"),
+		storeDegradedSum:   reg.Counter("bb_store_degraded_enters_total", "Transitions into degraded read-only mode.", "topic"),
+		storeDegraded:      reg.GaugeFunc("bb_store_degraded", "1 while the topic's store is degraded to read-only (ingest shed, queries served).", "topic"),
 		shardAppends:       reg.Counter("bb_store_shard_appends_total", "Records appended per shard.", "topic", "shard"),
 		blocksPruned:       reg.Counter("bb_segment_blocks_pruned_total", "Sealed-block query visits answered from metadata alone.", "topic"),
 		blocksRead:         reg.CounterFunc("bb_segment_blocks_read_total", "Sealed-block payload decompressions paid by queries.", "topic"),
@@ -201,6 +207,8 @@ func (m *serviceMetrics) topic(name string, shards int) *topicMetrics {
 			BatchRecords:       m.storeBatchRecords.With(name),
 			Seals:              m.storeSeals.With(name),
 			SealSeconds:        m.storeSealSeconds.With(name),
+			SealRetries:        m.storeSealRetries.With(name),
+			DegradedEnters:     m.storeDegradedSum.With(name),
 			BlocksPruned:       m.blocksPruned.With(name),
 		},
 	}
@@ -244,6 +252,14 @@ func (m *serviceMetrics) bindTopicGauges(s *Service, st *topicState) {
 	if cs, ok := st.store.(logstore.Compactor); ok && s.cfg.SegmentBytes > 0 {
 		m.topicSegments.Bind(func() int64 { return int64(cs.SegmentStats().Segments) }, st.name)
 		m.blocksRead.Bind(func() int64 { return cs.SegmentStats().BlockReads }, st.name)
+	}
+	if d, ok := st.store.(logstore.Degrader); ok {
+		m.storeDegraded.Bind(func() int64 {
+			if deg, _ := d.Degraded(); deg {
+				return 1
+			}
+			return 0
+		}, st.name)
 	}
 }
 

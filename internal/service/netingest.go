@@ -2,11 +2,24 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"log"
 	"net"
 
+	"bytebrain/internal/logstore"
 	"bytebrain/internal/netingest"
 )
+
+// netIngest is the TCP listener's sink: Service.Ingest with degraded
+// read-only mode translated to the wire's BUSY semantics, so clients
+// back off and resend instead of treating shed frames as rejected.
+func (s *Service) netIngest(topic string, lines []string) error {
+	err := s.Ingest(topic, lines)
+	if err != nil && errors.Is(err, logstore.ErrDegraded) {
+		return fmt.Errorf("%w (%v)", netingest.ErrBusy, err)
+	}
+	return err
+}
 
 // StartNetIngest starts the streaming TCP ingest listener on addr
 // (":7171", "127.0.0.1:0", ...) and returns the bound address. Frames
@@ -23,7 +36,7 @@ func (s *Service) StartNetIngest(addr string) (net.Addr, error) {
 		return nil, errors.New("service: closed")
 	}
 	srv, err := netingest.Listen(addr, netingest.Config{
-		Ingest:  s.Ingest,
+		Ingest:  s.netIngest,
 		Metrics: &s.met.netIngest,
 		Logf:    log.Printf,
 	})

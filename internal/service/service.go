@@ -14,6 +14,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"log"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"bytebrain/internal/core"
+	"bytebrain/internal/fsx"
 	"bytebrain/internal/logstore"
 	"bytebrain/internal/netingest"
 	"bytebrain/internal/obs"
@@ -109,6 +111,18 @@ type Config struct {
 	// historical fsync-on-seal-only behavior.
 	WALFsyncEveryBatches int
 	WALFsyncInterval     time.Duration
+	// FS is the filesystem every persistent store writes through; nil
+	// means the real filesystem. Fault-injection tests swap in an
+	// fsx.FaultFS to script ENOSPC and crash images end to end.
+	FS fsx.FS
+	// SealRetryBase / SealRetryMax / SealMaxRetries / ProbeInterval tune
+	// the segment store's seal-failure retry and degraded-mode recovery
+	// policy (see logstore.StoreOptions); zero values take the store
+	// defaults (50ms base, 2s cap, 4 retries, 2s probe).
+	SealRetryBase  time.Duration
+	SealRetryMax   time.Duration
+	SealMaxRetries int
+	ProbeInterval  time.Duration
 	// Now supplies timestamps; tests override it. Defaults to time.Now.
 	Now func() time.Time
 }
@@ -364,7 +378,7 @@ func (s *Service) CreateTopic(name string) error {
 	if s.cfg.DataDir == "" {
 		st.internal = logstore.NewInternal()
 	} else {
-		internal, err := logstore.OpenDiskInternal(filepath.Join(s.cfg.DataDir, name, "models"))
+		internal, err := logstore.OpenDiskInternalFS(s.cfg.FS, filepath.Join(s.cfg.DataDir, name, "models"))
 		if err != nil {
 			store.Close()
 			return err
@@ -414,6 +428,11 @@ func (s *Service) openTopicStore(name string, lm *logstore.Metrics) (logstore.St
 		Metrics:           lm,
 		FsyncEveryBatches: s.cfg.WALFsyncEveryBatches,
 		FsyncInterval:     s.cfg.WALFsyncInterval,
+		FS:                s.cfg.FS,
+		SealRetryBase:     s.cfg.SealRetryBase,
+		SealRetryMax:      s.cfg.SealRetryMax,
+		SealMaxRetries:    s.cfg.SealMaxRetries,
+		ProbeInterval:     s.cfg.ProbeInterval,
 	}
 	if s.cfg.TopicShards > 1 {
 		return logstore.OpenSharded(name, logstore.ShardConfig{
@@ -428,27 +447,41 @@ func (s *Service) openTopicStore(name string, lm *logstore.Metrics) (logstore.St
 }
 
 // recover reloads the latest persisted model after a restart and
-// publishes it as the initial snapshot. Runs before the topic is visible,
-// so no synchronization is needed.
+// publishes it as the initial snapshot. A snapshot that no longer
+// unmarshals (a torn or corrupt checkpoint) is quarantined and the next
+// older one tried, so reopening never fails unrecoverably on bad
+// snapshot bytes — worst case the topic restarts untrained, which the
+// next training cycle repairs. Runs before the topic is visible, so no
+// synchronization is needed.
 func (st *topicState) recover() error {
-	data, err := st.internal.LatestSnapshot()
-	if err != nil {
-		if err == logstore.ErrNoSnapshot {
-			return nil
+	for {
+		data, err := st.internal.LatestSnapshot()
+		if err != nil {
+			if err == logstore.ErrNoSnapshot {
+				return nil
+			}
+			return err
 		}
-		return err
+		model := core.NewModel()
+		if err := model.UnmarshalBinary(data); err != nil {
+			log.Printf("service: recover %s: quarantining corrupt model snapshot: %v", st.name, err)
+			if qerr := st.internal.QuarantineLatest(); qerr != nil {
+				return fmt.Errorf("service: recover %s: quarantine corrupt snapshot: %w", st.name, qerr)
+			}
+			continue
+		}
+		matcher, err := st.parser.NewMatcher(model)
+		if err != nil {
+			log.Printf("service: recover %s: quarantining unusable model snapshot: %v", st.name, err)
+			if qerr := st.internal.QuarantineLatest(); qerr != nil {
+				return fmt.Errorf("service: recover %s: quarantine unusable snapshot: %w", st.name, qerr)
+			}
+			continue
+		}
+		st.snap.Store(st.newSnapshot(model, matcher, data))
+		st.trainings.Store(int64(st.internal.Snapshots()))
+		return nil
 	}
-	model := core.NewModel()
-	if err := model.UnmarshalBinary(data); err != nil {
-		return fmt.Errorf("service: recover %s: %w", st.name, err)
-	}
-	matcher, err := st.parser.NewMatcher(model)
-	if err != nil {
-		return fmt.Errorf("service: recover %s: %w", st.name, err)
-	}
-	st.snap.Store(st.newSnapshot(model, matcher, data))
-	st.trainings.Store(int64(st.internal.Snapshots()))
-	return nil
 }
 
 // newSnapshot builds a publishable snapshot wired to the topic's line-
@@ -619,10 +652,17 @@ func (s *Service) ingest(topicName string, lines []string, queue int) error {
 	appended := false
 	if queue >= 0 {
 		if sh, ok := st.store.(*logstore.ShardedStore); ok {
-			if _, err := sh.AppendShardBatch(queue%sh.Shards(), now, recs); err != nil {
+			_, err := sh.AppendShardBatch(queue%sh.Shards(), now, recs)
+			switch {
+			case err == nil:
+				appended = true
+			case errors.Is(err, logstore.ErrDegraded):
+				// The pinned shard degraded (disk full / seal failure):
+				// fall through to un-pinned AppendBatch, which routes
+				// around degraded shards while any healthy one remains.
+			default:
 				return fmt.Errorf("service: ingest %s: %w", topicName, err)
 			}
-			appended = true
 		}
 	}
 	if !appended {
@@ -697,6 +737,16 @@ type Stats struct {
 	// WAL telemetry rollups, zero for in-memory topics.
 	WALFsyncs          int64 `json:",omitempty"`
 	WALPoisonRotations int64 `json:",omitempty"`
+	// Degraded-mode state: Degraded is true while the topic's store has
+	// entered read-only mode (ingest rejected, queries served);
+	// DegradedReason carries the cause. DegradedShards counts sick
+	// shards of a sharded topic that the router is steering around
+	// (ingest stays available until every shard degrades). SealRetries
+	// counts failed seal attempts that were retried with backoff.
+	Degraded       bool   `json:",omitempty"`
+	DegradedReason string `json:",omitempty"`
+	DegradedShards int    `json:",omitempty"`
+	SealRetries    int64  `json:",omitempty"`
 	// Segment-store compression counters, zero unless Config.SegmentBytes
 	// enabled the compacting store for this topic.
 	Segments               int     `json:",omitempty"`
@@ -751,6 +801,15 @@ func (s *Service) TopicStats(topicName string) (Stats, error) {
 		stats.WALFsyncs = met.store.WALFsyncs.Value()
 		stats.WALPoisonRotations = met.store.WALPoisonRotations.Value()
 		stats.SegmentBlocksPruned = met.store.BlocksPruned.Value()
+		stats.SealRetries = met.store.SealRetries.Value()
+	}
+	if d, ok := st.store.(logstore.Degrader); ok {
+		if deg, cause := d.Degraded(); deg {
+			stats.Degraded = true
+			if cause != nil {
+				stats.DegradedReason = cause.Error()
+			}
+		}
 	}
 	if cs, ok := st.store.(logstore.Compactor); ok && s.cfg.SegmentBytes > 0 {
 		sst := cs.SegmentStats()
@@ -765,8 +824,37 @@ func (s *Service) TopicStats(topicName string) (Stats, error) {
 	if sh, ok := st.store.(*logstore.ShardedStore); ok {
 		stats.TopicShards = sh.Shards()
 		stats.Shards = sh.ShardStats()
+		stats.DegradedShards = sh.DegradedShards()
 	}
 	return stats, nil
+}
+
+// DegradedTopics reports every topic whose store is currently in
+// degraded read-only mode, mapped to the cause. The /readyz endpoint
+// serves 503 while the map is non-empty.
+func (s *Service) DegradedTopics() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out map[string]string
+	for name, st := range s.topics {
+		d, ok := st.store.(logstore.Degrader)
+		if !ok {
+			continue
+		}
+		deg, cause := d.Degraded()
+		if !deg {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]string)
+		}
+		reason := "degraded"
+		if cause != nil {
+			reason = cause.Error()
+		}
+		out[name] = reason
+	}
+	return out
 }
 
 // Compact forces the topic's current hot block to seal into a compressed
